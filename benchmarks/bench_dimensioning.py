@@ -1,0 +1,39 @@
+"""Benchmark — the Section 4 dimensioning rule (max load and N_max).
+
+For P_S = 125 byte, T = 40 ms, C = 5 Mbit/s and an RTT budget of 50 ms
+(excellent game play), the paper reports a maximum tolerable downlink
+load of roughly 20% / 40% / 60% and a maximum number of gamers of
+40 / 80 / 120 for K = 2 / 9 / 20.
+"""
+
+import pytest
+
+from repro import experiments
+from repro.experiments.dimensioning import PAPER_DIMENSIONING
+
+from conftest import print_header
+
+
+@pytest.mark.benchmark(group="dimensioning")
+def test_dimensioning_rule(benchmark):
+    table = benchmark.pedantic(
+        lambda: experiments.run_dimensioning(orders=(2, 9, 20)), rounds=1, iterations=1
+    )
+    print_header("Dimensioning - max load and N_max for RTT <= 50 ms")
+    print(experiments.format_dimensioning(table))
+
+    for order, (paper_load, paper_gamers) in PAPER_DIMENSIONING.items():
+        row = table.row(order)
+        # Loads within a few percentage points of the paper's reading.
+        assert row.max_load == pytest.approx(paper_load, abs=0.07)
+        # Gamers within ~15% of the paper's numbers (40 / 80 / 120).
+        assert abs(row.max_gamers - paper_gamers) <= 0.15 * paper_gamers
+        # The RTT realised at the maximum load must respect the bound.
+        assert row.rtt_at_max_load_ms <= table.rtt_bound_ms * 1.02
+
+    # The allowable load grows with K (smoother bursts tolerate more gamers).
+    assert table.row(2).max_gamers < table.row(9).max_gamers < table.row(20).max_gamers
+
+    # "The tolerable load is surprisingly low": even the smoothest case
+    # examined (K = 20) cannot use much more than ~60% of the capacity.
+    assert table.row(20).max_load < 0.70

@@ -1,0 +1,47 @@
+"""Benchmark — Figure 1: tail distribution function of the burst sizes.
+
+Regenerates the empirical burst-size TDF of the UT2003 trace together
+with the Erlang(15/20/25) candidate tails, and checks the two
+order-selection results quoted in Section 2.3.2 (K = 28 from the CoV,
+K between 15 and 20 from the tail).
+"""
+
+import numpy as np
+import pytest
+
+from repro import experiments
+
+from conftest import print_header
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_burst_size_tail(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiments.run_figure1(duration_s=360.0, num_players=12, seed=2006),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Figure 1 - burst size tail distribution function")
+    print(experiments.format_figure1(result))
+
+    # Mean burst size pinned to the Table 3 value.
+    assert result.mean_burst_bytes == pytest.approx(1852.0, rel=0.03)
+
+    # Section 2.3.2: the CoV fit gives K = 28, the tail fit K in [15, 20].
+    assert 24 <= result.order_from_cov <= 32
+    assert 13 <= result.order_from_tail <= 24
+    assert result.order_from_tail < result.order_from_cov
+
+    # The empirical TDF is monotone decreasing and spans several decades.
+    tdf = result.empirical_tdf
+    assert np.all(np.diff(tdf) <= 1e-12)
+    assert tdf[0] == pytest.approx(1.0, abs=1e-6)
+    assert tdf[-1] <= 1e-3
+
+    # The Erlang candidates bracket the empirical curve in the fitted window:
+    # a low order (15) over-estimates the deep tail, a high order (25)
+    # under-estimates it.
+    grid = result.burst_size_grid
+    deep = np.searchsorted(grid, result.mean_burst_bytes * 1.45)
+    assert result.erlang_tdfs[15][deep] >= result.empirical_tdf[deep] * 0.5
+    assert result.erlang_tdfs[25][deep] <= result.empirical_tdf[deep] * 2.0

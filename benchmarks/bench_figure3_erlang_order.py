@@ -1,0 +1,53 @@
+"""Benchmark — Figure 3: impact of the Erlang order K on the RTT quantile.
+
+Regenerates the three curves (K = 2, 9, 20; P_S = 125 byte, T = 60 ms)
+of 99.999% RTT quantile versus downlink load and verifies the
+qualitative findings of Section 4:
+
+* the curves are ordered in K (burstier traffic -> larger RTT);
+* at low load the RTT grows linearly with the load (packet-position
+  delay dominates);
+* towards high load the curves blow up (the rho_d -> 1 asymptote);
+* low K is unacceptable even at moderate load (the paper's headline
+  "tolerable load is surprisingly low").
+"""
+
+import numpy as np
+import pytest
+
+from repro import experiments
+
+from conftest import print_header
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_erlang_order_impact(benchmark):
+    result = benchmark.pedantic(lambda: experiments.run_figure3(), rounds=1, iterations=1)
+    print_header("Figure 3 - RTT quantile vs load for K in {2, 9, 20}")
+    print(experiments.format_figure3(result))
+
+    loads = result.loads
+    serialization_ms = 1e3 * result.scenario.model_at_load(0.5).serialization_delay_s
+
+    # Ordering in K at every load.
+    for i in range(len(loads)):
+        assert result.rtt_ms(2)[i] > result.rtt_ms(9)[i] > result.rtt_ms(20)[i]
+
+    # Monotone growth with load, and divergence towards rho_d -> 1:
+    # the last step of each curve is much steeper than the first.
+    for order in (2, 9, 20):
+        rtt = np.asarray(result.rtt_ms(order))
+        assert np.all(np.diff(rtt) > 0)
+        first_slope = (rtt[1] - rtt[0]) / (loads[1] - loads[0])
+        last_slope = (rtt[-1] - rtt[-2]) / (loads[-1] - loads[-2])
+        assert last_slope > 3.0 * first_slope
+
+    # Linear regime at low load: the queueing part roughly doubles from 5% to 10%.
+    queueing = np.asarray(result.rtt_ms(9)) - serialization_ms
+    assert queueing[1] / queueing[0] == pytest.approx(2.0, rel=0.2)
+
+    # "Low K leads to unacceptable RTT even at moderate load": at 50% load
+    # the K=2 curve already exceeds the 100 ms mark by a wide margin,
+    # while K=20 stays close to it.
+    assert result.rtt_at_load(2, 0.50) > 150.0
+    assert result.rtt_at_load(20, 0.50) < 100.0

@@ -1,0 +1,38 @@
+"""Benchmark — Figure 4: impact of the burst inter-arrival time on the RTT.
+
+Regenerates the two curves (T = 40 ms and T = 60 ms; P_S = 125 byte,
+K = 9) and verifies the paper's proportionality claim: when the
+downstream component dominates, the RTT (queueing part) for T = 60 ms is
+about 3/2 times the one for T = 40 ms.
+"""
+
+import numpy as np
+import pytest
+
+from repro import experiments
+
+from conftest import print_header
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_inter_arrival_time_impact(benchmark):
+    result = benchmark.pedantic(lambda: experiments.run_figure4(), rounds=1, iterations=1)
+    print_header("Figure 4 - RTT quantile vs load for IAT = 40 ms / 60 ms")
+    print(experiments.format_figure4(result))
+
+    # Higher tick interval -> higher RTT at every load.
+    for slow, fast in zip(result.rtt_ms(60), result.rtt_ms(40)):
+        assert slow > fast
+
+    # The queueing part of the RTT is virtually proportional to T: the
+    # 60 ms curve sits a factor 3/2 above the 40 ms curve.
+    ratios = result.rtt_ratio()
+    np.testing.assert_allclose(ratios, 1.5, rtol=0.05)
+    print(f"\nqueueing-RTT ratio 60ms/40ms: min={ratios.min():.3f} max={ratios.max():.3f} "
+          f"(paper: ~1.5)")
+
+    # Dimensioning consequence quoted in Section 4: for K = 9, T = 40 ms
+    # an RTT budget of 50 ms allows a load of about 40%.
+    series_40 = result.series_by_tick_ms[40]
+    max_load = series_40.max_load_for_rtt_ms(50.0)
+    assert max_load == pytest.approx(0.40, abs=0.06)

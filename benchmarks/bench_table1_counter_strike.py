@@ -1,0 +1,43 @@
+"""Benchmark — Table 1: Counter-Strike traffic characteristics (Färber).
+
+Regenerates the measured-mean / CoV / fitted-distribution table from a
+synthetic Counter-Strike session and checks that the re-estimated
+extreme-value fits land on the published parameters.
+"""
+
+import pytest
+
+from repro import experiments
+from repro.traffic.games import counter_strike
+
+from conftest import print_header
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_counter_strike(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiments.run_table1(duration_s=180.0, num_players=8, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Table 1 - Counter-Strike traffic characteristics")
+    print(experiments.format_table1(result))
+
+    published = counter_strike.PUBLISHED
+
+    # Client-to-server packets: mean ~ Ext(80, 5.7) mean (~83 B), Det IAT ~ 42 ms.
+    client_size = result.row("packet_size_bytes", "client_to_server")
+    assert client_size.measured_mean == pytest.approx(83.3, rel=0.05)
+    client_iat = result.row("iat_ms", "client_to_server")
+    assert client_iat.measured_mean == pytest.approx(published.client_iat_mean_ms, rel=0.05)
+    assert client_iat.fitted.startswith("Det(")
+
+    # Server-to-client: the least-squares fit must recover Ext(120, 36) and Ext(55, 6).
+    server_size = result.row("packet_size_bytes", "server_to_client")
+    assert "Ext(" in server_size.fitted
+    fitted_location = float(server_size.fitted.split("(")[1].split(",")[0])
+    assert fitted_location == pytest.approx(120.0, rel=0.10)
+
+    server_iat = result.row("burst_iat_ms", "server_to_client")
+    fitted_location = float(server_iat.fitted.split("(")[1].split(",")[0])
+    assert fitted_location == pytest.approx(55.0, rel=0.10)

@@ -1,0 +1,39 @@
+"""Benchmark — Table 2: Half-Life traffic characteristics (Lang et al.).
+
+Regenerates the per-map table (deterministic tick intervals, lognormal
+server packet sizes, 60-90 byte client packets) from synthetic sessions.
+"""
+
+import pytest
+
+from repro import experiments
+
+from conftest import print_header
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_half_life(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiments.run_table2(duration_s=120.0, num_players=8, seed=22),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Table 2 - Half-Life traffic characteristics")
+    print(experiments.format_table2(result))
+
+    # Deterministic intervals: 60 ms server ticks, 41 ms client updates.
+    for row in result.rows:
+        assert row.server_iat_mean_ms == pytest.approx(60.0, rel=0.03)
+        assert row.client_iat_mean_ms == pytest.approx(41.0, rel=0.03)
+        assert row.server_iat_fit.startswith("Det(")
+        assert row.client_iat_fit.startswith("Det(")
+        assert "Lognormal" in row.server_packet_fit
+
+    # Map dependence of the downstream packet size (crossfire < de_dust < boot_camp).
+    sizes = {row.game_map: row.server_packet_mean_bytes for row in result.rows}
+    assert sizes["crossfire"] < sizes["de_dust"] < sizes["boot_camp"]
+
+    # Client packets sit in the published 60-90 byte range, independent of the map.
+    low, high = result.paper_client_packet_range
+    for row in result.rows:
+        assert low * 0.9 <= row.client_packet_mean_bytes <= high * 1.1

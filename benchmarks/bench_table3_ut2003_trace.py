@@ -1,0 +1,46 @@
+"""Benchmark — Table 3: the Unreal Tournament 2003 LAN-party trace.
+
+Synthesises the full six-minute, 12-player trace and recomputes every
+entry of Table 3 plus the anomaly statistics of Section 2.2.
+"""
+
+import pytest
+
+from repro import experiments
+from repro.traffic.games import unreal_tournament
+
+from conftest import print_header
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_unreal_tournament(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiments.run_table3(duration_s=360.0, num_players=12, seed=2006),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Table 3 - Unreal Tournament 2003 LAN trace")
+    print(experiments.format_table3(result))
+
+    paper = unreal_tournament.PUBLISHED
+
+    # Packet and burst sizes.
+    assert result.server_packet_mean_bytes == pytest.approx(paper.server_packet_mean_bytes, rel=0.03)
+    assert result.client_packet_mean_bytes == pytest.approx(paper.client_packet_mean_bytes, rel=0.03)
+    assert result.burst_size_mean_bytes == pytest.approx(paper.burst_size_mean_bytes, rel=0.03)
+    assert result.burst_size_cov == pytest.approx(paper.burst_size_cov, abs=0.04)
+
+    # Inter-arrival times.
+    assert result.burst_iat_mean_ms == pytest.approx(paper.burst_iat_mean_ms, rel=0.03)
+    assert result.burst_iat_cov == pytest.approx(paper.burst_iat_cov, abs=0.05)
+    assert result.client_iat_mean_ms == pytest.approx(paper.client_iat_mean_ms, rel=0.05)
+    assert result.client_iat_cov == pytest.approx(paper.client_iat_cov, abs=0.1)
+
+    # Section 2.2 anomalies: delayed bursts (~0.1%) and incomplete bursts (~0.5%).
+    assert result.delayed_burst_fraction < 0.01
+    assert result.incomplete_burst_fraction == pytest.approx(
+        paper.incomplete_burst_fraction, abs=0.01
+    )
+
+    # The within-burst packet-size CoV is much smaller than the overall CoV.
+    assert result.within_burst_cov_max < result.server_packet_cov

@@ -1,0 +1,84 @@
+"""Validation benchmark — analytical model against Monte-Carlo and the
+discrete-event simulator.
+
+Two validations:
+
+1. the D/E_K/1 burst-delay tail and the total queueing-delay quantile
+   against direct Monte-Carlo simulation of the queueing recursions
+   (this checks the mathematics of Section 3);
+2. the end-to-end RTT of the Figure 2 discrete-event simulation against
+   the analytical quantile (this checks that the abstractions — Poisson
+   upstream, Erlang bursts, uniform packet position — are conservative
+   for the idealised periodic workload).
+"""
+
+import numpy as np
+import pytest
+
+from repro.netsim import AccessNetworkConfig, GamingSimulation, GamingWorkload
+from repro.scenarios import DslScenario
+
+from conftest import print_header
+
+
+@pytest.mark.benchmark(group="validation")
+def test_queueing_model_against_monte_carlo(benchmark):
+    scenario = DslScenario(tick_interval_s=0.040).with_erlang_order(9)
+    model = scenario.model_at_load(0.5)
+
+    def run():
+        rng = np.random.default_rng(99)
+        n = 400_000
+        burst = model.downstream_queue().simulate_waiting_times(n, rng=rng)
+        position = model.position_delay().sample_uniform(n, rng=rng)
+        upstream_terms = model._upstream_terms
+        weight = upstream_terms.terms[0].coefficient.real
+        gamma = upstream_terms.terms[0].rate.real
+        upstream = np.where(rng.random(n) < weight, rng.exponential(1.0 / gamma, n), 0.0)
+        return burst + position + upstream
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Validation - analytical queueing delay vs Monte-Carlo (K=9, 50% load)")
+    rows = []
+    for x_ms in (20.0, 30.0, 40.0):
+        analytic = model.queueing_tail(x_ms / 1e3)
+        empirical = float((total > x_ms / 1e3).mean())
+        rows.append((x_ms, analytic, empirical))
+        print(f"P(queueing delay > {x_ms:.0f} ms): model={analytic:.3e}  monte-carlo={empirical:.3e}")
+        if empirical > 5e-5:
+            assert analytic == pytest.approx(empirical, rel=0.25)
+
+    analytic_q = 1e3 * model.queueing_quantile(0.9999)
+    empirical_q = 1e3 * float(np.quantile(total, 0.9999))
+    print(f"99.99% queueing quantile: model={analytic_q:.2f} ms  monte-carlo={empirical_q:.2f} ms")
+    assert analytic_q == pytest.approx(empirical_q, rel=0.10)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_model_against_discrete_event_simulation(benchmark):
+    num_clients = 50
+    config = AccessNetworkConfig(num_clients=num_clients, scheduler="fifo")
+    workload = GamingWorkload(tick_interval_s=0.040)
+    scenario = DslScenario(tick_interval_s=0.040).with_erlang_order(9)
+    model = scenario.model_for_gamers(num_clients)
+
+    def run():
+        simulation = GamingSimulation(config, workload, seed=77)
+        return simulation, simulation.run(60.0, warmup_s=5.0)
+
+    simulation, delays = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Validation - discrete-event simulation vs analytical model (50 gamers)")
+    print(f"offered downlink load     : sim={simulation.downlink_load:.3f}  model={model.downlink_load:.3f}")
+    print(f"mean RTT                  : sim={1e3 * delays.mean('rtt'):.2f} ms  model={1e3 * model.mean_rtt():.2f} ms")
+    print(f"99.9% RTT                 : sim={1e3 * delays.quantile('rtt', 0.999):.2f} ms")
+    print(f"99.999% RTT (analytical)  : {model.rtt_quantile_ms():.2f} ms")
+
+    # Loads agree by construction.
+    assert simulation.downlink_load == pytest.approx(model.downlink_load)
+    # Mean RTTs agree within 25% (the analytical upstream/downstream
+    # abstractions are slightly conservative for periodic traffic).
+    assert delays.mean("rtt") == pytest.approx(model.mean_rtt(), rel=0.25)
+    # The analytical 99.999% quantile upper-bounds the simulated 99.9% RTT.
+    assert delays.quantile("rtt", 0.999) <= model.rtt_quantile(0.99999)

@@ -1,0 +1,16 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or an
+ablation / validation study), prints the regenerated rows or series and
+asserts the qualitative shape reported in the paper.  Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def print_header(title: str) -> None:
+    """Print a visual separator before a benchmark's output."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}")

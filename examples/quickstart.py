@@ -1,0 +1,57 @@
+"""Quickstart: predict the ping time of a DSL gaming scenario.
+
+This example reproduces the headline calculation of Section 4 of the
+paper: 80 gamers (a 40% downlink load) share a 5 Mbit/s gaming share of
+the aggregation link, the game sends 125-byte updates every 40 ms, and
+the burst sizes follow an Erlang distribution of order 9.  The model
+predicts the 99.999% quantile of the round-trip "ping" time — about
+50 ms, the threshold for excellent game play.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import PingTimeModel
+
+
+def main() -> None:
+    model = PingTimeModel.from_downlink_load(
+        0.40,
+        tick_interval_s=0.040,           # server tick T = 40 ms
+        client_packet_bytes=80.0,        # P_C
+        server_packet_bytes=125.0,       # P_S
+        erlang_order=9,                  # burst-size Erlang order K
+        access_uplink_bps=128_000.0,     # DSL uplink
+        access_downlink_bps=1_024_000.0, # DSL downlink
+        aggregation_rate_bps=5_000_000.0,  # gaming share of the bottleneck
+    )
+
+    print("Scenario")
+    print(f"  gamers sharing the link : {model.num_gamers:.0f}")
+    print(f"  downlink load           : {model.downlink_load:.0%}")
+    print(f"  uplink load             : {model.uplink_load:.0%}")
+    print()
+
+    breakdown = model.breakdown()
+    print("Delay breakdown (99.999% quantiles of the individual components)")
+    print(f"  serialization            : {1e3 * breakdown.serialization_s:6.2f} ms")
+    print(f"  upstream queueing        : {1e3 * breakdown.upstream_queueing_s:6.2f} ms")
+    print(f"  downstream burst waiting : {1e3 * breakdown.downstream_burst_s:6.2f} ms")
+    print(f"  in-burst packet position : {1e3 * breakdown.packet_position_s:6.2f} ms")
+    print()
+
+    print("Round-trip time (ping) prediction")
+    print(f"  mean RTT                 : {1e3 * model.mean_rtt():6.2f} ms")
+    for probability in (0.99, 0.999, 0.99999):
+        rtt_ms = model.rtt_quantile_ms(probability)
+        print(f"  {100 * probability:7.3f}% RTT quantile : {rtt_ms:6.2f} ms")
+    print()
+
+    bound = model.deterministic_bound()
+    print("Worst-case (network-calculus style) baseline")
+    print(f"  deterministic RTT bound  : {bound.rtt_bound_ms:6.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Why gaming traffic needs its own scheduler share (Section 1).
+
+The introduction of the paper argues that gaming traffic must be
+(virtually) segregated from elastic TCP traffic: under plain FIFO a data
+burst sitting in front of a game packet ruins the ping, a strict
+Head-of-Line priority protects the game perfectly but can starve the
+data, and Weighted Fair Queuing gives the gaming class a guaranteed
+share without starving anyone.
+
+This example runs the discrete-event simulator of the Figure 2 access
+network three times — FIFO, priority, WFQ — with 3 Mbit/s of elastic
+background traffic sharing the 5 Mbit/s bottleneck with 30 gamers, and
+compares the resulting ping statistics.
+
+Run with::
+
+    python examples/scheduler_comparison.py
+"""
+
+from repro.experiments.report import format_table
+from repro.netsim import AccessNetworkConfig, GamingSimulation, GamingWorkload
+
+
+def run(scheduler: str, background_bps: float, seed: int = 7):
+    config = AccessNetworkConfig(
+        num_clients=30,
+        aggregation_rate_bps=5_000_000.0,
+        scheduler=scheduler,
+        gaming_weight=0.5,
+    )
+    workload = GamingWorkload(
+        client_packet_bytes=80.0,
+        server_packet_bytes=125.0,
+        tick_interval_s=0.040,
+        background_rate_bps=background_bps,
+        background_packet_bytes=1500.0,
+    )
+    simulation = GamingSimulation(config, workload, seed=seed)
+    delays = simulation.run(30.0, warmup_s=3.0)
+    return simulation, delays
+
+
+def main() -> None:
+    rows = []
+    for scheduler in ("fifo", "priority", "wfq"):
+        for background_mbps in (0.0, 3.0):
+            simulation, delays = run(scheduler, background_mbps * 1e6)
+            rtt = delays.summary("rtt")
+            rows.append(
+                [
+                    scheduler,
+                    f"{background_mbps:.0f} Mbit/s",
+                    f"{1e3 * rtt.mean:.2f}",
+                    f"{1e3 * rtt.p95:.2f}",
+                    f"{1e3 * rtt.p99:.2f}",
+                    f"{1e3 * rtt.maximum:.2f}",
+                ]
+            )
+
+    print("Ping statistics for 30 gamers sharing a 5 Mbit/s bottleneck")
+    print("(gaming: 125-byte updates every 40 ms; background: 1500-byte elastic packets)")
+    print()
+    print(
+        format_table(
+            ["scheduler", "background", "mean RTT (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "FIFO lets the elastic traffic inflate the gaming percentiles, while the\n"
+        "priority and WFQ schedulers keep the ping close to its unloaded value —\n"
+        "which is why the paper studies the gaming queue in isolation, with WFQ\n"
+        "providing the dedicated capacity C of the model."
+    )
+
+
+if __name__ == "__main__":
+    main()

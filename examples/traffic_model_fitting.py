@@ -1,0 +1,81 @@
+"""From a packet capture to a ping prediction (the Section 2 workflow).
+
+This example walks the full measurement pipeline of the paper:
+
+1. obtain a packet trace of a game session (here: the synthetic
+   Unreal Tournament 2003 LAN-party capture used throughout the paper);
+2. compute the Table-3 style statistics (packet sizes, inter-arrival
+   times, burst sizes);
+3. fit the burst-size distribution — both the moment fit (K = 28 from
+   the CoV) and the tail fit (K between 15 and 20, Figure 1);
+4. feed the fitted parameters into the queueing model and predict the
+   ping time that the measured game would experience on a DSL access
+   network.
+
+Run with::
+
+    python examples/traffic_model_fitting.py
+"""
+
+import numpy as np
+
+from repro.core import PingTimeModel
+from repro.distributions import Erlang, fit_erlang_cov, fit_erlang_tail
+from repro.traffic import bursts as burst_analysis
+from repro.traffic import summarize_trace
+from repro.traffic.games import unreal_tournament
+
+
+def main() -> None:
+    # 1. A two-minute, 12-player session (shorter than the paper's six
+    #    minutes to keep the example snappy; pass duration=360 for the
+    #    full trace).
+    trace = unreal_tournament.lan_party_trace(duration=120.0, num_players=12, seed=2006)
+    print(f"Captured {len(trace)} packets over {trace.duration:.0f} s")
+
+    # 2. Table-3 style statistics.
+    summary = summarize_trace(trace, expected_packets=12)
+    s2c = summary.server_to_client
+    c2s = summary.client_to_server
+    print("\nTrace statistics (cf. Table 3 of the paper)")
+    print(f"  server packet size : {s2c.packet_size_bytes.mean:7.1f} B  (CoV {s2c.packet_size_bytes.cov:.2f})")
+    print(f"  client packet size : {c2s.packet_size_bytes.mean:7.1f} B  (CoV {c2s.packet_size_bytes.cov:.2f})")
+    print(f"  burst interval     : {1e3 * s2c.inter_arrival_time_s.mean:7.1f} ms (CoV {s2c.inter_arrival_time_s.cov:.2f})")
+    print(f"  burst size         : {s2c.burst_size_bytes.mean:7.1f} B  (CoV {s2c.burst_size_bytes.cov:.2f})")
+
+    # 3. Fit the burst-size distribution (Section 2.3.2 / Figure 1).
+    bursts = burst_analysis.reconstruct_bursts(trace)
+    sizes = burst_analysis.burst_sizes(bursts)
+    cov_fit = fit_erlang_cov(sizes)
+    tail_fit = fit_erlang_tail(sizes)
+    print("\nBurst-size distribution fits")
+    print(f"  Erlang order from the CoV fit  : K = {cov_fit.distribution.order}")
+    print(f"  Erlang order from the tail fit : K = {tail_fit.distribution.order}")
+    print("  (the paper reports K = 28 from the CoV and K in [15, 20] from the tail)")
+
+    # Show a small slice of the Figure-1 comparison.
+    grid = np.linspace(1500, 3000, 7)
+    print("\n  burst size (B) | empirical TDF | Erlang tail (tail-fitted K)")
+    fitted: Erlang = tail_fit.distribution
+    for x in grid:
+        empirical = float(np.mean(np.asarray(sizes) > x))
+        print(f"  {x:13.0f} | {empirical:13.4f} | {float(fitted.tail(x)):.4f}")
+
+    # 4. Predict the ping time the measured game would see on DSL access.
+    model = PingTimeModel(
+        num_gamers=30,
+        tick_interval_s=s2c.inter_arrival_time_s.mean,
+        client_packet_bytes=c2s.packet_size_bytes.mean,
+        server_packet_bytes=s2c.packet_size_bytes.mean,
+        erlang_order=tail_fit.distribution.order,
+        access_uplink_bps=128e3,
+        access_downlink_bps=1024e3,
+        aggregation_rate_bps=5e6,
+    )
+    print("\nPrediction for 30 gamers of this game on a 5 Mbit/s gaming share")
+    print(f"  downlink load        : {model.downlink_load:.0%}")
+    print(f"  99.999% RTT quantile : {model.rtt_quantile_ms():.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy (non-PEP-517) editable installs keep working offline.
+"""
+
+from setuptools import setup
+
+setup()

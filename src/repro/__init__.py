@@ -1,0 +1,51 @@
+"""Reproduction of "Modeling Ping times in First Person Shooter games".
+
+The package is organised as follows:
+
+* :mod:`repro.distributions` -- the distribution zoo and fitting code of
+  Section 2 (Det / Ext / Erlang / lognormal / Weibull, least-squares,
+  moment and tail fits);
+* :mod:`repro.traffic` -- packets, traces, trace statistics and per-game
+  synthetic traffic models (Tables 1-3, Figure 1);
+* :mod:`repro.core` -- the queueing methodology of Section 3 (M/D/1 and
+  N*D/D/1 upstream, D/E_K/1 downstream, packet-position delay, the
+  Erlang-term MGF algebra of Appendix A) and the RTT model and
+  dimensioning rules of Section 4 (Figures 3-4);
+* :mod:`repro.netsim` -- a discrete-event simulator of the Figure 2
+  access architecture used to validate the analytical model;
+* :mod:`repro.scenarios` -- the DSL scenario of Section 4 and parameter
+  sweeps;
+* :mod:`repro.experiments` -- drivers that regenerate every table and
+  figure of the paper and compare them against the reported values.
+"""
+
+from .core import (
+    DEFAULT_QUANTILE,
+    DEKOneQueue,
+    DeterministicRttBound,
+    DimensioningResult,
+    ErlangTermSum,
+    MD1Queue,
+    PacketPositionDelay,
+    PingTimeModel,
+    max_gamers,
+    max_tolerable_load,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_QUANTILE",
+    "DEKOneQueue",
+    "DeterministicRttBound",
+    "DimensioningResult",
+    "ErlangTermSum",
+    "MD1Queue",
+    "PacketPositionDelay",
+    "PingTimeModel",
+    "max_gamers",
+    "max_tolerable_load",
+    "ReproError",
+    "__version__",
+]

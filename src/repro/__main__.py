@@ -1,0 +1,8 @@
+"""Allow running the CLI as ``python -m repro``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

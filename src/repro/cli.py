@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+``fps-ping`` (or ``python -m repro``) exposes the experiment drivers and
+the RTT calculator from the shell::
+
+    fps-ping rtt --load 0.4 --erlang-order 9 --tick-ms 40
+    fps-ping dimension --rtt-bound-ms 50
+    fps-ping table1 | table2 | table3 | figure1 | figure3 | figure4
+    fps-ping simulate --clients 40 --duration 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments
+from .core import PingTimeModel
+from .core.dimensioning import max_tolerable_load
+from .netsim import AccessNetworkConfig, GamingSimulation, GamingWorkload
+from .scenarios import DslScenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="fps-ping",
+        description="Ping-time prediction for First Person Shooter games "
+        "(reproduction of Degrande et al., 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rtt = sub.add_parser("rtt", help="evaluate the RTT quantile at one operating point")
+    _add_scenario_arguments(rtt)
+    rtt.add_argument("--load", type=float, default=0.4, help="downlink load (0-1)")
+    rtt.add_argument("--quantile", type=float, default=0.99999, help="quantile level")
+    rtt.add_argument(
+        "--method",
+        choices=["inversion", "dominant-pole", "chernoff", "sum-of-quantiles"],
+        default="inversion",
+        help="quantile evaluation method",
+    )
+
+    dim = sub.add_parser("dimension", help="maximum load / gamers for an RTT budget")
+    _add_scenario_arguments(dim)
+    dim.add_argument("--rtt-bound-ms", type=float, default=50.0, help="RTT budget in ms")
+    dim.add_argument("--quantile", type=float, default=0.99999, help="quantile level")
+
+    for name, help_text in [
+        ("table1", "regenerate Table 1 (Counter-Strike characteristics)"),
+        ("table2", "regenerate Table 2 (Half-Life characteristics)"),
+        ("table3", "regenerate Table 3 (Unreal Tournament trace)"),
+        ("figure1", "regenerate Figure 1 (burst-size tail fits)"),
+        ("figure3", "regenerate Figure 3 (RTT vs load per Erlang order)"),
+        ("figure4", "regenerate Figure 4 (RTT vs load per tick interval)"),
+    ]:
+        sub.add_parser(name, help=help_text)
+
+    sim = sub.add_parser("simulate", help="run the discrete-event simulator")
+    sim.add_argument("--clients", type=int, default=40, help="number of gamers")
+    sim.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
+    sim.add_argument("--tick-ms", type=float, default=40.0, help="tick interval in ms")
+    sim.add_argument("--server-packet-bytes", type=float, default=125.0)
+    sim.add_argument("--client-packet-bytes", type=float, default=80.0)
+    sim.add_argument("--aggregation-kbps", type=float, default=5000.0)
+    sim.add_argument("--scheduler", choices=["fifo", "priority", "wfq"], default="fifo")
+    sim.add_argument("--background-kbps", type=float, default=0.0,
+                     help="elastic background traffic rate in kbit/s")
+    sim.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tick-ms", type=float, default=40.0, help="tick interval in ms")
+    parser.add_argument("--client-packet-bytes", type=float, default=80.0)
+    parser.add_argument("--server-packet-bytes", type=float, default=125.0)
+    parser.add_argument("--erlang-order", type=int, default=9)
+    parser.add_argument("--uplink-kbps", type=float, default=128.0)
+    parser.add_argument("--downlink-kbps", type=float, default=1024.0)
+    parser.add_argument("--aggregation-kbps", type=float, default=5000.0)
+
+
+def _scenario_from_args(args: argparse.Namespace) -> DslScenario:
+    return DslScenario(
+        client_packet_bytes=args.client_packet_bytes,
+        server_packet_bytes=args.server_packet_bytes,
+        tick_interval_s=args.tick_ms / 1e3,
+        erlang_order=args.erlang_order,
+        access_uplink_bps=args.uplink_kbps * 1e3,
+        access_downlink_bps=args.downlink_kbps * 1e3,
+        aggregation_rate_bps=args.aggregation_kbps * 1e3,
+    )
+
+
+def _command_rtt(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    model: PingTimeModel = scenario.model_at_load(args.load)
+    breakdown = model.breakdown(args.quantile)
+    print(
+        experiments.format_kv(
+            {
+                "downlink load": model.downlink_load,
+                "uplink load": model.uplink_load,
+                "gamers": model.num_gamers,
+                "serialization (ms)": 1e3 * breakdown.serialization_s,
+                "upstream queueing quantile (ms)": 1e3 * breakdown.upstream_queueing_s,
+                "burst delay quantile (ms)": 1e3 * breakdown.downstream_burst_s,
+                "packet position quantile (ms)": 1e3 * breakdown.packet_position_s,
+                f"RTT {100 * args.quantile:.3f}% quantile (ms)": 1e3
+                * model.rtt_quantile(args.quantile, method=args.method),
+            },
+            title="RTT evaluation",
+        )
+    )
+    return 0
+
+
+def _command_dimension(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    result = max_tolerable_load(
+        args.rtt_bound_ms / 1e3,
+        probability=args.quantile,
+        **scenario.dimensioning_kwargs(),
+    )
+    print(
+        experiments.format_kv(
+            {
+                "RTT bound (ms)": args.rtt_bound_ms,
+                "max downlink load": result.max_load,
+                "max gamers": result.max_gamers,
+                "RTT at max load (ms)": result.rtt_at_max_load_ms,
+            },
+            title="Dimensioning",
+        )
+    )
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    config = AccessNetworkConfig(
+        num_clients=args.clients,
+        aggregation_rate_bps=args.aggregation_kbps * 1e3,
+        scheduler=args.scheduler,
+    )
+    workload = GamingWorkload(
+        client_packet_bytes=args.client_packet_bytes,
+        server_packet_bytes=args.server_packet_bytes,
+        tick_interval_s=args.tick_ms / 1e3,
+        background_rate_bps=args.background_kbps * 1e3,
+    )
+    simulation = GamingSimulation(config, workload, seed=args.seed)
+    delays = simulation.run(args.duration, warmup_s=min(5.0, args.duration / 10.0))
+    rows = {}
+    for category in ("upstream", "downstream", "rtt"):
+        if delays.count(category) == 0:
+            continue
+        summary = delays.summary(category)
+        rows[f"{category} mean (ms)"] = 1e3 * summary.mean
+        rows[f"{category} p99 (ms)"] = 1e3 * summary.p99
+    rows["downlink load"] = simulation.downlink_load
+    rows["uplink load"] = simulation.uplink_load
+    print(experiments.format_kv(rows, title="Simulation"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "rtt":
+        return _command_rtt(args)
+    if args.command == "dimension":
+        return _command_dimension(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "table1":
+        print(experiments.format_table1(experiments.run_table1()))
+        return 0
+    if args.command == "table2":
+        print(experiments.format_table2(experiments.run_table2()))
+        return 0
+    if args.command == "table3":
+        print(experiments.format_table3(experiments.run_table3()))
+        return 0
+    if args.command == "figure1":
+        print(experiments.format_figure1(experiments.run_figure1()))
+        return 0
+    if args.command == "figure3":
+        print(experiments.format_figure3(experiments.run_figure3()))
+        return 0
+    if args.command == "figure4":
+        print(experiments.format_figure4(experiments.run_figure4()))
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Deterministic worst-case delay bounds (the baseline of Section 1).
+
+The introduction of the paper contrasts its statistical quantiles with
+the deterministic worst-case bounds of network calculus [7, 21, 22],
+which "lead to unrealistically high values".  This module implements
+that baseline for the Figure 2 architecture so the two approaches can be
+compared quantitatively (see the ablation benchmark).
+
+The bound assumes every gamer's packet arrives at the aggregation node
+at the same instant (upstream) and that a full nominal burst is still in
+transmission when the next burst arrives (downstream); burst sizes are
+capped at a configurable multiple of their mean because the Erlang model
+itself is unbounded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import ParameterError
+from ..units import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .rtt import PingTimeModel
+
+__all__ = ["DeterministicRttBound"]
+
+
+@dataclass(frozen=True)
+class DeterministicRttBound:
+    """Worst-case RTT bound for the access architecture of Figure 2.
+
+    Parameters
+    ----------
+    num_gamers:
+        Number of gamers sharing the aggregation link.
+    client_packet_bytes / server_packet_bytes:
+        Nominal packet sizes in bytes.
+    tick_interval_s:
+        Server tick interval in seconds.
+    access_uplink_bps / access_downlink_bps / aggregation_rate_bps:
+        Link rates in bit/s.
+    burst_cap_factor:
+        The worst-case burst is taken as ``burst_cap_factor`` times the
+        nominal burst (the Erlang distribution is unbounded, so a finite
+        deterministic bound needs an explicit cap; the default of 3.0 corresponds to a
+        burst three times its mean size).
+    """
+
+    num_gamers: float
+    client_packet_bytes: float
+    server_packet_bytes: float
+    tick_interval_s: float
+    access_uplink_bps: float
+    access_downlink_bps: float
+    aggregation_rate_bps: float
+    burst_cap_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.num_gamers < 1.0:
+            raise ParameterError("num_gamers must be at least 1")
+        require_positive(self.client_packet_bytes, "client_packet_bytes")
+        require_positive(self.server_packet_bytes, "server_packet_bytes")
+        require_positive(self.tick_interval_s, "tick_interval_s")
+        require_positive(self.access_uplink_bps, "access_uplink_bps")
+        require_positive(self.access_downlink_bps, "access_downlink_bps")
+        require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
+        if self.burst_cap_factor < 1.0:
+            raise ParameterError("burst_cap_factor must be >= 1")
+
+    @classmethod
+    def from_model(cls, model: "PingTimeModel", burst_cap_factor: float = 3.0) -> "DeterministicRttBound":
+        """Build the bound with the parameters of a :class:`PingTimeModel`."""
+        return cls(
+            num_gamers=model.num_gamers,
+            client_packet_bytes=model.client_packet_bytes,
+            server_packet_bytes=model.server_packet_bytes,
+            tick_interval_s=model.tick_interval_s,
+            access_uplink_bps=model.access_uplink_bps,
+            access_downlink_bps=model.access_downlink_bps,
+            aggregation_rate_bps=model.aggregation_rate_bps,
+            burst_cap_factor=burst_cap_factor,
+        )
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    @property
+    def serialization_delay_s(self) -> float:
+        """Serialization of one upstream and one downstream packet."""
+        up_bits = 8.0 * self.client_packet_bytes
+        down_bits = 8.0 * self.server_packet_bytes
+        return (
+            up_bits / self.access_uplink_bps
+            + up_bits / self.aggregation_rate_bps
+            + down_bits / self.aggregation_rate_bps
+            + down_bits / self.access_downlink_bps
+        )
+
+    @property
+    def upstream_bound_s(self) -> float:
+        """Worst-case upstream queueing: all other gamers arrive simultaneously."""
+        others = max(math.ceil(self.num_gamers) - 1, 0)
+        return others * 8.0 * self.client_packet_bytes / self.aggregation_rate_bps
+
+    @property
+    def nominal_burst_service_s(self) -> float:
+        """Transmission time of one nominal burst on the aggregation link."""
+        return 8.0 * self.num_gamers * self.server_packet_bytes / self.aggregation_rate_bps
+
+    @property
+    def downstream_bound_s(self) -> float:
+        """Worst-case downstream queueing.
+
+        A capped worst-case burst may still be in transmission when the
+        tagged burst arrives (residual bounded by the excess of the
+        capped burst over one tick interval, but never negative), and the
+        tagged packet may be the last one of its own capped burst.
+        """
+        capped_burst = self.burst_cap_factor * self.nominal_burst_service_s
+        residual = max(capped_burst - self.tick_interval_s, 0.0)
+        return residual + capped_burst
+
+    @property
+    def rtt_bound_s(self) -> float:
+        """The total worst-case round-trip time (seconds)."""
+        return self.serialization_delay_s + self.upstream_bound_s + self.downstream_bound_s
+
+    @property
+    def rtt_bound_ms(self) -> float:
+        """The total worst-case round-trip time (milliseconds)."""
+        return 1e3 * self.rtt_bound_s

@@ -1,0 +1,437 @@
+"""End-to-end Ping-time (RTT) model (Sections 3.3 and 4 of the paper).
+
+:class:`PingTimeModel` assembles the three queueing-delay components —
+upstream M/D/1 waiting, downstream D/E_K/1 burst waiting and the
+in-burst packet-position delay — plus the deterministic serialization,
+propagation and processing delays into the round-trip time experienced
+by a gamer, and evaluates its high quantiles.
+
+Four evaluation methods are offered (Section 3.3):
+
+* ``"inversion"`` (default) — numerical inversion of the *exact* product
+  transform ``D_u(s) W(s) P(s)`` with the Euler algorithm; numerically
+  robust at every load;
+* ``"erlang-sum"`` — the paper's Appendix-A route: expand the product as
+  a sum of Erlang terms (eq. (35)) and invert it analytically.  Exact,
+  but the expansion is ill-conditioned when the D/E_K/1 poles crowd the
+  packet-position pole (low load), so use with care;
+* ``"dominant-pole"`` — keep only the dominant pole of the product;
+* ``"chernoff"`` — the Chernoff bound of eq. (36);
+* ``"sum-of-quantiles"`` — sum of the per-component quantiles (the
+  conservative shortcut mentioned at the end of Section 3.3).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Dict, Optional
+
+from scipy import optimize
+
+from ..errors import ParameterError, StabilityError
+from ..units import require_non_negative, require_positive
+from .bounds import DeterministicRttBound
+from .downstream import DEKOneQueue, PacketPositionDelay
+from .inversion import quantile_from_mgf, tail_from_mgf
+from .mgf import ErlangTerm, ErlangTermSum
+from .upstream import MD1Queue
+
+__all__ = ["PingTimeModel", "DEFAULT_QUANTILE", "RttBreakdown", "QUANTILE_METHODS"]
+
+#: The paper computes 99.999% quantiles of the RTT (Section 4).
+DEFAULT_QUANTILE = 0.99999
+
+#: The quantile evaluation methods accepted by :meth:`PingTimeModel.queueing_quantile`.
+QUANTILE_METHODS = (
+    "inversion",
+    "erlang-sum",
+    "dominant-pole",
+    "chernoff",
+    "sum-of-quantiles",
+)
+
+
+@dataclass(frozen=True)
+class RttBreakdown:
+    """Per-component view of an RTT quantile evaluation (all in seconds)."""
+
+    probability: float
+    serialization_s: float
+    propagation_s: float
+    processing_s: float
+    upstream_queueing_s: float
+    downstream_burst_s: float
+    packet_position_s: float
+    total_queueing_quantile_s: float
+    rtt_quantile_s: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view (useful for tabulation)."""
+        return {
+            "probability": self.probability,
+            "serialization_s": self.serialization_s,
+            "propagation_s": self.propagation_s,
+            "processing_s": self.processing_s,
+            "upstream_queueing_s": self.upstream_queueing_s,
+            "downstream_burst_s": self.downstream_burst_s,
+            "packet_position_s": self.packet_position_s,
+            "total_queueing_quantile_s": self.total_queueing_quantile_s,
+            "rtt_quantile_s": self.rtt_quantile_s,
+        }
+
+
+@dataclass(frozen=True)
+class PingTimeModel:
+    """Analytical RTT model for the access architecture of Figure 2.
+
+    Parameters
+    ----------
+    num_gamers:
+        Number of active gamers ``N`` sharing the aggregation link (may
+        be fractional when derived from a load sweep).
+    tick_interval_s:
+        Server tick / client update interval ``T`` in seconds (the paper
+        assumes both directions share the same interval).
+    client_packet_bytes:
+        Upstream packet size ``P_C`` in bytes (80 in Section 4).
+    server_packet_bytes:
+        Downstream per-client packet size ``P_S`` in bytes.
+    erlang_order:
+        Erlang order ``K`` of the downstream burst-size distribution.
+    access_uplink_bps / access_downlink_bps:
+        Per-user DSL access rates ``R_up`` / ``R_down`` in bit/s.
+    aggregation_rate_bps:
+        Capacity ``C`` dedicated to gaming on the bottleneck link, bit/s.
+    propagation_delay_s:
+        One-way propagation delay added twice to the RTT (default 0).
+    server_processing_s:
+        Server processing time added once to the RTT (default 0).
+    """
+
+    num_gamers: float
+    tick_interval_s: float
+    client_packet_bytes: float
+    server_packet_bytes: float
+    erlang_order: int
+    access_uplink_bps: float
+    access_downlink_bps: float
+    aggregation_rate_bps: float
+    propagation_delay_s: float = 0.0
+    server_processing_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_gamers < 1.0:
+            raise ParameterError("num_gamers must be at least 1")
+        require_positive(self.tick_interval_s, "tick_interval_s")
+        require_positive(self.client_packet_bytes, "client_packet_bytes")
+        require_positive(self.server_packet_bytes, "server_packet_bytes")
+        if self.erlang_order < 2:
+            raise ParameterError(
+                "erlang_order must be >= 2 (the uniform packet-position delay "
+                "of Section 3.2.2 requires K > 1)"
+            )
+        require_positive(self.access_uplink_bps, "access_uplink_bps")
+        require_positive(self.access_downlink_bps, "access_downlink_bps")
+        require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
+        require_non_negative(self.propagation_delay_s, "propagation_delay_s")
+        require_non_negative(self.server_processing_s, "server_processing_s")
+        if self.downlink_load >= 1.0:
+            raise StabilityError(self.downlink_load, "downlink load on the aggregation link >= 1")
+        if self.uplink_load >= 1.0:
+            raise StabilityError(self.uplink_load, "uplink load on the aggregation link >= 1")
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_downlink_load(cls, downlink_load: float, **kwargs) -> "PingTimeModel":
+        """Build a model whose number of gamers realises ``downlink_load``.
+
+        Inverts eq. (37): ``N = rho * T * C / (8 * P_S)``.
+        """
+        if not 0.0 < downlink_load < 1.0:
+            raise ParameterError("downlink_load must lie in (0, 1)")
+        tick = kwargs["tick_interval_s"]
+        server_bytes = kwargs["server_packet_bytes"]
+        rate = kwargs["aggregation_rate_bps"]
+        num_gamers = downlink_load * tick * rate / (8.0 * server_bytes)
+        if num_gamers < 1.0:
+            raise ParameterError(
+                f"load {downlink_load:.3f} corresponds to fewer than one gamer"
+            )
+        return cls(num_gamers=num_gamers, **kwargs)
+
+    def with_gamers(self, num_gamers: float) -> "PingTimeModel":
+        """Copy of this model with a different number of gamers."""
+        return replace(self, num_gamers=num_gamers)
+
+    # ------------------------------------------------------------------
+    # Loads (eq. (37))
+    # ------------------------------------------------------------------
+    @property
+    def downlink_load(self) -> float:
+        """``rho_d = 8 N P_S / (T C)``."""
+        return (
+            8.0 * self.num_gamers * self.server_packet_bytes
+            / (self.tick_interval_s * self.aggregation_rate_bps)
+        )
+
+    @property
+    def uplink_load(self) -> float:
+        """``rho_u = 8 N P_C / (T C)``."""
+        return (
+            8.0 * self.num_gamers * self.client_packet_bytes
+            / (self.tick_interval_s * self.aggregation_rate_bps)
+        )
+
+    @property
+    def mean_burst_service_s(self) -> float:
+        """Mean downstream burst service time ``b = 8 N P_S / C`` (seconds)."""
+        return 8.0 * self.num_gamers * self.server_packet_bytes / self.aggregation_rate_bps
+
+    # ------------------------------------------------------------------
+    # Component models
+    # ------------------------------------------------------------------
+    def upstream_queue(self) -> MD1Queue:
+        """The M/D/1 model of the upstream aggregation queue (Section 3.1)."""
+        return MD1Queue(
+            arrival_rate=self.num_gamers / self.tick_interval_s,
+            packet_bits=8.0 * self.client_packet_bytes,
+            rate_bps=self.aggregation_rate_bps,
+        )
+
+    def downstream_queue(self) -> DEKOneQueue:
+        """The D/E_K/1 model of the downstream burst queue (Section 3.2.1)."""
+        return DEKOneQueue(
+            order=self.erlang_order,
+            mean_service_s=self.mean_burst_service_s,
+            interval_s=self.tick_interval_s,
+        )
+
+    def position_delay(self) -> PacketPositionDelay:
+        """The in-burst packet-position delay model (Section 3.2.2)."""
+        return PacketPositionDelay(
+            order=self.erlang_order, mean_service_s=self.mean_burst_service_s
+        )
+
+    # Cached per-component transforms -----------------------------------
+    @cached_property
+    def _upstream_terms(self) -> ErlangTermSum:
+        return self.upstream_queue().waiting_time()
+
+    @cached_property
+    def _burst_terms(self) -> ErlangTermSum:
+        return self.downstream_queue().waiting_time()
+
+    @cached_property
+    def _position_terms(self) -> ErlangTermSum:
+        return self.position_delay().uniform_position()
+
+    # ------------------------------------------------------------------
+    # Deterministic delays
+    # ------------------------------------------------------------------
+    @property
+    def serialization_delay_s(self) -> float:
+        """Serialization on the access and aggregation links, both ways."""
+        up_bits = 8.0 * self.client_packet_bytes
+        down_bits = 8.0 * self.server_packet_bytes
+        return (
+            up_bits / self.access_uplink_bps
+            + up_bits / self.aggregation_rate_bps
+            + down_bits / self.aggregation_rate_bps
+            + down_bits / self.access_downlink_bps
+        )
+
+    @property
+    def deterministic_delay_s(self) -> float:
+        """All non-queueing delay: serialization + propagation + processing."""
+        return (
+            self.serialization_delay_s
+            + 2.0 * self.propagation_delay_s
+            + self.server_processing_s
+        )
+
+    # ------------------------------------------------------------------
+    # Queueing delay: transform, tail and quantiles
+    # ------------------------------------------------------------------
+    def queueing_mgf(self, s: complex) -> complex:
+        """The exact total queueing-delay transform ``D_u(s) W(s) P(s)``.
+
+        Evaluating the product directly (without re-expanding it) is
+        numerically stable at every load and is what the default
+        ``"inversion"`` quantile method operates on.
+        """
+        return (
+            self._upstream_terms.mgf(s)
+            * self._burst_terms.mgf(s)
+            * self._position_terms.mgf(s)
+        )
+
+    @cached_property
+    def queueing_delay_erlang_sum(self) -> ErlangTermSum:
+        """The Appendix-A expansion of the product transform (eq. (35)).
+
+        Exact in exact arithmetic, but ill-conditioned in floating point
+        when the burst-delay poles approach the position-delay pole
+        (which happens at low load); prefer :meth:`queueing_mgf` plus the
+        ``"inversion"`` method for numbers, and this object when the
+        symbolic structure itself is of interest.
+        """
+        return self._upstream_terms.product(self._burst_terms).product(self._position_terms)
+
+    def mean_queueing_delay(self) -> float:
+        """Mean total queueing delay (sum of the three component means)."""
+        return (
+            self._upstream_terms.mean()
+            + self._burst_terms.mean()
+            + self._position_terms.mean()
+        )
+
+    def queueing_tail(self, delay_s: float) -> float:
+        """``P(total queueing delay > delay_s)`` by transform inversion."""
+        return tail_from_mgf(self.queueing_mgf, delay_s)
+
+    def queueing_quantile(
+        self, probability: float = DEFAULT_QUANTILE, method: str = "inversion"
+    ) -> float:
+        """Quantile of the total queueing delay, in seconds."""
+        if method == "inversion":
+            scale = max(self.mean_queueing_delay(), 1e-7)
+            return quantile_from_mgf(self.queueing_mgf, probability, scale_hint=scale)
+        if method == "erlang-sum":
+            return self.queueing_delay_erlang_sum.quantile(probability)
+        if method == "dominant-pole":
+            return self._dominant_pole_quantile(probability)
+        if method == "chernoff":
+            return self._chernoff_quantile(probability)
+        if method == "sum-of-quantiles":
+            return (
+                self._upstream_terms.quantile(probability)
+                + self._burst_terms.quantile(probability)
+                + self._position_terms.quantile(probability)
+            )
+        raise ParameterError(
+            f"method must be one of {QUANTILE_METHODS}; got {method!r}"
+        )
+
+    # -- dominant pole ---------------------------------------------------
+    def _dominant_pole_term(self) -> ErlangTermSum:
+        """One-term approximation of the product around its dominant pole.
+
+        The dominant pole of the product is the smallest pole (by real
+        part) among the component poles; its residue is the residue of
+        the owning component multiplied by the other two transforms
+        evaluated at the pole (Section 3.3).
+        """
+        upstream, burst, position = (
+            self._upstream_terms,
+            self._burst_terms,
+            self._position_terms,
+        )
+        candidates = []
+        for owner, terms, others in (
+            ("upstream", upstream, (burst, position)),
+            ("burst", burst, (upstream, position)),
+            ("position", position, (upstream, burst)),
+        ):
+            if not terms.terms:
+                continue
+            dominant = min(terms.terms, key=lambda t: t.rate.real)
+            candidates.append((dominant.rate.real, dominant, others))
+        if not candidates:
+            return ErlangTermSum.point_mass_at_zero()
+        _, dominant, others = min(candidates, key=lambda item: item[0])
+        coefficient = dominant.coefficient
+        for other in others:
+            coefficient *= other.mgf(dominant.rate)
+        return ErlangTermSum(
+            atom=0.0, terms=[ErlangTerm(coefficient, dominant.rate, dominant.order)]
+        )
+
+    def _dominant_pole_quantile(self, probability: float) -> float:
+        approx = self._dominant_pole_term()
+        if not approx.terms:
+            return 0.0
+        target = 1.0 - probability
+        if approx.tail(0.0) <= target:
+            return 0.0
+        return approx.quantile(probability)
+
+    # -- Chernoff bound (eq. (36)) ----------------------------------------
+    def _chernoff_tail(self, delay_s: float) -> float:
+        if delay_s <= 0.0:
+            return 1.0
+        poles = (
+            [t.rate.real for t in self._upstream_terms.terms]
+            + [t.rate.real for t in self._burst_terms.terms]
+            + [t.rate.real for t in self._position_terms.terms]
+        )
+        s_max = min(poles) * (1.0 - 1e-9)
+        result = optimize.minimize_scalar(
+            lambda s: -s * delay_s + math.log(max(abs(self.queueing_mgf(s)), 1e-300)),
+            bounds=(1e-12, s_max),
+            method="bounded",
+        )
+        return math.exp(min(float(result.fun), 0.0))
+
+    def _chernoff_quantile(self, probability: float) -> float:
+        target = 1.0 - probability
+        upper = max(self.mean_queueing_delay(), 1e-7)
+        for _ in range(200):
+            if self._chernoff_tail(upper) < target:
+                break
+            upper *= 2.0
+        else:
+            raise ParameterError("could not bracket the Chernoff quantile")
+        return float(
+            optimize.brentq(
+                lambda x: self._chernoff_tail(x) - target, 1e-15, upper, xtol=1e-12
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # RTT quantiles
+    # ------------------------------------------------------------------
+    def rtt_quantile(self, probability: float = DEFAULT_QUANTILE, method: str = "inversion") -> float:
+        """Quantile of the round-trip time in seconds."""
+        return self.deterministic_delay_s + self.queueing_quantile(probability, method)
+
+    def rtt_quantile_ms(self, probability: float = DEFAULT_QUANTILE, method: str = "inversion") -> float:
+        """Quantile of the round-trip time in milliseconds."""
+        return 1e3 * self.rtt_quantile(probability, method)
+
+    def mean_rtt(self) -> float:
+        """Mean round-trip time in seconds."""
+        return self.deterministic_delay_s + self.mean_queueing_delay()
+
+    def breakdown(self, probability: float = DEFAULT_QUANTILE) -> RttBreakdown:
+        """Per-component quantiles, useful to see which delay dominates.
+
+        Note that the per-component quantiles do not add up to the total
+        quantile (the total is computed on the convolved distribution).
+        """
+        upstream = self._upstream_terms.quantile(probability)
+        burst = self._burst_terms.quantile(probability)
+        position = self._position_terms.quantile(probability)
+        total_queueing = self.queueing_quantile(probability)
+        return RttBreakdown(
+            probability=probability,
+            serialization_s=self.serialization_delay_s,
+            propagation_s=2.0 * self.propagation_delay_s,
+            processing_s=self.server_processing_s,
+            upstream_queueing_s=upstream,
+            downstream_burst_s=burst,
+            packet_position_s=position,
+            total_queueing_quantile_s=total_queueing,
+            rtt_quantile_s=self.deterministic_delay_s + total_queueing,
+        )
+
+    # ------------------------------------------------------------------
+    # Baseline: deterministic worst-case bound
+    # ------------------------------------------------------------------
+    def deterministic_bound(self) -> DeterministicRttBound:
+        """The worst-case (network-calculus style) RTT bound baseline."""
+        return DeterministicRttBound.from_model(self)

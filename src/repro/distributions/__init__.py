@@ -1,0 +1,53 @@
+"""Distributions used by the traffic models and queueing analysis.
+
+The module exposes the small set of parametric families the paper works
+with (``Det``, ``Ext``, ``Erlang``, lognormal, Weibull, normal), an
+empirical distribution for trace analysis, finite mixtures, and the
+fitting procedures of Section 2 (least-squares pdf fit, moment fit and
+tail fit).
+"""
+
+from .base import Distribution
+from .deterministic import Deterministic
+from .empirical import Empirical
+from .erlang import Erlang, Exponential
+from .extreme import Extreme, EULER_MASCHERONI
+from .lognormal import Lognormal, Normal
+from .mixture import Mixture
+from .weibull import Weibull
+from .fitting import (
+    FitResult,
+    fit_by_moments,
+    fit_deterministic,
+    fit_erlang_cov,
+    fit_erlang_tail,
+    fit_extreme_least_squares,
+    fit_lognormal_least_squares,
+    fit_normal_least_squares,
+    rank_candidate_fits,
+    sample_moments,
+)
+
+__all__ = [
+    "Distribution",
+    "Deterministic",
+    "Empirical",
+    "Erlang",
+    "Exponential",
+    "Extreme",
+    "EULER_MASCHERONI",
+    "Lognormal",
+    "Normal",
+    "Mixture",
+    "Weibull",
+    "FitResult",
+    "fit_by_moments",
+    "fit_deterministic",
+    "fit_erlang_cov",
+    "fit_erlang_tail",
+    "fit_extreme_least_squares",
+    "fit_lognormal_least_squares",
+    "fit_normal_least_squares",
+    "rank_candidate_fits",
+    "sample_moments",
+]

@@ -1,0 +1,76 @@
+"""Deterministic ("Det") distribution.
+
+The client-to-server traffic of FPS games is characterised in the paper
+(after Färber and Lang et al.) by virtually constant packet sizes and
+inter-arrival times, written ``Det(40)`` for a constant 40 ms.  The
+deterministic distribution is a degenerate distribution placing all its
+mass at a single point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from .base import ArrayLike, Distribution, as_array
+
+__all__ = ["Deterministic"]
+
+
+class Deterministic(Distribution):
+    """Point mass at ``value`` (the paper's ``Det(value)``)."""
+
+    def __init__(self, value: float) -> None:
+        value = float(value)
+        if not np.isfinite(value):
+            raise ParameterError(f"Det() value must be finite, got {value!r}")
+        self.value = value
+        self.name = f"Det({value:g})"
+
+    # -- moments -------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    @property
+    def cov(self) -> float:
+        if self.value == 0.0:
+            raise ParameterError("coefficient of variation undefined for zero mean")
+        return 0.0
+
+    # -- probabilities -------------------------------------------------
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        """Density is a Dirac pulse; represented as ``inf`` at the atom."""
+        x = as_array(x)
+        out = np.where(np.isclose(x, self.value), np.inf, 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        x = as_array(x)
+        out = np.where(x >= self.value, 1.0, 0.0)
+        return out if out.ndim else float(out)
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = as_array(q)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ParameterError("quantile levels must lie in [0, 1]")
+        out = np.full_like(q, self.value)
+        return out if out.ndim else float(out)
+
+    # -- sampling ------------------------------------------------------
+    def sample(
+        self, size: Optional[int] = None, rng: Optional[np.random.Generator] = None
+    ) -> ArrayLike:
+        if size is None:
+            return self.value
+        return np.full(size, self.value)
+
+    # -- transform -----------------------------------------------------
+    def mgf(self, s: complex) -> complex:
+        return np.exp(s * self.value)

@@ -1,0 +1,119 @@
+"""Empirical distribution built from measured samples.
+
+The trace-analysis part of the paper (Section 2.2, Figure 1) works with
+empirical distributions: the histogram of packet sizes, the experimental
+tail distribution function (TDF) of burst sizes, and the mean/CoV
+summaries in Tables 1-3.  This class wraps a sample vector with that
+vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from .base import ArrayLike, Distribution, as_array
+
+__all__ = ["Empirical"]
+
+
+class Empirical(Distribution):
+    """Distribution placing mass ``1/n`` on each observed sample."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        data = np.sort(np.asarray(list(samples), dtype=float))
+        if data.size == 0:
+            raise ParameterError("an empirical distribution needs at least one sample")
+        if not np.all(np.isfinite(data)):
+            raise ParameterError("samples must be finite")
+        self._data = data
+        self.name = f"Empirical(n={data.size})"
+
+    # -- data access ---------------------------------------------------
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted sample vector (a copy)."""
+        return self._data.copy()
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    # -- moments -------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._data))
+
+    @property
+    def variance(self) -> float:
+        if self._data.size < 2:
+            return 0.0
+        return float(np.var(self._data, ddof=1))
+
+    # -- probabilities -------------------------------------------------
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        """Histogram density estimate evaluated at ``x`` (Scott's rule bins)."""
+        centers, density = self.histogram()
+        x = as_array(x)
+        out = np.interp(x, centers, density, left=0.0, right=0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        x = as_array(x)
+        out = np.searchsorted(self._data, x, side="right") / self._data.size
+        out = np.asarray(out, dtype=float)
+        return out if out.ndim else float(out)
+
+    def tail(self, x: ArrayLike) -> ArrayLike:
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        q = as_array(q)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ParameterError("quantile levels must lie in [0, 1]")
+        out = np.quantile(self._data, q)
+        return out if np.ndim(out) else float(out)
+
+    # -- sampling ------------------------------------------------------
+    def sample(
+        self, size: Optional[int] = None, rng: Optional[np.random.Generator] = None
+    ) -> ArrayLike:
+        rng = self._rng(rng)
+        return rng.choice(self._data, size=size, replace=True)
+
+    # -- trace-analysis helpers ----------------------------------------
+    def histogram(self, bins: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(bin_centers, density)`` of a normalised histogram.
+
+        Färber's fits minimise the squared error between a candidate pdf
+        and the experimental histogram; this is the histogram used for
+        that purpose.
+        """
+        if bins is None:
+            bins = self._scott_bins()
+        density, edges = np.histogram(self._data, bins=bins, density=True)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        return centers, density
+
+    def tail_curve(self, points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, P(X > x))`` on a grid spanning the sample range.
+
+        This is the "experimental TDF" curve of Figure 1.
+        """
+        if points < 2:
+            raise ParameterError("tail_curve needs at least two points")
+        x = np.linspace(self._data.min(), self._data.max(), points)
+        return x, np.asarray(self.tail(x), dtype=float)
+
+    def _scott_bins(self) -> int:
+        n = self._data.size
+        if n < 2:
+            return 1
+        spread = float(self._data.max() - self._data.min())
+        if spread <= 0.0:
+            return 1
+        width = 3.49 * float(np.std(self._data, ddof=1)) * n ** (-1.0 / 3.0)
+        if width <= 0.0:
+            return max(1, int(np.sqrt(n)))
+        return max(1, int(np.ceil(spread / width)))

@@ -1,0 +1,123 @@
+"""Finite mixtures of distributions.
+
+Two uses in the reproduction:
+
+* the downstream traffic of *several* game servers multiplexed on one
+  bit pipe is a weighted mix of Erlang burst sizes (Section 3.2: ``G =
+  sum of E_K`` terms), and
+* the in-burst packet-position delay for a uniformly placed packet is an
+  equal-weight mixture of Erlang orders ``1..K-1`` (eq. (34)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from .base import ArrayLike, Distribution, as_array
+
+__all__ = ["Mixture"]
+
+
+class Mixture(Distribution):
+    """Weighted mixture ``sum_i w_i * component_i``."""
+
+    def __init__(
+        self, components: Sequence[Distribution], weights: Optional[Sequence[float]] = None
+    ) -> None:
+        components = list(components)
+        if not components:
+            raise ParameterError("a mixture needs at least one component")
+        if weights is None:
+            weights = [1.0 / len(components)] * len(components)
+        weights = np.asarray(list(weights), dtype=float)
+        if weights.size != len(components):
+            raise ParameterError("number of weights must match number of components")
+        if np.any(weights < 0.0):
+            raise ParameterError("mixture weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0.0:
+            raise ParameterError("mixture weights must not all be zero")
+        self.components = components
+        self.weights = weights / total
+        self.name = "Mixture(" + ", ".join(c.name for c in components) + ")"
+
+    # -- moments -------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return float(sum(w * c.mean for w, c in zip(self.weights, self.components)))
+
+    @property
+    def variance(self) -> float:
+        mean = self.mean
+        second = sum(
+            w * (c.variance + c.mean**2) for w, c in zip(self.weights, self.components)
+        )
+        return float(second - mean**2)
+
+    # -- probabilities -------------------------------------------------
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        x = as_array(x)
+        out = sum(w * np.asarray(c.pdf(x), dtype=float) for w, c in zip(self.weights, self.components))
+        out = np.asarray(out, dtype=float)
+        return out if out.ndim else float(out)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        x = as_array(x)
+        out = sum(w * np.asarray(c.cdf(x), dtype=float) for w, c in zip(self.weights, self.components))
+        out = np.asarray(out, dtype=float)
+        return out if out.ndim else float(out)
+
+    def tail(self, x: ArrayLike) -> ArrayLike:
+        x = as_array(x)
+        out = sum(w * np.asarray(c.tail(x), dtype=float) for w, c in zip(self.weights, self.components))
+        out = np.asarray(out, dtype=float)
+        return out if out.ndim else float(out)
+
+    def quantile(self, q: ArrayLike) -> ArrayLike:
+        """Quantile by bisection on the mixture CDF."""
+        q_arr = as_array(q)
+        if np.any((q_arr <= 0.0) | (q_arr >= 1.0)):
+            raise ParameterError("quantile levels must lie in (0, 1)")
+        scalar = q_arr.ndim == 0
+        q_arr = np.atleast_1d(q_arr)
+        out = np.array([self._quantile_scalar(float(level)) for level in q_arr])
+        return float(out[0]) if scalar else out
+
+    def _quantile_scalar(self, level: float) -> float:
+        lo = min(float(c.quantile(level)) for c in self.components)
+        hi = max(float(c.quantile(level)) for c in self.components)
+        if hi <= lo:
+            return lo
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if float(self.cdf(mid)) < level:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-12 * max(1.0, abs(hi)):
+                break
+        return 0.5 * (lo + hi)
+
+    # -- sampling ------------------------------------------------------
+    def sample(
+        self, size: Optional[int] = None, rng: Optional[np.random.Generator] = None
+    ) -> ArrayLike:
+        rng = self._rng(rng)
+        if size is None:
+            idx = rng.choice(len(self.components), p=self.weights)
+            return self.components[idx].sample(rng=rng)
+        idx = rng.choice(len(self.components), size=size, p=self.weights)
+        out = np.empty(size, dtype=float)
+        for i, component in enumerate(self.components):
+            mask = idx == i
+            count = int(mask.sum())
+            if count:
+                out[mask] = np.asarray(component.sample(count, rng=rng), dtype=float)
+        return out
+
+    # -- transform -----------------------------------------------------
+    def mgf(self, s: complex) -> complex:
+        return sum(w * c.mgf(s) for w, c in zip(self.weights, self.components))

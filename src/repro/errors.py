@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so downstream users can catch library errors with a
+single ``except`` clause while still letting programming errors (such as
+``TypeError``) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "StabilityError",
+    "FittingError",
+    "TraceFormatError",
+    "ConvergenceError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or scenario parameter is out of its valid range."""
+
+
+class StabilityError(ReproError, ValueError):
+    """A queueing system was configured with load >= 1 (unstable)."""
+
+    def __init__(self, load: float, message: str | None = None) -> None:
+        self.load = float(load)
+        if message is None:
+            message = (
+                f"queueing system is unstable: offered load {self.load:.4f} "
+                "is not strictly below 1"
+            )
+        super().__init__(message)
+
+
+class FittingError(ReproError, RuntimeError):
+    """A distribution fit could not be performed on the given data."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A packet trace file or record is malformed."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical procedure failed to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None) -> None:
+        self.iterations = iterations
+        super().__init__(message)
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,43 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .table1 import Table1Result, format_table1, run_table1
+from .table2 import Table2Result, format_table2, run_table2
+from .table3 import Table3Result, format_table3, run_table3
+from .figure1 import Figure1Result, format_figure1, run_figure1
+from .figure3 import Figure3Result, format_figure3, run_figure3
+from .figure4 import Figure4Result, format_figure4, run_figure4
+from .dimensioning import (
+    DimensioningTable,
+    PAPER_DIMENSIONING,
+    format_dimensioning,
+    run_dimensioning,
+)
+from .report import format_kv, format_series, format_table
+
+__all__ = [
+    "Table1Result",
+    "format_table1",
+    "run_table1",
+    "Table2Result",
+    "format_table2",
+    "run_table2",
+    "Table3Result",
+    "format_table3",
+    "run_table3",
+    "Figure1Result",
+    "format_figure1",
+    "run_figure1",
+    "Figure3Result",
+    "format_figure3",
+    "run_figure3",
+    "Figure4Result",
+    "format_figure4",
+    "run_figure4",
+    "DimensioningTable",
+    "PAPER_DIMENSIONING",
+    "format_dimensioning",
+    "run_dimensioning",
+    "format_kv",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,128 @@
+"""Experiment — the Section 4 dimensioning rule.
+
+For ``P_S = 125`` byte, ``T = 40`` ms and ``C = 5`` Mbit/s the paper
+derives, from the requirement that the 99.999% RTT stays below 50 ms
+(excellent game play), a maximum downlink load of roughly 20% / 40% /
+60% and a maximum number of gamers of 40 / 80 / 120 for ``K`` = 2 / 9 /
+20.  This module recomputes those numbers with the library's
+dimensioning code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dimensioning import DimensioningResult, max_tolerable_load
+from ..core.rtt import DEFAULT_QUANTILE
+from ..scenarios import DslScenario
+from .report import format_table
+
+__all__ = [
+    "PAPER_DIMENSIONING",
+    "DimensioningRow",
+    "DimensioningTable",
+    "run_dimensioning",
+    "format_dimensioning",
+]
+
+#: The paper's reported numbers: Erlang order -> (max load, max gamers).
+PAPER_DIMENSIONING: Dict[int, tuple] = {2: (0.20, 40), 9: (0.40, 80), 20: (0.60, 120)}
+
+
+@dataclass(frozen=True)
+class DimensioningRow:
+    """Dimensioning outcome for one Erlang order."""
+
+    erlang_order: int
+    max_load: float
+    max_gamers: int
+    rtt_at_max_load_ms: float
+    paper_max_load: Optional[float]
+    paper_max_gamers: Optional[int]
+
+
+@dataclass(frozen=True)
+class DimensioningTable:
+    """The regenerated dimensioning table."""
+
+    rows: List[DimensioningRow]
+    rtt_bound_ms: float
+    probability: float
+    scenario: DslScenario
+
+    def row(self, erlang_order: int) -> DimensioningRow:
+        for row in self.rows:
+            if row.erlang_order == erlang_order:
+                return row
+        raise KeyError(erlang_order)
+
+
+def run_dimensioning(
+    orders: Sequence[int] = (2, 9, 20),
+    rtt_bound_s: float = 0.050,
+    server_packet_bytes: float = 125.0,
+    tick_interval_s: float = 0.040,
+    probability: float = DEFAULT_QUANTILE,
+    method: str = "inversion",
+) -> DimensioningTable:
+    """Recompute the maximum tolerable load and N_max per Erlang order."""
+    base = DslScenario(
+        server_packet_bytes=server_packet_bytes, tick_interval_s=tick_interval_s
+    )
+    rows: List[DimensioningRow] = []
+    for order in orders:
+        scenario = base.with_erlang_order(int(order))
+        result: DimensioningResult = max_tolerable_load(
+            rtt_bound_s,
+            probability=probability,
+            method=method,
+            **scenario.dimensioning_kwargs(),
+        )
+        paper = PAPER_DIMENSIONING.get(int(order), (None, None))
+        rows.append(
+            DimensioningRow(
+                erlang_order=int(order),
+                max_load=result.max_load,
+                max_gamers=result.max_gamers,
+                rtt_at_max_load_ms=result.rtt_at_max_load_ms,
+                paper_max_load=paper[0],
+                paper_max_gamers=paper[1],
+            )
+        )
+    return DimensioningTable(
+        rows=rows,
+        rtt_bound_ms=1e3 * rtt_bound_s,
+        probability=probability,
+        scenario=base,
+    )
+
+
+def format_dimensioning(table: DimensioningTable) -> str:
+    """Text rendering of the dimensioning table."""
+    headers = [
+        "K",
+        "max load",
+        "max gamers",
+        "RTT at max load (ms)",
+        "paper max load",
+        "paper max gamers",
+    ]
+    rows = [
+        [
+            r.erlang_order,
+            r.max_load,
+            r.max_gamers,
+            r.rtt_at_max_load_ms,
+            "-" if r.paper_max_load is None else r.paper_max_load,
+            "-" if r.paper_max_gamers is None else r.paper_max_gamers,
+        ]
+        for r in table.rows
+    ]
+    header = (
+        f"Dimensioning - P_S = {table.scenario.server_packet_bytes:.0f} byte, "
+        f"T = {table.scenario.tick_interval_s * 1e3:.0f} ms, "
+        f"C = {table.scenario.aggregation_rate_bps / 1e6:.1f} Mbps, "
+        f"RTT bound = {table.rtt_bound_ms:.0f} ms\n"
+    )
+    return header + format_table(headers, rows)

@@ -1,0 +1,108 @@
+"""Experiment Figure 1 — tail distribution function of the burst sizes.
+
+Figure 1 plots the experimental TDF of the measured burst sizes against
+Erlang tails of order 15, 20 and 25 whose mean is pinned to the measured
+mean (1852 byte).  The accompanying text derives K = 28 from the CoV fit
+and K between 15 and 20 from the (visual) tail fit.  The reproduction
+computes the same curves and both order estimates from the synthetic
+Unreal Tournament trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..distributions import Empirical, Erlang, fit_erlang_cov, fit_erlang_tail
+from ..traffic import bursts as burst_analysis
+from ..traffic.games import unreal_tournament
+from .report import format_series
+
+__all__ = ["Figure1Result", "run_figure1", "format_figure1"]
+
+#: The Erlang orders drawn in the published figure.
+PAPER_FIGURE_ORDERS = (15, 20, 25)
+
+
+@dataclass
+class Figure1Result:
+    """The regenerated Figure 1 data."""
+
+    burst_size_grid: np.ndarray
+    empirical_tdf: np.ndarray
+    erlang_tdfs: Dict[int, np.ndarray]
+    mean_burst_bytes: float
+    cov_burst: float
+    order_from_cov: int
+    order_from_tail: int
+    num_bursts: int
+    paper_order_from_cov: int = unreal_tournament.PUBLISHED.erlang_order_from_cov
+    paper_order_from_tail: tuple = unreal_tournament.PUBLISHED.erlang_order_from_tail
+
+    def tail_mismatch(self, order: int) -> float:
+        """Mean |log10| difference between empirical and Erlang TDF.
+
+        Evaluated where the empirical tail is between 1e-3 and 0.5, the
+        region the visual fit of Figure 1 is based on.
+        """
+        mask = (self.empirical_tdf > 1e-3) & (self.empirical_tdf < 0.5)
+        if not np.any(mask):
+            return float("nan")
+        erlang = np.clip(self.erlang_tdfs[order][mask], 1e-300, 1.0)
+        empirical = np.clip(self.empirical_tdf[mask], 1e-300, 1.0)
+        return float(np.mean(np.abs(np.log10(erlang) - np.log10(empirical))))
+
+
+def run_figure1(
+    duration_s: float = unreal_tournament.PUBLISHED.trace_duration_s,
+    num_players: int = unreal_tournament.PUBLISHED.num_players,
+    seed: Optional[int] = 2006,
+    orders: Sequence[int] = PAPER_FIGURE_ORDERS,
+    grid_points: int = 200,
+) -> Figure1Result:
+    """Regenerate the Figure 1 curves from the synthetic UT2003 trace."""
+    trace = unreal_tournament.lan_party_trace(duration_s, num_players, seed=seed)
+    bursts = burst_analysis.reconstruct_bursts(trace)
+    sizes = burst_analysis.burst_sizes(bursts)
+    empirical = Empirical(sizes)
+
+    grid = np.linspace(0.0, max(sizes) * 1.1, grid_points)
+    empirical_tdf = np.asarray(empirical.tail(grid), dtype=float)
+    erlang_tdfs: Dict[int, np.ndarray] = {}
+    for order in orders:
+        candidate = Erlang.from_mean_order(empirical.mean, int(order))
+        erlang_tdfs[int(order)] = np.asarray(candidate.tail(grid), dtype=float)
+
+    cov_fit = fit_erlang_cov(sizes)
+    tail_fit = fit_erlang_tail(sizes)
+    return Figure1Result(
+        burst_size_grid=grid,
+        empirical_tdf=empirical_tdf,
+        erlang_tdfs=erlang_tdfs,
+        mean_burst_bytes=empirical.mean,
+        cov_burst=empirical.cov,
+        order_from_cov=cov_fit.distribution.order,
+        order_from_tail=tail_fit.distribution.order,
+        num_bursts=len(sizes),
+    )
+
+
+def format_figure1(result: Figure1Result, num_rows: int = 20) -> str:
+    """Text rendering of the Figure 1 series (sub-sampled)."""
+    indices = np.linspace(0, result.burst_size_grid.size - 1, num_rows).astype(int)
+    series = {"empirical": result.empirical_tdf[indices]}
+    for order, tdf in sorted(result.erlang_tdfs.items()):
+        series[f"Erlang(K={order})"] = tdf[indices]
+    table = format_series("burst size (bytes)", result.burst_size_grid[indices], series)
+    summary = (
+        f"\nmean burst size : {result.mean_burst_bytes:.0f} bytes "
+        f"(paper: {unreal_tournament.PUBLISHED.burst_size_mean_bytes:.0f})"
+        f"\nburst size CoV  : {result.cov_burst:.3f} "
+        f"(paper: {unreal_tournament.PUBLISHED.burst_size_cov:.2f})"
+        f"\nK from CoV fit  : {result.order_from_cov} (paper: {result.paper_order_from_cov})"
+        f"\nK from tail fit : {result.order_from_tail} "
+        f"(paper: between {result.paper_order_from_tail[0]} and {result.paper_order_from_tail[1]})"
+    )
+    return table + summary

@@ -1,0 +1,85 @@
+"""Experiment Figure 3 — impact of the Erlang order K on the RTT quantile.
+
+Figure 3 plots the 99.999% RTT quantile against the downlink load for
+``P_S = 125`` byte, ``T = 60`` ms and ``K`` in {2, 9, 20}.  The paper's
+qualitative findings: the RTT grows linearly at low load (where the
+packet-position delay dominates), diverges towards the ``rho_d = 1``
+asymptote, and is strongly ordered in ``K`` (smaller ``K`` — burstier
+traffic — gives a much larger RTT at the same load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.rtt import DEFAULT_QUANTILE
+from ..scenarios import DslScenario, SweepSeries, default_load_grid, sweep_loads
+from .report import format_series
+
+__all__ = ["Figure3Result", "run_figure3", "format_figure3"]
+
+#: The Erlang orders of the published figure.
+PAPER_ORDERS = (2, 9, 20)
+
+
+@dataclass
+class Figure3Result:
+    """The regenerated Figure 3 curves (RTT quantile vs. downlink load)."""
+
+    loads: np.ndarray
+    series_by_order: Dict[int, SweepSeries]
+    probability: float
+    scenario: DslScenario
+
+    def rtt_ms(self, order: int) -> List[float]:
+        """RTT quantile curve (ms) for one Erlang order."""
+        return self.series_by_order[order].rtt_ms()
+
+    def rtt_at_load(self, order: int, load: float) -> float:
+        """Interpolated RTT quantile (ms) at an arbitrary load."""
+        return self.series_by_order[order].interpolate_rtt_ms(load)
+
+
+def run_figure3(
+    loads: Optional[Sequence[float]] = None,
+    orders: Sequence[int] = PAPER_ORDERS,
+    server_packet_bytes: float = 125.0,
+    tick_interval_s: float = 0.060,
+    probability: float = DEFAULT_QUANTILE,
+    method: str = "inversion",
+) -> Figure3Result:
+    """Regenerate the Figure 3 curves."""
+    if loads is None:
+        loads = default_load_grid()
+    loads = np.asarray(list(loads), dtype=float)
+    base = DslScenario(
+        server_packet_bytes=server_packet_bytes, tick_interval_s=tick_interval_s
+    )
+    series_by_order: Dict[int, SweepSeries] = {}
+    for order in orders:
+        scenario = base.with_erlang_order(int(order))
+        series_by_order[int(order)] = sweep_loads(
+            scenario, loads, probability=probability, method=method, label=f"K={order}"
+        )
+    return Figure3Result(
+        loads=loads,
+        series_by_order=series_by_order,
+        probability=probability,
+        scenario=base,
+    )
+
+
+def format_figure3(result: Figure3Result) -> str:
+    """Text rendering of the Figure 3 series."""
+    series = {
+        f"K={order} RTT (ms)": s.rtt_ms() for order, s in sorted(result.series_by_order.items())
+    }
+    header = (
+        f"Figure 3 - P_S = {result.scenario.server_packet_bytes:.0f} byte, "
+        f"IAT = {result.scenario.tick_interval_s * 1e3:.0f} ms, "
+        f"{100 * result.probability:.3f}% quantile\n"
+    )
+    return header + format_series("load", [float(v) for v in result.loads], series)

@@ -1,0 +1,93 @@
+"""Experiment Figure 4 — impact of the burst inter-arrival time on the RTT.
+
+Figure 4 plots the 99.999% RTT quantile against the downlink load for
+``P_S = 125`` byte, ``K = 9`` and the two tick intervals ``T = 40`` ms
+and ``T = 60`` ms.  The paper notes that, since the downstream component
+dominates, the RTT is virtually proportional to ``T``: the 60 ms curve
+sits about 3/2 above the 40 ms curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.rtt import DEFAULT_QUANTILE
+from ..scenarios import DslScenario, SweepSeries, default_load_grid, sweep_loads
+from .report import format_series
+
+__all__ = ["Figure4Result", "run_figure4", "format_figure4"]
+
+#: The tick intervals of the published figure (seconds).
+PAPER_TICKS_S = (0.040, 0.060)
+
+
+@dataclass
+class Figure4Result:
+    """The regenerated Figure 4 curves (RTT quantile vs. load per tick)."""
+
+    loads: np.ndarray
+    series_by_tick_ms: Dict[int, SweepSeries]
+    probability: float
+    scenario: DslScenario
+
+    def rtt_ms(self, tick_ms: int) -> List[float]:
+        """RTT quantile curve (ms) for one tick interval."""
+        return self.series_by_tick_ms[tick_ms].rtt_ms()
+
+    def rtt_ratio(self) -> np.ndarray:
+        """Pointwise ratio of the 60 ms curve over the 40 ms curve.
+
+        The deterministic (serialization) part is removed before taking
+        the ratio, because the proportionality claim of the paper
+        concerns the queueing part of the RTT.
+        """
+        if sorted(self.series_by_tick_ms) != [40, 60]:
+            raise KeyError("rtt_ratio() requires the 40 ms and 60 ms series")
+        serialization_ms = 1e3 * self.scenario.model_at_load(0.5).serialization_delay_s
+        rtt40 = np.asarray(self.rtt_ms(40)) - serialization_ms
+        rtt60 = np.asarray(self.rtt_ms(60)) - serialization_ms
+        return rtt60 / rtt40
+
+
+def run_figure4(
+    loads: Optional[Sequence[float]] = None,
+    tick_intervals_s: Sequence[float] = PAPER_TICKS_S,
+    server_packet_bytes: float = 125.0,
+    erlang_order: int = 9,
+    probability: float = DEFAULT_QUANTILE,
+    method: str = "inversion",
+) -> Figure4Result:
+    """Regenerate the Figure 4 curves."""
+    if loads is None:
+        loads = default_load_grid()
+    loads = np.asarray(list(loads), dtype=float)
+    base = DslScenario(server_packet_bytes=server_packet_bytes, erlang_order=erlang_order)
+    series_by_tick_ms: Dict[int, SweepSeries] = {}
+    for tick in tick_intervals_s:
+        scenario = base.with_tick_interval(float(tick))
+        tick_ms = int(round(tick * 1e3))
+        series_by_tick_ms[tick_ms] = sweep_loads(
+            scenario, loads, probability=probability, method=method, label=f"IAT={tick_ms}ms"
+        )
+    return Figure4Result(
+        loads=loads,
+        series_by_tick_ms=series_by_tick_ms,
+        probability=probability,
+        scenario=base,
+    )
+
+
+def format_figure4(result: Figure4Result) -> str:
+    """Text rendering of the Figure 4 series."""
+    series = {
+        f"IAT={tick}ms RTT (ms)": s.rtt_ms()
+        for tick, s in sorted(result.series_by_tick_ms.items())
+    }
+    header = (
+        f"Figure 4 - P_S = {result.scenario.server_packet_bytes:.0f} byte, "
+        f"K = {result.scenario.erlang_order}, {100 * result.probability:.3f}% quantile\n"
+    )
+    return header + format_series("load", [float(v) for v in result.loads], series)

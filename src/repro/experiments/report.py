@@ -1,0 +1,54 @@
+"""Small text-report helpers shared by the experiment drivers and the CLI."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_kv", "format_series"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a simple monospace table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Dict[str, object], title: str = "") -> str:
+    """Render a key/value block."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    width = max((len(key) for key in pairs), default=0)
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_format_cell(value)}")
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, x_values: Sequence[float],
+                  series: Dict[str, Sequence[float]]) -> str:
+    """Render several curves sharing an x axis as a table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [values[i] for values in series.values()])
+    return format_table(headers, rows)

@@ -1,0 +1,128 @@
+"""Experiment Table 3 — the Unreal Tournament 2003 LAN-party trace.
+
+Table 3 summarises the six-minute, 12-player trace analysed in
+Section 2.2: packet sizes, (burst) inter-arrival times and burst sizes
+per direction, plus the anomalies discussed in the text (delayed bursts,
+bursts with a missing packet, the within-burst size CoV range).  The
+reproduction synthesises the trace (see
+:mod:`repro.traffic.games.unreal_tournament`) and feeds it through the
+same trace-analysis pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..traffic import summarize_trace
+from ..traffic.games import unreal_tournament
+from .report import format_table
+
+__all__ = ["Table3Result", "run_table3", "format_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """The regenerated Table 3 plus the Section 2.2 anomaly statistics."""
+
+    server_packet_mean_bytes: float
+    server_packet_cov: float
+    client_packet_mean_bytes: float
+    client_packet_cov: float
+    burst_iat_mean_ms: float
+    burst_iat_cov: float
+    client_iat_mean_ms: float
+    client_iat_cov: float
+    burst_size_mean_bytes: float
+    burst_size_cov: float
+    within_burst_cov_min: float
+    within_burst_cov_max: float
+    delayed_burst_fraction: float
+    incomplete_burst_fraction: float
+    num_bursts: int
+    num_packets: int
+    paper: unreal_tournament.UnrealTournamentPublished = unreal_tournament.PUBLISHED
+
+
+def run_table3(
+    duration_s: float = unreal_tournament.PUBLISHED.trace_duration_s,
+    num_players: int = unreal_tournament.PUBLISHED.num_players,
+    seed: Optional[int] = 2006,
+) -> Table3Result:
+    """Regenerate Table 3 from the synthetic LAN-party trace."""
+    trace = unreal_tournament.lan_party_trace(duration_s, num_players, seed=seed)
+    summary = summarize_trace(trace, expected_packets=num_players)
+    cov_range = summary.within_burst_size_cov_range or (0.0, 0.0)
+    return Table3Result(
+        server_packet_mean_bytes=summary.server_to_client.packet_size_bytes.mean,
+        server_packet_cov=summary.server_to_client.packet_size_bytes.cov,
+        client_packet_mean_bytes=summary.client_to_server.packet_size_bytes.mean,
+        client_packet_cov=summary.client_to_server.packet_size_bytes.cov,
+        burst_iat_mean_ms=1e3 * summary.server_to_client.inter_arrival_time_s.mean,
+        burst_iat_cov=summary.server_to_client.inter_arrival_time_s.cov,
+        client_iat_mean_ms=1e3 * summary.client_to_server.inter_arrival_time_s.mean,
+        client_iat_cov=summary.client_to_server.inter_arrival_time_s.cov,
+        burst_size_mean_bytes=summary.server_to_client.burst_size_bytes.mean,
+        burst_size_cov=summary.server_to_client.burst_size_bytes.cov,
+        within_burst_cov_min=cov_range[0],
+        within_burst_cov_max=cov_range[1],
+        delayed_burst_fraction=summary.delayed_burst_fraction,
+        incomplete_burst_fraction=summary.incomplete_burst_fraction,
+        num_bursts=int(summary.extra["num_bursts"]),
+        num_packets=int(summary.extra["num_packets"]),
+    )
+
+
+def format_table3(result: Table3Result) -> str:
+    """Text rendering of the regenerated Table 3."""
+    paper = result.paper
+    headers = ["quantity", "measured mean", "measured cov", "paper mean", "paper cov"]
+    rows = [
+        [
+            "s2c packet size (bytes)",
+            result.server_packet_mean_bytes,
+            result.server_packet_cov,
+            paper.server_packet_mean_bytes,
+            paper.server_packet_cov,
+        ],
+        [
+            "c2s packet size (bytes)",
+            result.client_packet_mean_bytes,
+            result.client_packet_cov,
+            paper.client_packet_mean_bytes,
+            paper.client_packet_cov,
+        ],
+        [
+            "s2c burst IAT (ms)",
+            result.burst_iat_mean_ms,
+            result.burst_iat_cov,
+            paper.burst_iat_mean_ms,
+            paper.burst_iat_cov,
+        ],
+        [
+            "c2s IAT (ms)",
+            result.client_iat_mean_ms,
+            result.client_iat_cov,
+            paper.client_iat_mean_ms,
+            paper.client_iat_cov,
+        ],
+        [
+            "burst size (bytes)",
+            result.burst_size_mean_bytes,
+            result.burst_size_cov,
+            paper.burst_size_mean_bytes,
+            paper.burst_size_cov,
+        ],
+    ]
+    table = format_table(headers, rows)
+    extras = (
+        f"\nwithin-burst size CoV range : {result.within_burst_cov_min:.3f} - "
+        f"{result.within_burst_cov_max:.3f} (paper: {paper.within_burst_cov_range[0]:.2f} - "
+        f"{paper.within_burst_cov_range[1]:.2f})"
+        f"\ndelayed bursts             : {100 * result.delayed_burst_fraction:.2f}% "
+        f"(paper: ~{100 * paper.delayed_burst_fraction:.1f}%)"
+        f"\nbursts with missing packet : {100 * result.incomplete_burst_fraction:.2f}% "
+        f"(paper: ~{100 * paper.incomplete_burst_fraction:.1f}%)"
+        f"\nbursts / packets analysed  : {result.num_bursts} / {result.num_packets}"
+    )
+    return table + extras

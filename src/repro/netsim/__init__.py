@@ -1,0 +1,32 @@
+"""Discrete-event simulator of the Figure 2 access architecture."""
+
+from .events import Event, EventQueue
+from .simulator import SimPacket, Simulator
+from .schedulers import FIFOScheduler, PriorityScheduler, Scheduler, WFQScheduler
+from .links import Link
+from .sources import BackgroundDataSource, GamingClientSource, GamingServerSource
+from .metrics import DelayRecorder, DelaySummary
+from .topology import AccessNetwork, AccessNetworkConfig, make_scheduler
+from .gaming import GamingSimulation, GamingWorkload
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimPacket",
+    "Simulator",
+    "FIFOScheduler",
+    "PriorityScheduler",
+    "Scheduler",
+    "WFQScheduler",
+    "Link",
+    "BackgroundDataSource",
+    "GamingClientSource",
+    "GamingServerSource",
+    "DelayRecorder",
+    "DelaySummary",
+    "AccessNetwork",
+    "AccessNetworkConfig",
+    "make_scheduler",
+    "GamingSimulation",
+    "GamingWorkload",
+]

@@ -1,0 +1,75 @@
+"""Event queue for the discrete-event simulator.
+
+A tiny, dependency-free event calendar: events are ``(time, priority,
+sequence, callback)`` tuples kept in a binary heap.  The sequence number
+makes the ordering total and deterministic, which matters for
+reproducible simulations (two events at the same instant always fire in
+scheduling order).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False, hash=False)
+
+
+class EventQueue:
+    """A time-ordered queue of events."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (the timestamp of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` to fire at ``time`` (>= current time)."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule an event in the past (now={self._now}, requested={time})"
+            )
+        event = Event(time=time, priority=priority, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, priority)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next event, advancing the clock."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or ``None`` when the queue is empty."""
+        return self._heap[0].time if self._heap else None

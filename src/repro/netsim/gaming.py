@@ -1,0 +1,188 @@
+"""End-to-end gaming session simulation and ping measurement.
+
+:class:`GamingSimulation` wires the traffic sources of a game session
+into the Figure 2 access network, runs the discrete-event simulation and
+collects the delays the paper reasons about:
+
+* per-packet upstream delay (client departure to server arrival),
+* per-packet downstream delay (server departure to client arrival),
+* the round-trip "ping" time, defined — exactly as in the paper's
+  introduction — as the sum of the upstream delay of the gamer's most
+  recent command packet and the downstream delay of the server update
+  that reaches the gamer.
+
+The simulation is used as an independent check of the analytical model
+(validation benchmark) and for the FIFO / priority / WFQ comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..distributions import Distribution
+from ..errors import ParameterError
+from ..units import require_positive
+from .metrics import DelayRecorder
+from .simulator import SimPacket, Simulator
+from .sources import BackgroundDataSource, GamingClientSource, GamingServerSource
+from .topology import AccessNetwork, AccessNetworkConfig
+
+__all__ = ["GamingWorkload", "GamingSimulation"]
+
+
+@dataclass(frozen=True)
+class GamingWorkload:
+    """Traffic parameters of the simulated game session.
+
+    The defaults correspond to the Section 4 scenario: 80-byte client
+    packets and 125-byte server packets every 40 ms.
+    """
+
+    client_packet_bytes: float = 80.0
+    server_packet_bytes: float = 125.0
+    tick_interval_s: float = 0.040
+    server_packet_size_distribution: Optional[Distribution] = None
+    background_rate_bps: float = 0.0
+    background_packet_bytes: float = 1500.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.client_packet_bytes, "client_packet_bytes")
+        require_positive(self.server_packet_bytes, "server_packet_bytes")
+        require_positive(self.tick_interval_s, "tick_interval_s")
+        if self.background_rate_bps < 0.0:
+            raise ParameterError("background_rate_bps must be >= 0")
+
+
+class GamingSimulation:
+    """A complete simulated gaming session over the access network."""
+
+    def __init__(
+        self,
+        config: AccessNetworkConfig,
+        workload: GamingWorkload,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.workload = workload
+        self.sim = Simulator(seed=seed)
+        self.delays = DelayRecorder()
+        self._last_upstream_delay: Dict[int, float] = {}
+
+        self.network = AccessNetwork(
+            self.sim,
+            config,
+            on_server_receive=self._server_receive,
+            on_client_receive=self._client_receive,
+        )
+
+        self.client_sources = [
+            GamingClientSource(
+                self.sim,
+                client_id=client_id,
+                packet_bytes=workload.client_packet_bytes,
+                interval_s=workload.tick_interval_s,
+                target=self.network.client_send,
+            )
+            for client_id in range(config.num_clients)
+        ]
+        self.server_source = GamingServerSource(
+            self.sim,
+            num_clients=config.num_clients,
+            packet_bytes=workload.server_packet_bytes,
+            tick_interval_s=workload.tick_interval_s,
+            target=self.network.server_send,
+            packet_size_distribution=workload.server_packet_size_distribution,
+        )
+        self.background_sources = []
+        if workload.background_rate_bps > 0.0:
+            self.background_sources.append(
+                BackgroundDataSource(
+                    self.sim,
+                    mean_rate_bps=workload.background_rate_bps,
+                    packet_bytes=workload.background_packet_bytes,
+                    target=self.network.server_send,
+                    direction="down",
+                )
+            )
+            self.background_sources.append(
+                BackgroundDataSource(
+                    self.sim,
+                    mean_rate_bps=workload.background_rate_bps,
+                    packet_bytes=workload.background_packet_bytes,
+                    target=self.network.uplink_aggregation.send,
+                    direction="up",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Delivery hooks
+    # ------------------------------------------------------------------
+    def _server_receive(self, packet: SimPacket) -> None:
+        if packet.traffic_class != "gaming" or packet.direction != "up":
+            return
+        delay = self.sim.now - packet.created_at
+        self.delays.record("upstream", delay)
+        self.delays.record(
+            "upstream_aggregation_queueing",
+            self.network.uplink_aggregation.queueing_delay_of(packet),
+        )
+        self._last_upstream_delay[packet.client_id] = delay
+
+    def _client_receive(self, packet: SimPacket) -> None:
+        if packet.traffic_class != "gaming" or packet.direction != "down":
+            return
+        delay = self.sim.now - packet.created_at
+        self.delays.record("downstream", delay)
+        self.delays.record(
+            "downstream_aggregation_queueing",
+            self.network.downlink_aggregation.queueing_delay_of(packet),
+        )
+        upstream_delay = self._last_upstream_delay.get(packet.client_id)
+        if upstream_delay is not None:
+            self.delays.record("rtt", upstream_delay + delay)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float, warmup_s: float = 0.0) -> DelayRecorder:
+        """Run the session for ``duration_s`` simulated seconds.
+
+        ``warmup_s`` seconds are simulated first and their measurements
+        discarded, so the reported delays describe the steady state.
+        """
+        require_positive(duration_s, "duration_s")
+        for source in self.client_sources:
+            source.start()
+        self.server_source.start()
+        for source in self.background_sources:
+            source.start()
+        if warmup_s > 0.0:
+            self.sim.run_until(warmup_s)
+            self.delays = DelayRecorder()
+            self._last_upstream_delay.clear()
+        self.sim.run_until(warmup_s + duration_s)
+        return self.delays
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def downlink_load(self) -> float:
+        """Offered gaming load on the downstream aggregation link."""
+        return (
+            8.0
+            * self.config.num_clients
+            * self.workload.server_packet_bytes
+            / (self.workload.tick_interval_s * self.config.aggregation_rate_bps)
+        )
+
+    @property
+    def uplink_load(self) -> float:
+        """Offered gaming load on the upstream aggregation link."""
+        return (
+            8.0
+            * self.config.num_clients
+            * self.workload.client_packet_bytes
+            / (self.workload.tick_interval_s * self.config.aggregation_rate_bps)
+        )

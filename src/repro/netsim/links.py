@@ -1,0 +1,128 @@
+"""Transmission links with a scheduler, a rate and a propagation delay.
+
+A :class:`Link` models one output interface: packets handed to it are
+queued in the link's scheduler, transmitted one at a time at the link
+rate, and delivered to the downstream component after an optional
+propagation delay.  The per-packet queueing delay (time between arrival
+at the link and the start of transmission) is recorded on the packet, so
+the metric collectors can attribute delay to individual hops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ParameterError
+from ..units import require_non_negative, require_positive
+from .schedulers import FIFOScheduler, Scheduler
+from .simulator import SimPacket, Simulator
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A store-and-forward link.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    name:
+        Human-readable name used in the per-packet timestamp keys.
+    rate_bps:
+        Transmission rate in bit/s.
+    scheduler:
+        Scheduling discipline for the waiting packets (FIFO by default).
+    propagation_delay_s:
+        Constant propagation delay added after serialization.
+    target:
+        Callable invoked with each packet once it has fully arrived at
+        the other end of the link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        scheduler: Optional[Scheduler] = None,
+        propagation_delay_s: float = 0.0,
+        target: Optional[Callable[[SimPacket], None]] = None,
+    ) -> None:
+        require_positive(rate_bps, "rate_bps")
+        require_non_negative(propagation_delay_s, "propagation_delay_s")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = float(rate_bps)
+        self.scheduler = scheduler if scheduler is not None else FIFOScheduler()
+        self.propagation_delay_s = float(propagation_delay_s)
+        self.target = target
+        self._busy = False
+        # Counters for utilisation checks.
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0.0
+        self.busy_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Packet ingress
+    # ------------------------------------------------------------------
+    def send(self, packet: SimPacket) -> None:
+        """Hand a packet to this link for transmission."""
+        packet.timestamps[f"{self.name}:arrival"] = self.sim.now
+        self.scheduler.enqueue(packet, self.sim.now)
+        if not self._busy:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    # Transmission machinery
+    # ------------------------------------------------------------------
+    def serialization_time(self, packet: SimPacket) -> float:
+        """Time to clock the packet onto the wire."""
+        return packet.size_bits / self.rate_bps
+
+    def _start_next(self) -> None:
+        packet = self.scheduler.select(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        now = self.sim.now
+        packet.timestamps[f"{self.name}:start"] = now
+        packet.timestamps[f"{self.name}:queueing"] = (
+            now - packet.timestamps.get(f"{self.name}:arrival", now)
+        )
+        duration = self.serialization_time(packet)
+        self.busy_time_s += duration
+        self.sim.schedule_in(duration, lambda p=packet: self._finish(p))
+
+    def _finish(self, packet: SimPacket) -> None:
+        packet.timestamps[f"{self.name}:departure"] = self.sim.now
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.size_bytes
+        if self.target is not None:
+            if self.propagation_delay_s > 0.0:
+                self.sim.schedule_in(
+                    self.propagation_delay_s, lambda p=packet: self._deliver(p)
+                )
+            else:
+                self._deliver(packet)
+        self._start_next()
+
+    def _deliver(self, packet: SimPacket) -> None:
+        if self.target is None:  # pragma: no cover - defensive
+            raise ParameterError(f"link {self.name!r} has no delivery target")
+        packet.timestamps[f"{self.name}:delivered"] = self.sim.now
+        self.target(packet)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def utilisation(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` the link spent transmitting."""
+        if elapsed_s <= 0.0:
+            return 0.0
+        return min(self.busy_time_s / elapsed_s, 1.0)
+
+    def queueing_delay_of(self, packet: SimPacket) -> float:
+        """Recorded queueing delay of a packet at this link."""
+        return packet.timestamps.get(f"{self.name}:queueing", 0.0)

@@ -1,0 +1,110 @@
+"""Delay measurement and summarisation for the simulator.
+
+:class:`DelayRecorder` collects per-packet delay samples by category
+("upstream", "downstream", "rtt", ...) and provides the summaries the
+validation benchmarks need: means, empirical quantiles and tail
+probabilities.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["DelaySummary", "DelayRecorder"]
+
+
+@dataclass(frozen=True)
+class DelaySummary:
+    """Summary statistics of one delay category (all in seconds)."""
+
+    count: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+class DelayRecorder:
+    """Accumulates delay samples per category."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = collections.defaultdict(list)
+
+    def record(self, category: str, delay_s: float) -> None:
+        """Add one delay sample (negative delays indicate a bug upstream)."""
+        if delay_s < -1e-12:
+            raise ParameterError(f"negative delay recorded for {category!r}: {delay_s}")
+        self._samples[category].append(max(delay_s, 0.0))
+
+    def categories(self) -> Sequence[str]:
+        """Names of the categories that received at least one sample."""
+        return sorted(self._samples)
+
+    def samples(self, category: str) -> np.ndarray:
+        """All samples of a category as an array (seconds)."""
+        return np.asarray(self._samples.get(category, []), dtype=float)
+
+    def count(self, category: str) -> int:
+        """Number of samples recorded for a category."""
+        return len(self._samples.get(category, []))
+
+    def mean(self, category: str) -> float:
+        """Mean delay of a category in seconds."""
+        data = self.samples(category)
+        if data.size == 0:
+            raise ParameterError(f"no samples recorded for category {category!r}")
+        return float(np.mean(data))
+
+    def quantile(self, category: str, probability: float) -> float:
+        """Empirical quantile of a category."""
+        if not 0.0 < probability < 1.0:
+            raise ParameterError("probability must lie in (0, 1)")
+        data = self.samples(category)
+        if data.size == 0:
+            raise ParameterError(f"no samples recorded for category {category!r}")
+        return float(np.quantile(data, probability))
+
+    def tail_probability(self, category: str, threshold_s: float) -> float:
+        """Empirical ``P(delay > threshold)`` of a category."""
+        data = self.samples(category)
+        if data.size == 0:
+            raise ParameterError(f"no samples recorded for category {category!r}")
+        return float(np.mean(data > threshold_s))
+
+    def summary(self, category: str) -> DelaySummary:
+        """Full summary of a category."""
+        data = self.samples(category)
+        if data.size == 0:
+            raise ParameterError(f"no samples recorded for category {category!r}")
+        return DelaySummary(
+            count=int(data.size),
+            mean=float(np.mean(data)),
+            std=float(np.std(data)),
+            p50=float(np.quantile(data, 0.50)),
+            p95=float(np.quantile(data, 0.95)),
+            p99=float(np.quantile(data, 0.99)),
+            maximum=float(np.max(data)),
+        )
+
+    def all_summaries(self) -> Dict[str, DelaySummary]:
+        """Summaries for every category with samples."""
+        return {category: self.summary(category) for category in self.categories()}

@@ -1,0 +1,168 @@
+"""Link schedulers: FIFO, Head-of-Line priority and Weighted Fair Queuing.
+
+Section 1 of the paper motivates the use of WFQ-like schedulers: they
+give the gaming class a guaranteed share of the link without starving
+the elastic (TCP) traffic, and — unlike FIFO — shield the gaming class
+from data bursts.  The simulator implements all three so that the
+qualitative comparison can be reproduced (see the scheduler-comparison
+example and the integration tests).
+
+Each scheduler manages the per-class packet queues of one output link
+and answers a single question: *which packet is transmitted next?*
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ParameterError, SimulationError
+from .simulator import SimPacket
+
+__all__ = ["Scheduler", "FIFOScheduler", "PriorityScheduler", "WFQScheduler"]
+
+
+class Scheduler:
+    """Base class: per-class queues plus a selection policy."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[SimPacket]] = collections.defaultdict(collections.deque)
+
+    # -- queue management ------------------------------------------------
+    def enqueue(self, packet: SimPacket, now: float) -> None:
+        """Add a packet to its class queue."""
+        packet.timestamps.setdefault("enqueued", now)
+        self._queues[packet.traffic_class].append(packet)
+        self._on_enqueue(packet, now)
+
+    def _on_enqueue(self, packet: SimPacket, now: float) -> None:
+        """Hook for subclasses that keep per-packet state (e.g. WFQ tags)."""
+
+    def is_empty(self) -> bool:
+        """True when no packet is waiting in any class."""
+        return all(not queue for queue in self._queues.values())
+
+    def backlog_packets(self) -> int:
+        """Total number of queued packets across all classes."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def backlog_bytes(self, traffic_class: Optional[str] = None) -> float:
+        """Queued bytes, optionally restricted to one class."""
+        if traffic_class is not None:
+            return float(sum(p.size_bytes for p in self._queues[traffic_class]))
+        return float(
+            sum(p.size_bytes for queue in self._queues.values() for p in queue)
+        )
+
+    # -- selection policy --------------------------------------------------
+    def select(self, now: float) -> Optional[SimPacket]:
+        """Remove and return the next packet to transmit (or ``None``)."""
+        raise NotImplementedError
+
+
+class FIFOScheduler(Scheduler):
+    """A single first-in-first-out queue shared by every class.
+
+    This is the baseline of Section 1 in which elastic traffic can
+    jeopardise the gaming delay.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: Deque[SimPacket] = collections.deque()
+
+    def _on_enqueue(self, packet: SimPacket, now: float) -> None:
+        self._order.append(packet)
+
+    def select(self, now: float) -> Optional[SimPacket]:
+        while self._order:
+            packet = self._order.popleft()
+            queue = self._queues[packet.traffic_class]
+            if queue and queue[0] is packet:
+                queue.popleft()
+                return packet
+            # The packet was already removed through the class queue
+            # (cannot normally happen, but keeps the structures in sync).
+            try:
+                queue.remove(packet)
+                return packet
+            except ValueError:  # pragma: no cover - defensive
+                continue
+        return None
+
+
+class PriorityScheduler(Scheduler):
+    """Non-pre-emptive Head-of-Line priority between classes.
+
+    ``class_order`` lists the classes from highest to lowest priority;
+    unknown classes are served after all listed ones, in FIFO order.
+    """
+
+    def __init__(self, class_order: Sequence[str]) -> None:
+        super().__init__()
+        if not class_order:
+            raise ParameterError("class_order must list at least one class")
+        self.class_order: List[str] = list(class_order)
+
+    def select(self, now: float) -> Optional[SimPacket]:
+        for traffic_class in self.class_order:
+            queue = self._queues.get(traffic_class)
+            if queue:
+                return queue.popleft()
+        for traffic_class, queue in self._queues.items():
+            if traffic_class not in self.class_order and queue:
+                return queue.popleft()
+        return None
+
+
+class WFQScheduler(Scheduler):
+    """Weighted Fair Queuing (packetised GPS approximation).
+
+    Each class receives a weight; packets are stamped with virtual
+    finish times ``F = max(V, F_class) + size / weight`` where ``V`` is
+    the system virtual time (advanced to the finish tag of each packet
+    selected for transmission), and the packet with the smallest finish
+    tag is transmitted next.  This is the classic self-clocked fair
+    queuing approximation of GPS, sufficient for the delay comparisons
+    in this reproduction.
+    """
+
+    def __init__(self, weights: Dict[str, float]) -> None:
+        super().__init__()
+        if not weights:
+            raise ParameterError("WFQ needs at least one class weight")
+        for name, weight in weights.items():
+            if weight <= 0.0:
+                raise ParameterError(f"WFQ weight for class {name!r} must be positive")
+        self.weights = dict(weights)
+        self._virtual_time = 0.0
+        self._last_finish: Dict[str, float] = collections.defaultdict(float)
+        self._finish_tags: Dict[int, float] = {}
+
+    def _on_enqueue(self, packet: SimPacket, now: float) -> None:
+        weight = self.weights.get(packet.traffic_class)
+        if weight is None:
+            raise SimulationError(
+                f"packet of class {packet.traffic_class!r} arrived at a WFQ scheduler "
+                f"configured for classes {sorted(self.weights)}"
+            )
+        start = max(self._virtual_time, self._last_finish[packet.traffic_class])
+        finish = start + packet.size_bytes / weight
+        self._last_finish[packet.traffic_class] = finish
+        self._finish_tags[packet.packet_id] = finish
+
+    def select(self, now: float) -> Optional[SimPacket]:
+        best_class: Optional[str] = None
+        best_tag = float("inf")
+        for traffic_class, queue in self._queues.items():
+            if not queue:
+                continue
+            tag = self._finish_tags[queue[0].packet_id]
+            if tag < best_tag:
+                best_tag = tag
+                best_class = traffic_class
+        if best_class is None:
+            return None
+        packet = self._queues[best_class].popleft()
+        self._virtual_time = max(self._virtual_time, self._finish_tags.pop(packet.packet_id))
+        return packet

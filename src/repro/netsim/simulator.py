@@ -1,0 +1,141 @@
+"""Discrete-event simulator core.
+
+:class:`Simulator` owns the event calendar and provides the scheduling
+primitives the network components use.  Components never advance time
+themselves; they schedule callbacks and react to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from .events import EventQueue
+
+__all__ = ["Simulator", "SimPacket"]
+
+
+@dataclass
+class SimPacket:
+    """A packet travelling through the simulated network.
+
+    Attributes
+    ----------
+    packet_id:
+        Unique identifier assigned by the simulator.
+    size_bytes:
+        Packet size in bytes.
+    traffic_class:
+        Scheduler class the packet belongs to (e.g. ``"gaming"`` or
+        ``"data"``).
+    client_id:
+        The gamer this packet belongs to.
+    direction:
+        ``"up"`` (client to server) or ``"down"`` (server to client).
+    created_at:
+        Simulation time at which the packet was handed to the first link.
+    tick:
+        Server tick index for downstream packets (used to pair RTT
+        samples), ``None`` otherwise.
+    timestamps:
+        Free-form per-hop time annotations filled in by the components.
+    """
+
+    packet_id: int
+    size_bytes: float
+    traffic_class: str
+    client_id: int
+    direction: str
+    created_at: float
+    tick: Optional[int] = None
+    timestamps: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def size_bits(self) -> float:
+        """Packet size in bits."""
+        return self.size_bytes * 8.0
+
+
+class Simulator:
+    """Event-driven simulation kernel."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.events = EventQueue()
+        self.rng = np.random.default_rng(seed)
+        self._packet_counter = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.events.now
+
+    def schedule(self, time: float, callback: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``callback`` at absolute time ``time``."""
+        self.events.schedule(time, callback, priority)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        self.events.schedule_in(delay, callback, priority)
+
+    # ------------------------------------------------------------------
+    # Packet factory
+    # ------------------------------------------------------------------
+    def new_packet(
+        self,
+        size_bytes: float,
+        traffic_class: str,
+        client_id: int,
+        direction: str,
+        tick: Optional[int] = None,
+    ) -> SimPacket:
+        """Create a packet stamped with the current simulation time."""
+        if size_bytes <= 0.0:
+            raise SimulationError(f"packet size must be positive, got {size_bytes}")
+        self._packet_counter += 1
+        return SimPacket(
+            packet_id=self._packet_counter,
+            size_bytes=size_bytes,
+            traffic_class=traffic_class,
+            client_id=client_id,
+            direction=direction,
+            created_at=self.now,
+            tick=tick,
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Process events until ``end_time`` (exclusive of later events).
+
+        Returns the number of events processed.  ``max_events`` guards
+        against runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self.events.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = self.events.pop()
+                if event is None:  # pragma: no cover - defensive
+                    break
+                event.callback()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded the event budget of {max_events}"
+                    )
+        finally:
+            self._running = False
+        return processed

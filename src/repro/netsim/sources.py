@@ -1,0 +1,174 @@
+"""Traffic sources feeding the simulated access network.
+
+Three kinds of sources appear in the paper's setting:
+
+* :class:`GamingClientSource` — the periodic upstream stream of one
+  gamer (one packet per update interval);
+* :class:`GamingServerSource` — the server's downstream burst stream
+  (one packet per client per tick, with the burst size optionally drawn
+  from a distribution to mimic the Erlang burst model);
+* :class:`BackgroundDataSource` — elastic "data" traffic (large packets,
+  Poisson arrivals) used to exercise the FIFO / priority / WFQ
+  comparison of Section 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..distributions import Distribution
+from ..errors import ParameterError
+from ..units import require_positive
+from .simulator import SimPacket, Simulator
+
+__all__ = ["GamingClientSource", "GamingServerSource", "BackgroundDataSource"]
+
+
+class GamingClientSource:
+    """Periodic upstream source of one gamer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client_id: int,
+        packet_bytes: float,
+        interval_s: float,
+        target: Callable[[SimPacket], None],
+        traffic_class: str = "gaming",
+        jitter: Optional[Distribution] = None,
+        phase_s: Optional[float] = None,
+    ) -> None:
+        require_positive(packet_bytes, "packet_bytes")
+        require_positive(interval_s, "interval_s")
+        self.sim = sim
+        self.client_id = int(client_id)
+        self.packet_bytes = float(packet_bytes)
+        self.interval_s = float(interval_s)
+        self.target = target
+        self.traffic_class = traffic_class
+        self.jitter = jitter
+        self.phase_s = (
+            float(phase_s)
+            if phase_s is not None
+            else float(sim.rng.uniform(0.0, interval_s))
+        )
+        self.generated_packets = 0
+
+    def start(self) -> None:
+        """Schedule the first packet (honouring the random phase)."""
+        self.sim.schedule(self.sim.now + self.phase_s, self._emit)
+
+    def _emit(self) -> None:
+        packet = self.sim.new_packet(
+            size_bytes=self.packet_bytes,
+            traffic_class=self.traffic_class,
+            client_id=self.client_id,
+            direction="up",
+        )
+        self.generated_packets += 1
+        self.target(packet)
+        next_interval = self.interval_s
+        if self.jitter is not None:
+            next_interval = max(float(self.jitter.sample(rng=self.sim.rng)), 1e-6)
+        self.sim.schedule_in(next_interval, self._emit)
+
+
+class GamingServerSource:
+    """Tick-based downstream burst source of the game server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_clients: int,
+        packet_bytes: float,
+        tick_interval_s: float,
+        target: Callable[[SimPacket], None],
+        traffic_class: str = "gaming",
+        packet_size_distribution: Optional[Distribution] = None,
+        shuffle_order: bool = True,
+    ) -> None:
+        if num_clients < 1:
+            raise ParameterError("num_clients must be at least 1")
+        require_positive(packet_bytes, "packet_bytes")
+        require_positive(tick_interval_s, "tick_interval_s")
+        self.sim = sim
+        self.num_clients = int(num_clients)
+        self.packet_bytes = float(packet_bytes)
+        self.tick_interval_s = float(tick_interval_s)
+        self.target = target
+        self.traffic_class = traffic_class
+        self.packet_size_distribution = packet_size_distribution
+        self.shuffle_order = shuffle_order
+        self.tick = 0
+
+    def start(self) -> None:
+        """Schedule the first tick at a random phase within one interval."""
+        phase = float(self.sim.rng.uniform(0.0, self.tick_interval_s))
+        self.sim.schedule(self.sim.now + phase, self._emit_burst)
+
+    def _packet_size(self) -> float:
+        if self.packet_size_distribution is None:
+            return self.packet_bytes
+        return max(float(self.packet_size_distribution.sample(rng=self.sim.rng)), 20.0)
+
+    def _emit_burst(self) -> None:
+        order = list(range(self.num_clients))
+        if self.shuffle_order:
+            self.sim.rng.shuffle(order)
+        for client_id in order:
+            packet = self.sim.new_packet(
+                size_bytes=self._packet_size(),
+                traffic_class=self.traffic_class,
+                client_id=int(client_id),
+                direction="down",
+                tick=self.tick,
+            )
+            self.target(packet)
+        self.tick += 1
+        self.sim.schedule_in(self.tick_interval_s, self._emit_burst)
+
+
+class BackgroundDataSource:
+    """Poisson stream of large elastic-data packets."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mean_rate_bps: float,
+        packet_bytes: float,
+        target: Callable[[SimPacket], None],
+        traffic_class: str = "data",
+        client_id: int = -1,
+        direction: str = "down",
+    ) -> None:
+        require_positive(mean_rate_bps, "mean_rate_bps")
+        require_positive(packet_bytes, "packet_bytes")
+        self.sim = sim
+        self.packet_bytes = float(packet_bytes)
+        self.mean_interval_s = (packet_bytes * 8.0) / float(mean_rate_bps)
+        self.target = target
+        self.traffic_class = traffic_class
+        self.client_id = int(client_id)
+        self.direction = direction
+        self.generated_packets = 0
+
+    def start(self) -> None:
+        """Schedule the first data packet."""
+        self.sim.schedule_in(
+            float(self.sim.rng.exponential(self.mean_interval_s)), self._emit
+        )
+
+    def _emit(self) -> None:
+        packet = self.sim.new_packet(
+            size_bytes=self.packet_bytes,
+            traffic_class=self.traffic_class,
+            client_id=self.client_id,
+            direction=self.direction,
+        )
+        self.generated_packets += 1
+        self.target(packet)
+        self.sim.schedule_in(
+            float(self.sim.rng.exponential(self.mean_interval_s)), self._emit
+        )

@@ -1,0 +1,162 @@
+"""The access-network topology of Figure 2.
+
+Clients are connected through individual DSL access links to an
+aggregation node; the aggregation node talks to the gaming server over a
+bottleneck link whose gaming share is ``aggregation_rate_bps``.  The
+mirror-image path carries the downstream traffic back to the clients.
+
+The :class:`AccessNetwork` builds the :class:`~repro.netsim.links.Link`
+objects of both directions and exposes the delivery hooks the traffic
+sources and the measurement code attach to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ParameterError
+from ..units import require_non_negative, require_positive
+from .links import Link
+from .schedulers import FIFOScheduler, PriorityScheduler, Scheduler, WFQScheduler
+from .simulator import SimPacket, Simulator
+
+__all__ = ["AccessNetworkConfig", "AccessNetwork", "make_scheduler"]
+
+
+def make_scheduler(kind: str, gaming_weight: float = 0.5) -> Scheduler:
+    """Build one of the Section 1 schedulers by name.
+
+    ``kind`` is ``"fifo"``, ``"priority"`` (gaming ahead of data) or
+    ``"wfq"`` (gaming share ``gaming_weight`` of the link).
+    """
+    kind = kind.lower()
+    if kind == "fifo":
+        return FIFOScheduler()
+    if kind == "priority":
+        return PriorityScheduler(["gaming", "data"])
+    if kind == "wfq":
+        if not 0.0 < gaming_weight < 1.0:
+            raise ParameterError("gaming_weight must lie in (0, 1)")
+        return WFQScheduler({"gaming": gaming_weight, "data": 1.0 - gaming_weight})
+    raise ParameterError(f"unknown scheduler kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class AccessNetworkConfig:
+    """Static parameters of the Figure 2 architecture.
+
+    The defaults are the DSL scenario of Section 4.
+    """
+
+    num_clients: int = 10
+    access_uplink_bps: float = 128_000.0
+    access_downlink_bps: float = 1_024_000.0
+    aggregation_rate_bps: float = 5_000_000.0
+    propagation_delay_s: float = 0.0
+    scheduler: str = "fifo"
+    gaming_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ParameterError("num_clients must be at least 1")
+        require_positive(self.access_uplink_bps, "access_uplink_bps")
+        require_positive(self.access_downlink_bps, "access_downlink_bps")
+        require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
+        require_non_negative(self.propagation_delay_s, "propagation_delay_s")
+
+
+class AccessNetwork:
+    """The simulated links of the Figure 2 client-server architecture."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: AccessNetworkConfig,
+        on_server_receive: Callable[[SimPacket], None],
+        on_client_receive: Callable[[SimPacket], None],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.on_server_receive = on_server_receive
+        self.on_client_receive = on_client_receive
+
+        # Upstream: per-client access link -> shared aggregation link -> server.
+        self.uplink_aggregation = Link(
+            sim,
+            name="uplink-aggregation",
+            rate_bps=config.aggregation_rate_bps,
+            scheduler=make_scheduler(config.scheduler, config.gaming_weight),
+            propagation_delay_s=config.propagation_delay_s,
+            target=self.on_server_receive,
+        )
+        self.uplink_access: Dict[int, Link] = {
+            client_id: Link(
+                sim,
+                name=f"uplink-access-{client_id}",
+                rate_bps=config.access_uplink_bps,
+                scheduler=FIFOScheduler(),
+                target=self.uplink_aggregation.send,
+            )
+            for client_id in range(config.num_clients)
+        }
+
+        # Downstream: shared aggregation link -> per-client access link -> client.
+        self.downlink_access: Dict[int, Link] = {
+            client_id: Link(
+                sim,
+                name=f"downlink-access-{client_id}",
+                rate_bps=config.access_downlink_bps,
+                scheduler=FIFOScheduler(),
+                target=self.on_client_receive,
+            )
+            for client_id in range(config.num_clients)
+        }
+        self.downlink_aggregation = Link(
+            sim,
+            name="downlink-aggregation",
+            rate_bps=config.aggregation_rate_bps,
+            scheduler=make_scheduler(config.scheduler, config.gaming_weight),
+            propagation_delay_s=config.propagation_delay_s,
+            target=self._fan_out,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingress points used by the sources
+    # ------------------------------------------------------------------
+    def client_send(self, packet: SimPacket) -> None:
+        """A client hands an upstream packet to its access link."""
+        link = self.uplink_access.get(packet.client_id)
+        if link is None:
+            raise ParameterError(f"unknown client id {packet.client_id}")
+        link.send(packet)
+
+    def server_send(self, packet: SimPacket) -> None:
+        """The server hands a downstream packet to the aggregation link."""
+        self.downlink_aggregation.send(packet)
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+    def _fan_out(self, packet: SimPacket) -> None:
+        """Dispatch a downstream packet onto its client's access link.
+
+        Background data packets (negative client ids) are delivered
+        straight to the measurement hook — they only exist to load the
+        aggregation link.
+        """
+        link = self.downlink_access.get(packet.client_id)
+        if link is None:
+            self.on_client_receive(packet)
+            return
+        link.send(packet)
+
+    # ------------------------------------------------------------------
+    # Metrics helpers
+    # ------------------------------------------------------------------
+    def aggregation_queueing_delays(self, packet: SimPacket) -> Dict[str, float]:
+        """The queueing delay a packet experienced on the shared links."""
+        return {
+            "uplink": self.uplink_aggregation.queueing_delay_of(packet),
+            "downlink": self.downlink_aggregation.queueing_delay_of(packet),
+        }

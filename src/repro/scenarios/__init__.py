@@ -1,0 +1,22 @@
+"""Scenario definitions and parameter sweeps (Section 4)."""
+
+from .dsl import (
+    DslScenario,
+    PAPER_BASELINE,
+    PAPER_ERLANG_ORDERS,
+    PAPER_SERVER_PACKET_SIZES,
+    PAPER_TICK_INTERVALS_S,
+)
+from .sweep import SweepPoint, SweepSeries, default_load_grid, sweep_loads
+
+__all__ = [
+    "DslScenario",
+    "PAPER_BASELINE",
+    "PAPER_ERLANG_ORDERS",
+    "PAPER_SERVER_PACKET_SIZES",
+    "PAPER_TICK_INTERVALS_S",
+    "SweepPoint",
+    "SweepSeries",
+    "default_load_grid",
+    "sweep_loads",
+]

@@ -1,0 +1,112 @@
+"""Parameter sweeps over the DSL scenario (the Figure 3 / Figure 4 engine).
+
+A sweep evaluates the RTT quantile over a range of downlink loads for
+one or more scenario variants and returns the series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.rtt import DEFAULT_QUANTILE
+from ..errors import ParameterError
+from .dsl import DslScenario
+
+__all__ = ["SweepPoint", "SweepSeries", "sweep_loads", "default_load_grid"]
+
+
+def default_load_grid(start: float = 0.05, stop: float = 0.90, num: int = 18) -> np.ndarray:
+    """The downlink-load grid used by the paper's figures (5% to 90%)."""
+    if not 0.0 < start < stop < 1.0:
+        raise ParameterError("load grid must satisfy 0 < start < stop < 1")
+    return np.linspace(start, stop, num)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated operating point."""
+
+    downlink_load: float
+    uplink_load: float
+    num_gamers: float
+    rtt_quantile_s: float
+
+    @property
+    def rtt_quantile_ms(self) -> float:
+        return 1e3 * self.rtt_quantile_s
+
+
+@dataclass
+class SweepSeries:
+    """One curve: a labelled sequence of sweep points."""
+
+    label: str
+    scenario: DslScenario
+    probability: float
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def loads(self) -> List[float]:
+        """Downlink loads of the series."""
+        return [p.downlink_load for p in self.points]
+
+    def rtt_ms(self) -> List[float]:
+        """RTT quantiles of the series in milliseconds."""
+        return [p.rtt_quantile_ms for p in self.points]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Row-dictionaries for tabulation."""
+        return [
+            {
+                "label": self.label,
+                "load": p.downlink_load,
+                "num_gamers": p.num_gamers,
+                "rtt_ms": p.rtt_quantile_ms,
+            }
+            for p in self.points
+        ]
+
+    def interpolate_rtt_ms(self, load: float) -> float:
+        """Linear interpolation of the RTT (ms) at an arbitrary load."""
+        return float(np.interp(load, self.loads(), self.rtt_ms()))
+
+    def max_load_for_rtt_ms(self, rtt_bound_ms: float) -> float:
+        """Largest swept load whose interpolated RTT stays below the bound."""
+        loads = np.asarray(self.loads())
+        rtts = np.asarray(self.rtt_ms())
+        if rtts[0] > rtt_bound_ms:
+            return 0.0
+        if rtts[-1] <= rtt_bound_ms:
+            return float(loads[-1])
+        # The curve is monotone increasing in load: invert by interpolation.
+        return float(np.interp(rtt_bound_ms, rtts, loads))
+
+
+def sweep_loads(
+    scenario: DslScenario,
+    loads: Optional[Sequence[float]] = None,
+    probability: float = DEFAULT_QUANTILE,
+    method: str = "inversion",
+    label: Optional[str] = None,
+) -> SweepSeries:
+    """Evaluate the RTT quantile of ``scenario`` over a grid of loads."""
+    if loads is None:
+        loads = default_load_grid()
+    series = SweepSeries(
+        label=label or f"K={scenario.erlang_order}, T={scenario.tick_interval_s * 1e3:.0f}ms",
+        scenario=scenario,
+        probability=probability,
+    )
+    for load in loads:
+        model = scenario.model_at_load(float(load))
+        series.points.append(
+            SweepPoint(
+                downlink_load=float(load),
+                uplink_load=model.uplink_load,
+                num_gamers=model.num_gamers,
+                rtt_quantile_s=model.rtt_quantile(probability, method=method),
+            )
+        )
+    return series

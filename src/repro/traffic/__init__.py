@@ -1,0 +1,49 @@
+"""Traffic substrate: packets, traces, statistics and source models."""
+
+from .packets import Burst, Direction, Packet
+from .trace import PacketTrace
+from .bursts import (
+    burst_inter_arrival_times,
+    burst_packet_counts,
+    burst_sizes,
+    group_by_burst_id,
+    group_by_gap,
+    reconstruct_bursts,
+)
+from .stats import (
+    DirectionSummary,
+    SummaryStatistic,
+    TraceSummary,
+    count_delayed_bursts,
+    count_incomplete_bursts,
+    summarize_trace,
+    summarize_values,
+    within_burst_size_cov,
+)
+from .models import ClientTrafficModel, GameTrafficModel, ServerTrafficModel
+from . import games
+
+__all__ = [
+    "Burst",
+    "Direction",
+    "Packet",
+    "PacketTrace",
+    "burst_inter_arrival_times",
+    "burst_packet_counts",
+    "burst_sizes",
+    "group_by_burst_id",
+    "group_by_gap",
+    "reconstruct_bursts",
+    "DirectionSummary",
+    "SummaryStatistic",
+    "TraceSummary",
+    "count_delayed_bursts",
+    "count_incomplete_bursts",
+    "summarize_trace",
+    "summarize_values",
+    "within_burst_size_cov",
+    "ClientTrafficModel",
+    "GameTrafficModel",
+    "ServerTrafficModel",
+    "games",
+]

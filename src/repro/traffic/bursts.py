@@ -1,0 +1,99 @@
+"""Burst reconstruction from a downstream packet trace.
+
+Section 2.2 groups the server-to-client packets into bursts before
+computing the burst-size statistics and the tail distribution function
+of Figure 1.  Two grouping strategies are provided:
+
+* :func:`group_by_burst_id` — use the generator-provided burst
+  identifiers when they are present in the trace;
+* :func:`group_by_gap` — the measurement-style reconstruction: a new
+  burst starts whenever the gap between consecutive downstream packets
+  exceeds a threshold (much smaller than the server tick interval).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ParameterError
+from .packets import Burst, Direction, Packet
+from .trace import PacketTrace
+
+__all__ = [
+    "group_by_burst_id",
+    "group_by_gap",
+    "reconstruct_bursts",
+    "burst_sizes",
+    "burst_inter_arrival_times",
+    "burst_packet_counts",
+]
+
+
+def group_by_burst_id(trace: PacketTrace) -> List[Burst]:
+    """Group downstream packets by their ``burst_id`` field."""
+    grouped: Dict[int, List[Packet]] = {}
+    for packet in trace.downstream():
+        if packet.burst_id is None:
+            raise ParameterError(
+                "trace contains downstream packets without burst_id; "
+                "use group_by_gap() instead"
+            )
+        grouped.setdefault(packet.burst_id, []).append(packet)
+    return [Burst(burst_id, packets) for burst_id, packets in sorted(grouped.items())]
+
+
+def group_by_gap(trace: PacketTrace, gap_threshold: float = 0.005) -> List[Burst]:
+    """Group downstream packets into bursts separated by idle gaps.
+
+    Parameters
+    ----------
+    trace:
+        The packet trace (only its downstream packets are used).
+    gap_threshold:
+        Minimum inter-packet gap (seconds) that starts a new burst.  The
+        default of 5 ms sits well below the ~40-60 ms server tick and
+        well above the back-to-back spacing within a burst.
+    """
+    if gap_threshold <= 0.0:
+        raise ParameterError("gap_threshold must be positive")
+    downstream = trace.downstream().packets
+    bursts: List[Burst] = []
+    current: List[Packet] = []
+    last_time: Optional[float] = None
+    for packet in downstream:
+        if last_time is not None and packet.timestamp - last_time > gap_threshold and current:
+            bursts.append(Burst(len(bursts), current))
+            current = []
+        current.append(packet)
+        last_time = packet.timestamp
+    if current:
+        bursts.append(Burst(len(bursts), current))
+    return bursts
+
+
+def reconstruct_bursts(trace: PacketTrace, gap_threshold: float = 0.005) -> List[Burst]:
+    """Group downstream packets into bursts using the best available method.
+
+    Prefers the exact ``burst_id`` grouping when every downstream packet
+    carries one, and falls back to gap-based reconstruction otherwise.
+    """
+    downstream = trace.downstream().packets
+    if downstream and all(p.burst_id is not None for p in downstream):
+        return group_by_burst_id(trace)
+    return group_by_gap(trace, gap_threshold=gap_threshold)
+
+
+def burst_sizes(bursts: Sequence[Burst]) -> List[float]:
+    """Total size (bytes) of each burst — the Figure 1 sample."""
+    return [burst.size_bytes for burst in bursts]
+
+
+def burst_inter_arrival_times(bursts: Sequence[Burst]) -> List[float]:
+    """Inter-arrival times (seconds) between consecutive bursts."""
+    times = [burst.timestamp for burst in bursts]
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def burst_packet_counts(bursts: Sequence[Burst]) -> List[int]:
+    """Number of packets in each burst (nominally one per client)."""
+    return [burst.packet_count for burst in bursts]

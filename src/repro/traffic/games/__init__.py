@@ -1,0 +1,50 @@
+"""Per-game synthetic traffic models (the Section 2 survey).
+
+Each module publishes the characteristics reported in the paper (as a
+``PUBLISHED`` dataclass) and a ``build_model()`` factory returning a
+:class:`~repro.traffic.models.GameTrafficModel` that generates traffic
+with those characteristics.
+"""
+
+from typing import Callable, Dict
+
+from ..models import GameTrafficModel
+from . import counter_strike, half_life, halo, quake3, unreal_tournament
+
+__all__ = [
+    "counter_strike",
+    "half_life",
+    "halo",
+    "quake3",
+    "unreal_tournament",
+    "GAME_REGISTRY",
+    "build_game_model",
+    "available_games",
+]
+
+#: Registry mapping game names to model factories.
+GAME_REGISTRY: Dict[str, Callable[[], GameTrafficModel]] = {
+    "counter-strike": counter_strike.build_model,
+    "half-life": half_life.build_model,
+    "halo": halo.build_model,
+    "quake3": quake3.build_model,
+    "unreal-tournament": unreal_tournament.build_model,
+}
+
+
+def available_games():
+    """Return the sorted list of game names known to the registry."""
+    return sorted(GAME_REGISTRY)
+
+
+def build_game_model(name: str, **kwargs) -> GameTrafficModel:
+    """Build the traffic model of the named game.
+
+    Extra keyword arguments are forwarded to the game-specific factory
+    (e.g. ``game_map=`` for Half-Life, ``num_players=`` for Quake3/Halo).
+    """
+    try:
+        factory = GAME_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown game {name!r}; available: {available_games()}") from None
+    return factory(**kwargs)

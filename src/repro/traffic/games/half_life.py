@@ -1,0 +1,90 @@
+"""Half-Life traffic model (Lang et al. [16], Table 2 of the paper).
+
+Lang et al. found deterministic burst inter-arrival times of ~60 ms with
+map-dependent lognormal packet sizes from server to client, and
+deterministic 41 ms inter-arrival times with 60-90-byte packets
+(normal/lognormal) from client to server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...distributions import Deterministic, Lognormal
+from ..models import ClientTrafficModel, GameTrafficModel, ServerTrafficModel
+
+__all__ = ["PUBLISHED", "HalfLifePublished", "MAP_PROFILES", "build_model"]
+
+
+@dataclass(frozen=True)
+class HalfLifePublished:
+    """The published Half-Life characteristics (Table 2)."""
+
+    server_iat_mean_ms: float = 60.0
+    server_iat_fit: str = "Det(60)"
+    server_packet_fit: str = "map-dependent lognormal"
+    client_iat_mean_ms: float = 41.0
+    client_iat_fit: str = "Det(41)"
+    client_packet_range_bytes: tuple = (60.0, 90.0)
+    client_packet_fit: str = "(log-)normal"
+
+
+PUBLISHED = HalfLifePublished()
+
+#: Map-dependent server packet-size profiles (mean bytes, CoV).  Lang et
+#: al. report that only the map affects the downstream packet sizes; the
+#: three profiles below span the range they observed.
+MAP_PROFILES: Dict[str, tuple] = {
+    "crossfire": (120.0, 0.35),
+    "de_dust": (140.0, 0.40),
+    "boot_camp": (160.0, 0.45),
+}
+
+
+def build_model(game_map: str = "de_dust") -> GameTrafficModel:
+    """Return the synthetic Half-Life model for the given map.
+
+    Parameters
+    ----------
+    game_map:
+        One of the keys of :data:`MAP_PROFILES`; determines the
+        lognormal server packet-size distribution.
+    """
+    if game_map not in MAP_PROFILES:
+        raise KeyError(
+            f"unknown Half-Life map {game_map!r}; available: {sorted(MAP_PROFILES)}"
+        )
+    mean_bytes, cov = MAP_PROFILES[game_map]
+    client = ClientTrafficModel(
+        # 60-90 byte client packets, centred at 75 bytes with a mild spread.
+        packet_size=Lognormal.from_mean_cov(75.0, 0.08),
+        inter_arrival_time=Deterministic(PUBLISHED.client_iat_mean_ms / 1e3),
+        min_packet_bytes=40.0,
+        min_interval_s=5e-3,
+    )
+    server = ServerTrafficModel(
+        packet_size=Lognormal.from_mean_cov(mean_bytes, cov),
+        burst_interval=Deterministic(PUBLISHED.server_iat_mean_ms / 1e3),
+        min_packet_bytes=40.0,
+        min_interval_s=10e-3,
+    )
+    return GameTrafficModel(
+        name=f"half-life-{game_map}",
+        client=client,
+        server=server,
+        notes="Synthetic Half-Life model after Lang et al. (ATNAC 2003)",
+        references=("Lang, Armitage, Branch, Choo, A Synthetic Traffic Model for Half Life",),
+    )
+
+
+def ideal_model(game_map: str = "de_dust") -> GameTrafficModel:
+    """Idealised deterministic Half-Life model for the queueing analysis."""
+    mean_bytes, _ = MAP_PROFILES[game_map]
+    return GameTrafficModel.periodic(
+        name=f"half-life-{game_map}-ideal",
+        client_packet_bytes=75.0,
+        server_packet_bytes=mean_bytes,
+        tick_interval_s=PUBLISHED.server_iat_mean_ms / 1e3,
+        client_interval_s=PUBLISHED.client_iat_mean_ms / 1e3,
+    )

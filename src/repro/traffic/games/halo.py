@@ -1,0 +1,90 @@
+"""Halo (Xbox System Link) traffic model (Lang & Armitage [17]).
+
+The paper summarises the published model as follows: server-to-client
+inter-burst times and packet sizes are deterministic (40 ms ticks, sizes
+depending on the number of players); for the client-to-server traffic,
+33% of the packets have a fixed size of 72 bytes and are sent every
+201 ms, while the remaining 67% have a player-count-dependent size and a
+constant, hardware-dependent inter-arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...distributions import Deterministic, Mixture
+from ..models import ClientTrafficModel, GameTrafficModel, ServerTrafficModel
+
+__all__ = ["PUBLISHED", "HaloPublished", "build_model", "server_packet_bytes", "client_packet_bytes"]
+
+
+@dataclass(frozen=True)
+class HaloPublished:
+    """The published Halo System-Link characteristics."""
+
+    server_iat_ms: float = 40.0
+    control_packet_bytes: float = 72.0
+    control_packet_fraction: float = 0.33
+    control_packet_iat_ms: float = 201.0
+    state_packet_fraction: float = 0.67
+
+
+PUBLISHED = HaloPublished()
+
+
+def server_packet_bytes(num_players: int) -> float:
+    """Deterministic downstream packet size as a function of player count.
+
+    The published model only states that the size grows with the number
+    of players; a linear law anchored at typical console-game sizes is
+    used (a 4-player game produces ~180-byte state updates).
+    """
+    return 100.0 + 20.0 * max(int(num_players), 1)
+
+
+def client_packet_bytes(num_players: int) -> float:
+    """Deterministic upstream state-packet size as a function of player count."""
+    return 60.0 + 8.0 * max(int(num_players), 1)
+
+
+def build_model(num_players: int = 4, client_hardware_iat_ms: float = 60.0) -> GameTrafficModel:
+    """Return the synthetic Halo model for ``num_players`` per console.
+
+    Parameters
+    ----------
+    num_players:
+        Players on the client Xbox (affects both packet sizes).
+    client_hardware_iat_ms:
+        The hardware-dependent inter-arrival time of the 67% state
+        packets (the paper leaves it as a console-specific constant).
+    """
+    state_bytes = client_packet_bytes(num_players)
+    # The upstream stream is a strongly periodic mixture: the effective
+    # inter-arrival time is the harmonic combination of the two periodic
+    # sub-streams; packet sizes alternate accordingly.
+    control_rate = 1.0 / (PUBLISHED.control_packet_iat_ms / 1e3)
+    state_rate = 1.0 / (client_hardware_iat_ms / 1e3)
+    combined_interval = 1.0 / (control_rate + state_rate)
+    control_weight = control_rate / (control_rate + state_rate)
+    client = ClientTrafficModel(
+        packet_size=Mixture(
+            [Deterministic(PUBLISHED.control_packet_bytes), Deterministic(state_bytes)],
+            weights=[control_weight, 1.0 - control_weight],
+        ),
+        inter_arrival_time=Deterministic(combined_interval),
+        min_packet_bytes=40.0,
+        min_interval_s=5e-3,
+    )
+    server = ServerTrafficModel(
+        packet_size=Deterministic(server_packet_bytes(num_players)),
+        burst_interval=Deterministic(PUBLISHED.server_iat_ms / 1e3),
+        min_packet_bytes=40.0,
+        min_interval_s=10e-3,
+    )
+    return GameTrafficModel(
+        name=f"halo-{num_players}p",
+        client=client,
+        server=server,
+        notes="Synthetic Halo System Link model after Lang & Armitage (ATNAC 2003)",
+        references=("Lang, Armitage, A Ns2 Model for the System Link Game Halo",),
+    )

@@ -1,0 +1,75 @@
+"""Quake3 traffic model (Lang et al. [18]).
+
+The published findings summarised in the paper: downstream packet sizes
+depend on the number of players (50-400 bytes) and, to a lesser extent,
+the map; the server sends one update packet per client roughly every
+50 ms.  Upstream packets are 50-70 bytes independent of everything, with
+client inter-arrival times of 10-30 ms depending on map and graphics
+card.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...distributions import Deterministic, Lognormal
+from ..models import ClientTrafficModel, GameTrafficModel, ServerTrafficModel
+
+__all__ = ["PUBLISHED", "Quake3Published", "build_model", "server_packet_bytes"]
+
+
+@dataclass(frozen=True)
+class Quake3Published:
+    """The published Quake3 characteristics."""
+
+    server_iat_ms: float = 50.0
+    server_packet_range_bytes: tuple = (50.0, 400.0)
+    client_packet_range_bytes: tuple = (50.0, 70.0)
+    client_iat_range_ms: tuple = (10.0, 30.0)
+
+
+PUBLISHED = Quake3Published()
+
+
+def server_packet_bytes(num_players: int) -> float:
+    """Mean downstream packet size as a function of player count.
+
+    A linear interpolation across the published 50-400-byte range,
+    saturating at 16 players (the usual public-server limit).
+    """
+    players = min(max(int(num_players), 1), 16)
+    low, high = PUBLISHED.server_packet_range_bytes
+    return low + (high - low) * (players - 1) / 15.0
+
+
+def build_model(num_players: int = 8, client_iat_ms: float = 20.0) -> GameTrafficModel:
+    """Return the synthetic Quake3 model.
+
+    Parameters
+    ----------
+    num_players:
+        Number of players in the game (drives the downstream packet size).
+    client_iat_ms:
+        Client frame/update interval in milliseconds (10-30 ms in the
+        published measurements, depending on map and graphics card).
+    """
+    mean_bytes = server_packet_bytes(num_players)
+    client = ClientTrafficModel(
+        packet_size=Lognormal.from_mean_cov(60.0, 0.07),
+        inter_arrival_time=Deterministic(client_iat_ms / 1e3),
+        min_packet_bytes=40.0,
+        min_interval_s=2e-3,
+    )
+    server = ServerTrafficModel(
+        packet_size=Lognormal.from_mean_cov(mean_bytes, 0.30),
+        burst_interval=Deterministic(PUBLISHED.server_iat_ms / 1e3),
+        min_packet_bytes=40.0,
+        min_interval_s=10e-3,
+    )
+    return GameTrafficModel(
+        name=f"quake3-{num_players}p",
+        client=client,
+        server=server,
+        notes="Synthetic Quake3 model after Lang, Branch & Armitage (ACE 2004)",
+        references=("Lang, Branch, Armitage, A Synthetic Traffic Model for Quake3",),
+    )

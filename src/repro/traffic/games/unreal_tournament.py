@@ -1,0 +1,236 @@
+"""Unreal Tournament 2003 LAN-party traffic (Section 2.2, Table 3, Figure 1).
+
+The paper analyses a six-minute trace of a 12-player LAN session [23].
+That capture is not available, so this module synthesises a trace with
+the reported statistics and anomalies; the trace-analysis code then
+recomputes Table 3 and Figure 1 from the synthetic capture, exercising
+exactly the same code path a real capture would.
+
+Reported characteristics reproduced by the generator:
+
+* server bursts every ~47 ms with CoV 0.07; about 0.1% of bursts are
+  delayed by ~33 ms (arriving after ~80 ms, with the following burst
+  ~15 ms later because the tick grid is unchanged);
+* one packet per player per burst, with ~0.5% of bursts missing a packet;
+* server packet sizes with mean 154 bytes; the size variation *within* a
+  burst (CoV 0.05-0.11) is much smaller than the overall variation,
+  because most of the variability is from burst to burst (game activity);
+* burst sizes with mean 1852 bytes and CoV 0.19, with a tail slightly
+  heavier than an Erlang of matching CoV (which is why the paper's tail
+  fit selects K between 15 and 20 while the CoV fit gives K = 28);
+* client packets of 73 bytes (CoV 0.06) every ~30 ms (CoV 0.65).
+
+Note on internal consistency: with a fixed 12-player population the
+overall packet-size CoV is bounded by
+``sqrt(within_burst_cov**2 + burst_cov**2) ~ 0.21``, slightly below the
+0.28 reported in Table 3; the reproduction keeps the burst-level figures
+(which drive the queueing model) exact and accepts the smaller overall
+packet-size CoV.  This is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ...distributions import Lognormal
+from ...errors import ParameterError
+from ...units import require_positive
+from ..models import ClientTrafficModel, GameTrafficModel
+from ..packets import Direction, Packet
+
+__all__ = [
+    "PUBLISHED",
+    "UnrealTournamentPublished",
+    "UnrealTournamentServerModel",
+    "build_model",
+    "lan_party_trace",
+]
+
+
+@dataclass(frozen=True)
+class UnrealTournamentPublished:
+    """The measured Unreal Tournament 2003 characteristics (Table 3)."""
+
+    num_players: int = 12
+    trace_duration_s: float = 360.0
+    server_packet_mean_bytes: float = 154.0
+    server_packet_cov: float = 0.28
+    burst_iat_mean_ms: float = 47.0
+    burst_iat_cov: float = 0.07
+    burst_size_mean_bytes: float = 1852.0
+    burst_size_cov: float = 0.19
+    within_burst_cov_range: tuple = (0.05, 0.11)
+    client_packet_mean_bytes: float = 73.0
+    client_packet_cov: float = 0.06
+    client_iat_mean_ms: float = 30.0
+    client_iat_cov: float = 0.65
+    delayed_burst_fraction: float = 0.001
+    incomplete_burst_fraction: float = 0.005
+    erlang_order_from_cov: int = 28
+    erlang_order_from_tail: tuple = (15, 20)
+
+
+PUBLISHED = UnrealTournamentPublished()
+
+
+class UnrealTournamentServerModel:
+    """Downstream burst generator reproducing the Table 3 statistics.
+
+    The per-packet size is decomposed as
+    ``size = base * activity_b * player_c * noise_{c,b}`` where
+
+    * ``activity_b`` is a burst-level factor (game activity; lognormal
+      with CoV ~0.17 plus occasional action spikes) — it dominates the
+      burst-size CoV of 0.19 and gives the slightly heavy tail of
+      Figure 1;
+    * ``player_c`` is a small per-player factor (CoV ~0.05);
+    * ``noise`` is the residual within-burst variation (CoV ~0.05);
+
+    so the within-burst size CoV lands in the reported 0.05-0.11 window
+    while the burst-size CoV reaches ~0.19.
+    """
+
+    def __init__(
+        self,
+        base_packet_bytes: float = PUBLISHED.server_packet_mean_bytes,
+        tick_interval_s: float = PUBLISHED.burst_iat_mean_ms / 1e3,
+        tick_cov: float = PUBLISHED.burst_iat_cov,
+        activity_cov: float = 0.17,
+        spike_probability: float = 0.025,
+        spike_factor: float = 1.5,
+        player_cov: float = 0.05,
+        noise_cov: float = 0.05,
+        delay_probability: float = PUBLISHED.delayed_burst_fraction,
+        delay_extra_s: float = 0.033,
+        drop_probability: float = 0.0004,
+        intra_burst_spacing_s: float = 2e-5,
+    ) -> None:
+        self.base_packet_bytes = require_positive(base_packet_bytes, "base_packet_bytes")
+        self.tick_interval_s = require_positive(tick_interval_s, "tick_interval_s")
+        self.tick_cov = float(tick_cov)
+        self.activity_cov = float(activity_cov)
+        self.spike_probability = float(spike_probability)
+        self.spike_factor = float(spike_factor)
+        self.player_cov = float(player_cov)
+        self.noise_cov = float(noise_cov)
+        self.delay_probability = float(delay_probability)
+        self.delay_extra_s = float(delay_extra_s)
+        self.drop_probability = float(drop_probability)
+        self.intra_burst_spacing_s = float(intra_burst_spacing_s)
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ParameterError("drop_probability must lie in [0, 1)")
+        # Normalise the mean of the burst-activity factor (including the
+        # spike mixture) to 1 so the mean packet size stays at base.
+        self._spike_mean = 1.0 + self.spike_probability * (self.spike_factor - 1.0)
+
+    # -- nominal parameters (duck-typed ServerTrafficModel interface) ---
+    @property
+    def mean_packet_bytes(self) -> float:
+        """Nominal mean downstream packet size in bytes."""
+        return self.base_packet_bytes
+
+    @property
+    def mean_interval_s(self) -> float:
+        """Nominal tick interval in seconds."""
+        return self.tick_interval_s
+
+    def mean_bitrate_bps(self, num_clients: int) -> float:
+        """Average downstream bit rate for ``num_clients`` players."""
+        return 8.0 * self.mean_packet_bytes * num_clients / self.mean_interval_s
+
+    # -- generation ------------------------------------------------------
+    def generate(
+        self,
+        duration: float,
+        num_clients: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Packet]:
+        """Generate the downstream packets of a ``num_clients`` session."""
+        require_positive(duration, "duration")
+        if num_clients < 1:
+            raise ParameterError("num_clients must be at least 1")
+        rng = rng if rng is not None else np.random.default_rng()
+
+        activity_dist = Lognormal.from_mean_cov(1.0 / self._spike_mean, self.activity_cov)
+        player_factors = np.exp(rng.normal(0.0, self.player_cov, size=num_clients))
+        player_factors /= player_factors.mean()
+
+        packets: List[Packet] = []
+        t = float(rng.uniform(0.0, self.tick_interval_s))
+        burst_id = 0
+        tick_sigma = self.tick_interval_s * self.tick_cov
+        while t < duration:
+            burst_time = t
+            if self.delay_probability and rng.random() < self.delay_probability:
+                burst_time = t + self.delay_extra_s
+            activity = float(activity_dist.sample(rng=rng))
+            if self.spike_probability and rng.random() < self.spike_probability:
+                activity *= self.spike_factor
+            order = list(range(num_clients))
+            rng.shuffle(order)
+            offset = 0.0
+            for client_id in order:
+                if self.drop_probability and rng.random() < self.drop_probability:
+                    continue
+                noise = float(np.exp(rng.normal(0.0, self.noise_cov)))
+                size = self.base_packet_bytes * activity * player_factors[client_id] * noise
+                packets.append(
+                    Packet(
+                        timestamp=burst_time + offset,
+                        size_bytes=max(size, 40.0),
+                        direction=Direction.SERVER_TO_CLIENT,
+                        client_id=int(client_id),
+                        burst_id=burst_id,
+                    )
+                )
+                offset += self.intra_burst_spacing_s
+            # The tick grid itself only jitters mildly (CoV 0.07).
+            t += max(float(rng.normal(self.tick_interval_s, tick_sigma)), 1e-3)
+            burst_id += 1
+        return packets
+
+
+def build_model() -> GameTrafficModel:
+    """Return the synthetic Unreal Tournament 2003 traffic model."""
+    client = ClientTrafficModel(
+        packet_size=Lognormal.from_mean_cov(
+            PUBLISHED.client_packet_mean_bytes, PUBLISHED.client_packet_cov
+        ),
+        inter_arrival_time=Lognormal.from_mean_cov(
+            PUBLISHED.client_iat_mean_ms / 1e3, PUBLISHED.client_iat_cov
+        ),
+        min_packet_bytes=40.0,
+        min_interval_s=2e-3,
+    )
+    server = UnrealTournamentServerModel()
+    return GameTrafficModel(
+        name="unreal-tournament-2003",
+        client=client,
+        server=server,  # type: ignore[arg-type] - duck-typed server model
+        notes="Synthetic Unreal Tournament 2003 LAN trace (Section 2.2 substitution)",
+        references=("Quax et al., NetGames 2004 (the LAN-party measurement)",),
+    )
+
+
+def lan_party_trace(
+    duration: float = PUBLISHED.trace_duration_s,
+    num_players: int = PUBLISHED.num_players,
+    seed: Optional[int] = 2006,
+):
+    """Synthesise the six-minute, 12-player LAN-party trace of Section 2.2."""
+    model = build_model()
+    return model.session_trace(duration, num_players, seed=seed)
+
+
+def ideal_model() -> GameTrafficModel:
+    """Idealised deterministic UT2003 model for the queueing analysis."""
+    return GameTrafficModel.periodic(
+        name="unreal-tournament-ideal",
+        client_packet_bytes=PUBLISHED.client_packet_mean_bytes,
+        server_packet_bytes=PUBLISHED.server_packet_mean_bytes,
+        tick_interval_s=PUBLISHED.burst_iat_mean_ms / 1e3,
+        client_interval_s=PUBLISHED.client_iat_mean_ms / 1e3,
+    )

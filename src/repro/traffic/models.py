@@ -1,0 +1,282 @@
+"""Parametric traffic source models (Section 2.3).
+
+Two sub-models, exactly as in the paper:
+
+* :class:`ClientTrafficModel` — each client sends one packet per update
+  interval; packet sizes and inter-arrival times are drawn from
+  configurable distributions (deterministic in the paper's model, with
+  the measured jitter available for the synthetic-trace generators).
+* :class:`ServerTrafficModel` — the server emits, every tick, a burst of
+  back-to-back packets (one per client); the tick interval and the
+  per-packet sizes are drawn from configurable distributions.
+
+:class:`GameTrafficModel` combines the two into a full game session that
+can be rendered into a :class:`~repro.traffic.trace.PacketTrace` and fed
+to the trace analysis, the fitting code or the network simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..distributions import Deterministic, Distribution
+from ..errors import ParameterError
+from ..units import require_positive
+from .packets import Direction, Packet
+from .trace import PacketTrace
+
+__all__ = ["ClientTrafficModel", "ServerTrafficModel", "GameTrafficModel"]
+
+
+def _positive_sample(dist: Distribution, rng: np.random.Generator, minimum: float) -> float:
+    """Draw a sample, clipping it from below to keep sizes/intervals sane."""
+    value = float(dist.sample(rng=rng))
+    return max(value, minimum)
+
+
+@dataclass
+class ClientTrafficModel:
+    """Model of the client-to-server (upstream) stream of one player.
+
+    Attributes
+    ----------
+    packet_size:
+        Distribution of the upstream packet size in bytes.
+    inter_arrival_time:
+        Distribution of the time between consecutive upstream packets of
+        the same client, in seconds.
+    min_packet_bytes / min_interval_s:
+        Floors applied to the sampled values, protecting the generator
+        from the (unbounded-below) fitted distributions.
+    """
+
+    packet_size: Distribution
+    inter_arrival_time: Distribution
+    min_packet_bytes: float = 20.0
+    min_interval_s: float = 1e-4
+
+    @property
+    def mean_packet_bytes(self) -> float:
+        """Mean upstream packet size in bytes."""
+        return self.packet_size.mean
+
+    @property
+    def mean_interval_s(self) -> float:
+        """Mean upstream inter-packet time in seconds."""
+        return self.inter_arrival_time.mean
+
+    @property
+    def mean_bitrate_bps(self) -> float:
+        """Average upstream bit rate of one client."""
+        return 8.0 * self.mean_packet_bytes / self.mean_interval_s
+
+    def generate(
+        self,
+        duration: float,
+        client_id: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        start_offset: Optional[float] = None,
+    ) -> List[Packet]:
+        """Generate the packets of one client over ``duration`` seconds.
+
+        ``start_offset`` is the phase of the periodic stream; when omitted
+        it is drawn uniformly in one inter-arrival time, which is the
+        "random phasing between the streams" assumption of Section 2.3.1.
+        """
+        require_positive(duration, "duration")
+        rng = rng if rng is not None else np.random.default_rng()
+        if start_offset is None:
+            start_offset = float(rng.uniform(0.0, max(self.mean_interval_s, 1e-9)))
+        packets: List[Packet] = []
+        t = float(start_offset)
+        while t < duration:
+            size = _positive_sample(self.packet_size, rng, self.min_packet_bytes)
+            packets.append(
+                Packet(
+                    timestamp=t,
+                    size_bytes=size,
+                    direction=Direction.CLIENT_TO_SERVER,
+                    client_id=client_id,
+                )
+            )
+            t += _positive_sample(self.inter_arrival_time, rng, self.min_interval_s)
+        return packets
+
+
+@dataclass
+class ServerTrafficModel:
+    """Model of the server-to-client (downstream) burst stream.
+
+    Attributes
+    ----------
+    packet_size:
+        Distribution of a single downstream packet size in bytes.
+    burst_interval:
+        Distribution of the tick interval between consecutive bursts, in
+        seconds (deterministic in the paper's queueing model).
+    intra_burst_spacing_s:
+        Back-to-back spacing between the packets of one burst (seconds);
+        the paper treats them as simultaneous, a small positive spacing
+        keeps the generated trace physically plausible.
+    shuffle_order:
+        Whether the order of clients within a burst is shuffled from
+        burst to burst (Section 2.2 observes the order is not fixed).
+    drop_probability:
+        Probability that an individual packet is missing from its burst
+        (the ~0.5% "missing packet" anomaly).
+    delay_probability / delay_extra_s:
+        Probability that a whole burst is delayed by ``delay_extra_s``
+        (the ~0.1% "delayed burst" anomaly; the following burst is then
+        correspondingly early because the tick grid is unchanged).
+    """
+
+    packet_size: Distribution
+    burst_interval: Distribution
+    intra_burst_spacing_s: float = 2e-5
+    shuffle_order: bool = True
+    drop_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_extra_s: float = 0.0
+    min_packet_bytes: float = 20.0
+    min_interval_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "delay_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ParameterError(f"{name} must lie in [0, 1), got {value!r}")
+
+    @property
+    def mean_packet_bytes(self) -> float:
+        """Mean downstream packet size in bytes."""
+        return self.packet_size.mean
+
+    @property
+    def mean_interval_s(self) -> float:
+        """Mean tick (burst inter-arrival) interval in seconds."""
+        return self.burst_interval.mean
+
+    def mean_bitrate_bps(self, num_clients: int) -> float:
+        """Average downstream bit rate for ``num_clients`` players."""
+        return 8.0 * self.mean_packet_bytes * num_clients / self.mean_interval_s
+
+    def generate(
+        self,
+        duration: float,
+        num_clients: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Packet]:
+        """Generate the downstream packets of a session with ``num_clients``."""
+        require_positive(duration, "duration")
+        if num_clients < 1:
+            raise ParameterError("num_clients must be at least 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        packets: List[Packet] = []
+        t = float(rng.uniform(0.0, self.mean_interval_s))
+        burst_id = 0
+        while t < duration:
+            burst_time = t
+            if self.delay_probability and rng.random() < self.delay_probability:
+                burst_time = t + self.delay_extra_s
+            order = list(range(num_clients))
+            if self.shuffle_order:
+                rng.shuffle(order)
+            offset = 0.0
+            for client_id in order:
+                if self.drop_probability and rng.random() < self.drop_probability:
+                    continue
+                size = _positive_sample(self.packet_size, rng, self.min_packet_bytes)
+                packets.append(
+                    Packet(
+                        timestamp=burst_time + offset,
+                        size_bytes=size,
+                        direction=Direction.SERVER_TO_CLIENT,
+                        client_id=client_id,
+                        burst_id=burst_id,
+                    )
+                )
+                offset += self.intra_burst_spacing_s
+            t += _positive_sample(self.burst_interval, rng, self.min_interval_s)
+            burst_id += 1
+        return packets
+
+
+@dataclass
+class GameTrafficModel:
+    """A full game traffic model: one server model plus one client model.
+
+    This is the object each module in :mod:`repro.traffic.games` builds;
+    it knows how to synthesise a complete session trace and how to report
+    the nominal parameters the queueing model needs (mean packet sizes,
+    tick interval, per-client bit rates).
+    """
+
+    name: str
+    client: ClientTrafficModel
+    server: ServerTrafficModel
+    notes: str = ""
+    references: Sequence[str] = field(default_factory=tuple)
+
+    def session_trace(
+        self,
+        duration: float,
+        num_clients: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> PacketTrace:
+        """Synthesise a session of ``num_clients`` players over ``duration`` s."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        packets: List[Packet] = []
+        packets.extend(self.server.generate(duration, num_clients, rng=rng))
+        for client_id in range(num_clients):
+            packets.extend(self.client.generate(duration, client_id=client_id, rng=rng))
+        return PacketTrace(packets, name=f"{self.name}-{num_clients}p")
+
+    # Convenience accessors used by the scenario/dimensioning code -----
+    @property
+    def client_packet_bytes(self) -> float:
+        """Nominal upstream packet size ``P_C`` in bytes."""
+        return self.client.mean_packet_bytes
+
+    @property
+    def server_packet_bytes(self) -> float:
+        """Nominal downstream per-client packet size ``P_S`` in bytes."""
+        return self.server.mean_packet_bytes
+
+    @property
+    def tick_interval_s(self) -> float:
+        """Nominal server tick / client update interval ``T`` in seconds."""
+        return self.server.mean_interval_s
+
+    @classmethod
+    def periodic(
+        cls,
+        name: str,
+        client_packet_bytes: float,
+        server_packet_bytes: float,
+        tick_interval_s: float,
+        client_interval_s: Optional[float] = None,
+    ) -> "GameTrafficModel":
+        """Build the idealised model of Section 2.3 (all-deterministic).
+
+        This is the traffic model actually fed to the queueing analysis:
+        constant packet sizes, constant intervals.
+        """
+        require_positive(client_packet_bytes, "client_packet_bytes")
+        require_positive(server_packet_bytes, "server_packet_bytes")
+        require_positive(tick_interval_s, "tick_interval_s")
+        if client_interval_s is None:
+            client_interval_s = tick_interval_s
+        client = ClientTrafficModel(
+            packet_size=Deterministic(client_packet_bytes),
+            inter_arrival_time=Deterministic(client_interval_s),
+        )
+        server = ServerTrafficModel(
+            packet_size=Deterministic(server_packet_bytes),
+            burst_interval=Deterministic(tick_interval_s),
+        )
+        return cls(name=name, client=client, server=server, notes="idealised periodic model")

@@ -1,0 +1,118 @@
+"""Packet and burst records.
+
+The unit of measurement in the paper's trace analysis is the UDP game
+packet: its timestamp, size, direction (client-to-server or
+server-to-client) and the endpoints involved.  Server packets are
+grouped into *bursts*: the back-to-back packets the server emits at each
+update tick, one per client (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["Direction", "Packet", "Burst"]
+
+
+class Direction(str, enum.Enum):
+    """Direction of a game packet."""
+
+    CLIENT_TO_SERVER = "c2s"
+    SERVER_TO_CLIENT = "s2c"
+
+    @classmethod
+    def parse(cls, value: "Direction | str") -> "Direction":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        value = str(value).lower()
+        for member in cls:
+            if value in (member.value, member.name.lower()):
+                return member
+        raise ParameterError(f"unknown packet direction {value!r}")
+
+
+@dataclass(frozen=True, order=True)
+class Packet:
+    """A single game packet.
+
+    Attributes
+    ----------
+    timestamp:
+        Send time of the packet in seconds from the start of the trace.
+    size_bytes:
+        UDP payload plus headers in bytes (the paper reports sizes at
+        the IP level).
+    direction:
+        Whether the packet travels from a client to the server or back.
+    client_id:
+        Identifier of the client this packet belongs to (the sender for
+        upstream packets, the addressee for downstream packets).
+    burst_id:
+        For server packets, the index of the server update tick (burst)
+        the packet was emitted in; ``None`` for client packets.
+    """
+
+    timestamp: float
+    size_bytes: float
+    direction: Direction = field(compare=False)
+    client_id: int = field(compare=False, default=0)
+    burst_id: Optional[int] = field(compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0.0:
+            raise ParameterError(f"packet timestamp must be >= 0, got {self.timestamp!r}")
+        if self.size_bytes <= 0.0:
+            raise ParameterError(f"packet size must be positive, got {self.size_bytes!r}")
+
+    @property
+    def size_bits(self) -> float:
+        """Packet size in bits."""
+        return self.size_bytes * 8.0
+
+
+@dataclass
+class Burst:
+    """A server update burst: the packets sent back-to-back at one tick."""
+
+    burst_id: int
+    packets: List[Packet]
+
+    def __post_init__(self) -> None:
+        if not self.packets:
+            raise ParameterError("a burst must contain at least one packet")
+        self.packets = sorted(self.packets, key=lambda p: p.timestamp)
+
+    @property
+    def timestamp(self) -> float:
+        """Time of the first packet in the burst (the burst arrival time)."""
+        return self.packets[0].timestamp
+
+    @property
+    def size_bytes(self) -> float:
+        """Total burst size in bytes (the quantity modelled as Erlang(K))."""
+        return float(sum(p.size_bytes for p in self.packets))
+
+    @property
+    def packet_count(self) -> int:
+        """Number of packets in the burst (one per client in the ideal case)."""
+        return len(self.packets)
+
+    @property
+    def client_ids(self) -> Sequence[int]:
+        """Clients addressed by this burst, in packet order."""
+        return [p.client_id for p in self.packets]
+
+    def packet_sizes(self) -> List[float]:
+        """Sizes (bytes) of the individual packets, in packet order."""
+        return [p.size_bytes for p in self.packets]
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self):
+        return iter(self.packets)

@@ -1,0 +1,213 @@
+"""Packet trace container with CSV/JSONL persistence.
+
+The analysis of Section 2.2 operates on a packet trace captured during a
+LAN party.  :class:`PacketTrace` plays the role of that capture file: a
+time-ordered sequence of :class:`~repro.traffic.packets.Packet` records
+with filtering, splitting and (de)serialisation utilities so synthetic
+traces can be saved, reloaded and analysed exactly like a real capture.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..errors import TraceFormatError
+from .packets import Direction, Packet
+
+__all__ = ["PacketTrace"]
+
+_CSV_FIELDS = ["timestamp", "size_bytes", "direction", "client_id", "burst_id"]
+
+
+class PacketTrace:
+    """A time-ordered collection of game packets."""
+
+    def __init__(self, packets: Iterable[Packet] = (), name: str = "trace") -> None:
+        self._packets: List[Packet] = sorted(packets, key=lambda p: p.timestamp)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return PacketTrace(self._packets[index], name=self.name)
+        return self._packets[index]
+
+    @property
+    def packets(self) -> List[Packet]:
+        """The packets, time-ordered (a copy)."""
+        return list(self._packets)
+
+    @property
+    def duration(self) -> float:
+        """Trace duration in seconds (0 for empty or single-packet traces)."""
+        if len(self._packets) < 2:
+            return 0.0
+        return self._packets[-1].timestamp - self._packets[0].timestamp
+
+    def append(self, packet: Packet) -> None:
+        """Add a packet, keeping the trace time-ordered."""
+        self._packets.append(packet)
+        if len(self._packets) > 1 and packet.timestamp < self._packets[-2].timestamp:
+            self._packets.sort(key=lambda p: p.timestamp)
+
+    def extend(self, packets: Iterable[Packet]) -> None:
+        """Add several packets, keeping the trace time-ordered."""
+        self._packets.extend(packets)
+        self._packets.sort(key=lambda p: p.timestamp)
+
+    def merge(self, other: "PacketTrace") -> "PacketTrace":
+        """Return a new trace containing the packets of both traces."""
+        return PacketTrace(self._packets + other._packets, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Packet], bool]) -> "PacketTrace":
+        """Return a sub-trace containing the packets matching ``predicate``."""
+        return PacketTrace((p for p in self._packets if predicate(p)), name=self.name)
+
+    def upstream(self) -> "PacketTrace":
+        """Client-to-server packets only."""
+        return self.filter(lambda p: p.direction is Direction.CLIENT_TO_SERVER)
+
+    def downstream(self) -> "PacketTrace":
+        """Server-to-client packets only."""
+        return self.filter(lambda p: p.direction is Direction.SERVER_TO_CLIENT)
+
+    def for_client(self, client_id: int) -> "PacketTrace":
+        """Packets belonging to a single client (either direction)."""
+        return self.filter(lambda p: p.client_id == client_id)
+
+    def between(self, start: float, end: float) -> "PacketTrace":
+        """Packets with ``start <= timestamp < end``."""
+        return self.filter(lambda p: start <= p.timestamp < end)
+
+    def client_ids(self) -> List[int]:
+        """Sorted list of distinct client identifiers appearing in the trace."""
+        return sorted({p.client_id for p in self._packets})
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def timestamps(self) -> List[float]:
+        """Packet timestamps in seconds."""
+        return [p.timestamp for p in self._packets]
+
+    def sizes(self) -> List[float]:
+        """Packet sizes in bytes."""
+        return [p.size_bytes for p in self._packets]
+
+    def inter_arrival_times(self) -> List[float]:
+        """Successive timestamp differences in seconds."""
+        times = self.timestamps()
+        return [b - a for a, b in zip(times, times[1:])]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the trace as a CSV file with one packet per row."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+            writer.writeheader()
+            for packet in self._packets:
+                writer.writerow(
+                    {
+                        "timestamp": repr(float(packet.timestamp)),
+                        "size_bytes": repr(float(packet.size_bytes)),
+                        "direction": packet.direction.value,
+                        "client_id": packet.client_id,
+                        "burst_id": "" if packet.burst_id is None else packet.burst_id,
+                    }
+                )
+        return path
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path], name: Optional[str] = None) -> "PacketTrace":
+        """Load a trace previously written by :meth:`to_csv`."""
+        path = Path(path)
+        packets: List[Packet] = []
+        with path.open("r", newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None or set(_CSV_FIELDS) - set(reader.fieldnames):
+                raise TraceFormatError(
+                    f"{path} is missing required columns {_CSV_FIELDS}"
+                )
+            for row_number, row in enumerate(reader, start=2):
+                packets.append(cls._packet_from_record(row, f"{path}:{row_number}"))
+        return cls(packets, name=name or path.stem)
+
+    def to_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the trace as JSON-lines (one packet object per line)."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for packet in self._packets:
+                handle.write(
+                    json.dumps(
+                        {
+                            "timestamp": float(packet.timestamp),
+                            "size_bytes": float(packet.size_bytes),
+                            "direction": packet.direction.value,
+                            "client_id": packet.client_id,
+                            "burst_id": packet.burst_id,
+                        }
+                    )
+                )
+                handle.write("\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path], name: Optional[str] = None) -> "PacketTrace":
+        """Load a trace previously written by :meth:`to_jsonl`."""
+        path = Path(path)
+        packets: List[Packet] = []
+        with path.open("r") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(f"{path}:{line_number}: invalid JSON ({exc})")
+                packets.append(cls._packet_from_record(record, f"{path}:{line_number}"))
+        return cls(packets, name=name or path.stem)
+
+    @staticmethod
+    def _packet_from_record(record: dict, where: str) -> Packet:
+        try:
+            burst_raw = record.get("burst_id")
+            if burst_raw in (None, ""):
+                burst_id: Optional[int] = None
+            else:
+                burst_id = int(burst_raw)
+            return Packet(
+                timestamp=float(record["timestamp"]),
+                size_bytes=float(record["size_bytes"]),
+                direction=Direction.parse(record["direction"]),
+                client_id=int(record.get("client_id", 0) or 0),
+                burst_id=burst_id,
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise TraceFormatError(f"{where}: malformed packet record ({exc})") from exc
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PacketTrace {self.name!r}: {len(self)} packets, "
+            f"{self.duration:.1f} s>"
+        )

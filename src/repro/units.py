@@ -1,0 +1,107 @@
+"""Unit conversion helpers.
+
+The paper mixes engineering units freely: packet sizes in bytes, link
+rates in kbit/s, inter-arrival times in milliseconds and queueing delays
+in seconds.  Internally the library works in SI units (seconds, bits,
+bits per second); this module provides the explicit conversions so the
+intent is visible at every call site.
+"""
+
+from __future__ import annotations
+
+from .errors import ParameterError
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "kbps_to_bps",
+    "bps_to_kbps",
+    "mbps_to_bps",
+    "ms_to_s",
+    "s_to_ms",
+    "serialization_delay",
+    "require_positive",
+    "require_non_negative",
+    "require_fraction",
+]
+
+BITS_PER_BYTE = 8
+
+
+def bytes_to_bits(size_bytes: float) -> float:
+    """Convert a size in bytes to bits."""
+    return float(size_bytes) * BITS_PER_BYTE
+
+
+def bits_to_bytes(size_bits: float) -> float:
+    """Convert a size in bits to bytes."""
+    return float(size_bits) / BITS_PER_BYTE
+
+
+def kbps_to_bps(rate_kbps: float) -> float:
+    """Convert a link rate from kbit/s to bit/s."""
+    return float(rate_kbps) * 1_000.0
+
+
+def bps_to_kbps(rate_bps: float) -> float:
+    """Convert a link rate from bit/s to kbit/s."""
+    return float(rate_bps) / 1_000.0
+
+
+def mbps_to_bps(rate_mbps: float) -> float:
+    """Convert a link rate from Mbit/s to bit/s."""
+    return float(rate_mbps) * 1_000_000.0
+
+
+def ms_to_s(duration_ms: float) -> float:
+    """Convert a duration from milliseconds to seconds."""
+    return float(duration_ms) / 1_000.0
+
+
+def s_to_ms(duration_s: float) -> float:
+    """Convert a duration from seconds to milliseconds."""
+    return float(duration_s) * 1_000.0
+
+
+def serialization_delay(packet_bytes: float, rate_bps: float) -> float:
+    """Return the time (in seconds) to serialise a packet on a link.
+
+    Parameters
+    ----------
+    packet_bytes:
+        Packet size in bytes.
+    rate_bps:
+        Link rate in bits per second.
+    """
+    require_positive(rate_bps, "rate_bps")
+    require_non_negative(packet_bytes, "packet_bytes")
+    return bytes_to_bits(packet_bytes) / float(rate_bps)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    value = float(value)
+    if not value > 0.0:
+        raise ParameterError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    value = float(value)
+    if value < 0.0:
+        raise ParameterError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_fraction(value: float, name: str, *, inclusive: bool = False) -> float:
+    """Validate that ``value`` lies in (0, 1), or [0, 1] if ``inclusive``."""
+    value = float(value)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ParameterError(f"{name} must lie in [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ParameterError(f"{name} must lie in (0, 1), got {value!r}")
+    return value

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rtt_defaults(self):
+        args = build_parser().parse_args(["rtt"])
+        assert args.load == pytest.approx(0.4)
+        assert args.erlang_order == 9
+        assert args.method == "inversion"
+
+    def test_dimension_arguments(self):
+        args = build_parser().parse_args(["dimension", "--rtt-bound-ms", "80"])
+        assert args.rtt_bound_ms == pytest.approx(80.0)
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "--clients", "10", "--scheduler", "wfq", "--duration", "5"]
+        )
+        assert args.clients == 10
+        assert args.scheduler == "wfq"
+
+
+class TestCommands:
+    def test_rtt_command_prints_quantile(self, capsys):
+        exit_code = main(["rtt", "--load", "0.4", "--tick-ms", "40"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "RTT" in captured
+        assert "downlink load" in captured
+
+    def test_rtt_command_with_alternative_method(self, capsys):
+        exit_code = main(["rtt", "--load", "0.3", "--method", "sum-of-quantiles"])
+        assert exit_code == 0
+        assert "quantile" in capsys.readouterr().out
+
+    def test_dimension_command(self, capsys):
+        exit_code = main(["dimension", "--rtt-bound-ms", "50", "--tick-ms", "40"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "max gamers" in captured
+
+    def test_simulate_command(self, capsys):
+        exit_code = main(
+            ["simulate", "--clients", "8", "--duration", "3", "--seed", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rtt mean (ms)" in captured
+
+    def test_simulate_with_background_and_wfq(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--clients",
+                "8",
+                "--duration",
+                "3",
+                "--scheduler",
+                "wfq",
+                "--background-kbps",
+                "1000",
+            ]
+        )
+        assert exit_code == 0
+        assert "downlink load" in capsys.readouterr().out

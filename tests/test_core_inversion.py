@@ -1,0 +1,100 @@
+"""Tests for the numerical Laplace-transform inversion (Euler algorithm)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import ErlangTermSum
+from repro.core.inversion import euler_laplace_inversion, quantile_from_mgf, tail_from_mgf
+from repro.errors import ParameterError
+
+
+class TestEulerInversion:
+    def test_inverts_exponential_transform(self):
+        # L{e^{-t}} = 1/(s+1).
+        for t in (0.3, 1.0, 4.0):
+            value = euler_laplace_inversion(lambda s: 1.0 / (s + 1.0), t)
+            assert value == pytest.approx(math.exp(-t), abs=1e-8)
+
+    def test_inverts_polynomial_transform(self):
+        # L{t^2/2} = 1/s^3.
+        value = euler_laplace_inversion(lambda s: 1.0 / s**3, 2.0)
+        assert value == pytest.approx(2.0, rel=1e-7)
+
+    def test_rejects_non_positive_time(self):
+        with pytest.raises(ParameterError):
+            euler_laplace_inversion(lambda s: 1.0 / s, 0.0)
+
+
+class TestTailFromMgf:
+    def test_exponential_tail(self):
+        dist = ErlangTermSum.exponential(2.0)
+        for x in (0.1, 1.0, 5.0):
+            assert tail_from_mgf(dist.mgf, x) == pytest.approx(math.exp(-2.0 * x), abs=1e-7)
+
+    def test_erlang_tail(self):
+        dist = ErlangTermSum.erlang(5, 3.0)
+        for x in (0.5, 2.0, 4.0):
+            expected = stats.gamma.sf(x, a=5, scale=1 / 3.0)
+            assert tail_from_mgf(dist.mgf, x) == pytest.approx(expected, abs=1e-7)
+
+    def test_distribution_with_atom(self):
+        dist = ErlangTermSum.exponential(1.0, weight=0.25, atom=0.75)
+        assert tail_from_mgf(dist.mgf, 2.0) == pytest.approx(0.25 * math.exp(-2.0), abs=1e-7)
+
+    def test_negative_argument_returns_one(self):
+        dist = ErlangTermSum.exponential(1.0)
+        assert tail_from_mgf(dist.mgf, -1.0) == 1.0
+
+    def test_value_at_zero_recovers_continuous_mass(self):
+        dist = ErlangTermSum.exponential(1.0, weight=0.3, atom=0.7)
+        assert tail_from_mgf(dist.mgf, 0.0) == pytest.approx(0.3, abs=1e-6)
+
+    def test_matches_analytic_inversion_of_a_product(self):
+        a = ErlangTermSum.erlang(3, 2.0)
+        b = ErlangTermSum.exponential(5.0, weight=0.6, atom=0.4)
+        product = a.product(b)
+        for x in (0.5, 1.5, 4.0):
+            numerical = tail_from_mgf(lambda s: a.mgf(s) * b.mgf(s), x)
+            assert numerical == pytest.approx(product.tail(x), abs=1e-7)
+
+    def test_clamped_to_unit_interval(self):
+        dist = ErlangTermSum.erlang(2, 1.0)
+        assert 0.0 <= tail_from_mgf(dist.mgf, 1e-9) <= 1.0
+
+
+class TestQuantileFromMgf:
+    def test_exponential_quantile(self):
+        dist = ErlangTermSum.exponential(2.0)
+        expected = -math.log(1e-4) / 2.0
+        assert quantile_from_mgf(dist.mgf, 0.9999, scale_hint=0.5) == pytest.approx(
+            expected, rel=1e-5
+        )
+
+    def test_atom_dominated_quantile_is_zero(self):
+        dist = ErlangTermSum.exponential(1.0, weight=1e-6, atom=1.0 - 1e-6)
+        assert quantile_from_mgf(dist.mgf, 0.999, scale_hint=1.0) == 0.0
+
+    def test_rejects_bad_probability(self):
+        dist = ErlangTermSum.exponential(1.0)
+        with pytest.raises(ParameterError):
+            quantile_from_mgf(dist.mgf, 1.5, scale_hint=1.0)
+
+    def test_rejects_bad_scale_hint(self):
+        dist = ErlangTermSum.exponential(1.0)
+        with pytest.raises(ParameterError):
+            quantile_from_mgf(dist.mgf, 0.99, scale_hint=0.0)
+
+    def test_matches_erlang_sum_quantile(self):
+        mixture = ErlangTermSum.erlang_mixture([0.25, 0.5, 0.25], [1, 3, 6], rate=4.0)
+        exact = mixture.quantile(0.99999)
+        numerical = quantile_from_mgf(mixture.mgf, 0.99999, scale_hint=mixture.mean())
+        assert numerical == pytest.approx(exact, rel=1e-5)
+
+    def test_quantile_increases_with_level(self):
+        dist = ErlangTermSum.erlang(4, 2.0)
+        q1 = quantile_from_mgf(dist.mgf, 0.99, scale_hint=dist.mean())
+        q2 = quantile_from_mgf(dist.mgf, 0.9999, scale_hint=dist.mean())
+        assert q2 > q1

@@ -1,0 +1,182 @@
+"""Tests for the Erlang-term MGF algebra (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErlangTerm, ErlangTermSum
+from repro.errors import ParameterError
+
+
+class TestErlangTerm:
+    def test_rejects_zero_order(self):
+        with pytest.raises(ParameterError):
+            ErlangTerm(1.0, 2.0, 0)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ParameterError):
+            ErlangTerm(1.0, -1.0, 1)
+
+    def test_mgf_at_zero_is_coefficient(self):
+        term = ErlangTerm(0.7, 3.0, 4)
+        assert term.mgf(0.0) == pytest.approx(0.7)
+
+    def test_tail_matches_erlang_formula(self):
+        term = ErlangTerm(1.0, 2.0, 3)
+        x = 1.5
+        from scipy import special
+
+        expected = special.gammaincc(3, 2.0 * x)
+        assert term.tail(x).real == pytest.approx(expected, rel=1e-10)
+
+    def test_mean(self):
+        assert ErlangTerm(1.0, 2.0, 6).mean().real == pytest.approx(3.0)
+
+
+class TestConstructorsAndBasics:
+    def test_point_mass(self):
+        dist = ErlangTermSum.point_mass_at_zero()
+        assert dist.total_mass == pytest.approx(1.0)
+        assert dist.tail(0.0) == 0.0
+        assert dist.mean() == 0.0
+
+    def test_exponential_constructor(self):
+        dist = ErlangTermSum.exponential(2.0, weight=0.3, atom=0.7)
+        assert dist.total_mass == pytest.approx(1.0)
+        assert dist.atom_mass == pytest.approx(0.7)
+        assert dist.tail(1.0) == pytest.approx(0.3 * np.exp(-2.0))
+
+    def test_erlang_constructor_matches_scipy(self):
+        from scipy import stats
+
+        dist = ErlangTermSum.erlang(4, 3.0)
+        x = 2.0
+        assert dist.tail(x) == pytest.approx(stats.gamma.sf(x, a=4, scale=1 / 3.0), rel=1e-9)
+
+    def test_erlang_mixture_weights_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            ErlangTermSum.erlang_mixture([0.5, 0.5], [1], rate=1.0)
+
+    def test_mean_and_variance_of_mixture(self):
+        dist = ErlangTermSum.erlang_mixture([0.5, 0.5], [1, 3], rate=2.0)
+        assert dist.mean() == pytest.approx(0.5 * 0.5 + 0.5 * 1.5)
+        # E[X^2] = 0.5 * 2/4 + 0.5 * 12/4 = 1.75
+        assert dist.variance() == pytest.approx(1.75 - dist.mean() ** 2)
+
+    def test_negligible_terms_are_dropped(self):
+        dist = ErlangTermSum(atom=1.0, terms=[ErlangTerm(1e-30, 1.0, 1)])
+        assert len(dist.terms) == 0
+
+
+class TestQuantiles:
+    def test_exponential_quantile_closed_form(self):
+        dist = ErlangTermSum.exponential(2.0)
+        assert dist.quantile(0.99) == pytest.approx(-np.log(0.01) / 2.0, rel=1e-9)
+
+    def test_quantile_of_atom_dominated_distribution_is_zero(self):
+        dist = ErlangTermSum.exponential(1.0, weight=1e-7, atom=1.0 - 1e-7)
+        assert dist.quantile(0.99999) == 0.0
+
+    def test_quantile_rejects_bad_probability(self):
+        with pytest.raises(ParameterError):
+            ErlangTermSum.exponential(1.0).quantile(1.0)
+
+    def test_quantile_monotone_in_probability(self):
+        dist = ErlangTermSum.erlang_mixture([0.3, 0.7], [2, 5], rate=1.5)
+        assert dist.quantile(0.99) < dist.quantile(0.999) < dist.quantile(0.99999)
+
+    def test_dominant_pole_quantile_close_to_exact_for_single_pole(self):
+        dist = ErlangTermSum.exponential(2.0, weight=0.4, atom=0.6)
+        exact = dist.quantile(0.99999)
+        approx = dist.quantile_dominant_pole(0.99999)
+        assert approx == pytest.approx(exact, rel=1e-6)
+
+    def test_chernoff_quantile_upper_bounds_exact(self):
+        dist = ErlangTermSum.erlang(3, 2.0)
+        assert dist.quantile_chernoff(0.9999) >= dist.quantile(0.9999)
+
+
+class TestProducts:
+    def test_product_with_point_mass_is_identity(self):
+        dist = ErlangTermSum.erlang(3, 2.0)
+        product = dist.product(ErlangTermSum.point_mass_at_zero())
+        x = 1.7
+        assert product.tail(x) == pytest.approx(dist.tail(x), rel=1e-12)
+
+    def test_product_of_same_rate_exponentials_is_erlang(self):
+        a = ErlangTermSum.exponential(2.0)
+        b = ErlangTermSum.exponential(2.0)
+        product = a.product(b)
+        reference = ErlangTermSum.erlang(2, 2.0)
+        for x in (0.1, 0.5, 2.0):
+            assert product.tail(x) == pytest.approx(reference.tail(x), rel=1e-10)
+
+    def test_product_of_distinct_exponentials_hypoexponential(self):
+        # Sum of Exp(1) and Exp(3): tail = (3 e^-x - e^-3x)/2.
+        product = ErlangTermSum.exponential(1.0).product(ErlangTermSum.exponential(3.0))
+        for x in (0.2, 1.0, 3.0):
+            expected = (3.0 * np.exp(-x) - np.exp(-3.0 * x)) / 2.0
+            assert product.tail(x) == pytest.approx(expected, rel=1e-10)
+
+    def test_product_mass_is_one_for_proper_inputs(self):
+        a = ErlangTermSum.exponential(1.0, weight=0.5, atom=0.5)
+        b = ErlangTermSum.erlang_mixture([0.25, 0.75], [1, 4], rate=2.0)
+        assert a.product(b).total_mass == pytest.approx(1.0, rel=1e-9)
+
+    def test_product_transform_matches_pointwise_product(self):
+        a = ErlangTermSum.erlang(2, 1.0, weight=0.6, atom=0.4)
+        b = ErlangTermSum.erlang_mixture([0.2, 0.8], [1, 3], rate=2.5)
+        product = a.product(b)
+        for s in (-3.0, -1.0, -0.2, 0.3):
+            assert product.mgf(s) == pytest.approx(a.mgf(s) * b.mgf(s), rel=1e-9)
+
+    def test_product_mean_is_sum_of_means(self):
+        a = ErlangTermSum.erlang(2, 1.0)
+        b = ErlangTermSum.erlang(5, 4.0)
+        assert a.product(b).mean() == pytest.approx(a.mean() + b.mean(), rel=1e-9)
+
+    def test_operator_mul(self):
+        a = ErlangTermSum.exponential(1.0)
+        b = ErlangTermSum.exponential(2.0)
+        assert (a * b).mean() == pytest.approx(1.5)
+
+    def test_product_against_monte_carlo_convolution(self, rng):
+        a = ErlangTermSum.erlang_mixture([0.5, 0.5], [1, 3], rate=2.0)
+        b = ErlangTermSum.exponential(0.7, weight=0.6, atom=0.4)
+        product = a.product(b)
+        samples = a.sample(300_000, rng=rng) + b.sample(300_000, rng=rng)
+        for x in (0.5, 2.0, 5.0):
+            assert product.tail(x) == pytest.approx((samples > x).mean(), abs=5e-3)
+
+
+class TestTransformations:
+    def test_scaled_tail(self):
+        dist = ErlangTermSum.erlang(3, 2.0)
+        scaled = dist.scaled(2.0)
+        for x in (0.5, 1.0, 4.0):
+            assert scaled.tail(x) == pytest.approx(dist.tail(x / 2.0), rel=1e-10)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            ErlangTermSum.erlang(3, 2.0).scaled(0.0)
+
+    def test_normalized(self):
+        dist = ErlangTermSum(atom=0.4, terms=[ErlangTerm(0.4, 1.0, 1)])
+        assert dist.normalized().total_mass == pytest.approx(1.0)
+
+    def test_sample_rejects_complex_weights(self):
+        dist = ErlangTermSum(atom=0.0, terms=[ErlangTerm(0.5 + 0.5j, 1.0 + 1.0j, 1)])
+        with pytest.raises(ParameterError):
+            dist.sample(10)
+
+    def test_dominant_pole_identifies_slowest_rate(self):
+        dist = ErlangTermSum(
+            atom=0.0,
+            terms=[ErlangTerm(0.3, 5.0, 1), ErlangTerm(0.7, 1.0, 2)],
+        )
+        rate, coefficient = dist.dominant_pole()
+        assert rate == pytest.approx(1.0)
+        assert coefficient == pytest.approx(0.7)
+
+    def test_dominant_pole_requires_terms(self):
+        with pytest.raises(ParameterError):
+            ErlangTermSum.point_mass_at_zero().dominant_pole()

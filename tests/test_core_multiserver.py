@@ -1,0 +1,105 @@
+"""Tests for the multi-server downstream queue (Section 3.2, M/G/1 case)."""
+
+import numpy as np
+import pytest
+
+from repro.core.downstream import MultiServerBurstQueue, ServerFlow
+from repro.core.upstream import MD1Queue
+from repro.errors import ParameterError, StabilityError
+
+
+def two_server_queue():
+    return MultiServerBurstQueue.from_flows(
+        [
+            ServerFlow(interval_s=0.040, mean_service_s=0.010, order=9),
+            ServerFlow(interval_s=0.060, mean_service_s=0.018, order=20),
+        ]
+    )
+
+
+class TestServerFlow:
+    def test_derived_quantities(self):
+        flow = ServerFlow(interval_s=0.040, mean_service_s=0.010, order=9)
+        assert flow.arrival_rate == pytest.approx(25.0)
+        assert flow.load == pytest.approx(0.25)
+        assert flow.service_rate == pytest.approx(900.0)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            ServerFlow(interval_s=0.0, mean_service_s=0.01, order=9)
+        with pytest.raises(ParameterError):
+            ServerFlow(interval_s=0.04, mean_service_s=0.01, order=0)
+
+
+class TestMultiServerBurstQueue:
+    def test_requires_at_least_one_flow(self):
+        with pytest.raises(ParameterError):
+            MultiServerBurstQueue.from_flows([])
+
+    def test_rejects_unstable_aggregate(self):
+        with pytest.raises(StabilityError):
+            MultiServerBurstQueue.from_flows(
+                [
+                    ServerFlow(interval_s=0.040, mean_service_s=0.030, order=9),
+                    ServerFlow(interval_s=0.040, mean_service_s=0.020, order=9),
+                ]
+            )
+
+    def test_aggregate_rate_and_load(self):
+        queue = two_server_queue()
+        assert queue.arrival_rate == pytest.approx(25.0 + 1.0 / 0.060)
+        assert queue.load == pytest.approx(0.25 + 0.30)
+
+    def test_mixture_weights_sum_to_one(self):
+        assert sum(two_server_queue().mixture_weights()) == pytest.approx(1.0)
+
+    def test_service_mgf_at_zero_is_one(self):
+        assert two_server_queue().service_mgf(0.0) == pytest.approx(1.0)
+
+    def test_single_flow_reduces_to_mg1_with_erlang_service(self):
+        flow = ServerFlow(interval_s=0.040, mean_service_s=0.020, order=1)
+        queue = MultiServerBurstQueue.from_flows([flow])
+        # With exponential service the dominant pole has the closed form
+        # beta - lambda (M/M/1).
+        assert queue.dominant_pole == pytest.approx(flow.service_rate - queue.arrival_rate, rel=1e-6)
+
+    def test_dominant_pole_below_smallest_service_pole(self):
+        queue = two_server_queue()
+        assert queue.dominant_pole < min(f.service_rate for f in queue.flows)
+        assert queue.dominant_pole > 0.0
+
+    def test_waiting_time_is_proper(self):
+        waiting = two_server_queue().waiting_time()
+        assert waiting.total_mass == pytest.approx(1.0)
+        assert waiting.atom_mass == pytest.approx(1.0 - two_server_queue().load)
+
+    def test_mean_waiting_time_matches_simulation(self):
+        queue = two_server_queue()
+        sim = queue.simulate_waiting_times(200_000, rng=np.random.default_rng(3))
+        assert queue.mean_waiting_time() == pytest.approx(float(sim.mean()), rel=0.05)
+
+    def test_tail_tracks_simulation_within_a_factor(self):
+        queue = two_server_queue()
+        sim = queue.simulate_waiting_times(300_000, rng=np.random.default_rng(4))
+        for x in (0.02, 0.04):
+            empirical = float((sim > x).mean())
+            if empirical > 1e-4:
+                assert np.log10(queue.waiting_time_tail(x)) == pytest.approx(
+                    np.log10(empirical), abs=0.5
+                )
+
+    def test_more_servers_increase_waiting(self):
+        light = MultiServerBurstQueue.from_flows(
+            [ServerFlow(interval_s=0.040, mean_service_s=0.008, order=9)]
+        )
+        heavy = MultiServerBurstQueue.from_flows(
+            [
+                ServerFlow(interval_s=0.040, mean_service_s=0.008, order=9),
+                ServerFlow(interval_s=0.040, mean_service_s=0.012, order=9),
+            ]
+        )
+        assert heavy.mean_waiting_time() > light.mean_waiting_time()
+
+    def test_simulation_rejects_bad_arguments(self):
+        with pytest.raises(ParameterError):
+            two_server_queue().simulate_waiting_times(0)

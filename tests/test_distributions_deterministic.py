@@ -1,0 +1,74 @@
+"""Tests for the deterministic ("Det") distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic
+from repro.errors import ParameterError
+
+
+class TestMoments:
+    def test_mean_is_the_value(self):
+        assert Deterministic(40.0).mean == 40.0
+
+    def test_variance_is_zero(self):
+        assert Deterministic(40.0).variance == 0.0
+
+    def test_cov_is_zero(self):
+        assert Deterministic(40.0).cov == 0.0
+
+    def test_cov_undefined_at_zero(self):
+        with pytest.raises(ParameterError):
+            Deterministic(0.0).cov
+
+    def test_rejects_non_finite_value(self):
+        with pytest.raises(ParameterError):
+            Deterministic(float("inf"))
+
+
+class TestProbabilities:
+    def test_cdf_steps_at_the_value(self):
+        det = Deterministic(40.0)
+        assert det.cdf(39.999) == 0.0
+        assert det.cdf(40.0) == 1.0
+        assert det.cdf(41.0) == 1.0
+
+    def test_tail_complements_cdf(self):
+        det = Deterministic(40.0)
+        assert det.tail(39.0) == 1.0
+        assert det.tail(40.0) == 0.0
+
+    def test_pdf_is_a_dirac_pulse(self):
+        det = Deterministic(40.0)
+        assert det.pdf(40.0) == np.inf
+        assert det.pdf(41.0) == 0.0
+
+    def test_quantile_is_constant(self):
+        det = Deterministic(40.0)
+        assert det.quantile(0.01) == 40.0
+        assert det.quantile(0.99) == 40.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            Deterministic(40.0).quantile(1.5)
+
+    def test_vectorised_cdf(self):
+        det = Deterministic(40.0)
+        np.testing.assert_allclose(det.cdf(np.array([39.0, 40.0, 41.0])), [0.0, 1.0, 1.0])
+
+
+class TestSamplingAndTransform:
+    def test_sample_scalar(self):
+        assert Deterministic(40.0).sample() == 40.0
+
+    def test_sample_vector(self, rng):
+        samples = Deterministic(40.0).sample(100, rng=rng)
+        assert samples.shape == (100,)
+        assert np.all(samples == 40.0)
+
+    def test_mgf_matches_definition(self):
+        det = Deterministic(2.0)
+        assert det.mgf(0.5) == pytest.approx(np.exp(1.0))
+
+    def test_name_reflects_paper_notation(self):
+        assert Deterministic(40.0).name == "Det(40)"

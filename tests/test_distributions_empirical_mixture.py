@@ -1,0 +1,116 @@
+"""Tests for the empirical distribution and finite mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical, Erlang, Exponential, Deterministic, Mixture
+from repro.errors import ParameterError
+
+
+class TestEmpirical:
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ParameterError):
+            Empirical([])
+
+    def test_rejects_non_finite_samples(self):
+        with pytest.raises(ParameterError):
+            Empirical([1.0, float("nan")])
+
+    def test_moments_match_numpy(self, rng):
+        data = rng.gamma(5.0, 2.0, size=500)
+        dist = Empirical(data)
+        assert dist.mean == pytest.approx(np.mean(data))
+        assert dist.variance == pytest.approx(np.var(data, ddof=1))
+
+    def test_len(self):
+        assert len(Empirical([1.0, 2.0, 3.0])) == 3
+
+    def test_cdf_is_step_function(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(2.0) == 0.5
+        assert dist.cdf(10.0) == 1.0
+
+    def test_tail_complements_cdf(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert dist.tail(2.0) == pytest.approx(0.5)
+
+    def test_quantile_bounds(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert dist.quantile(0.0) == 1.0
+        assert dist.quantile(1.0) == 4.0
+
+    def test_histogram_density_normalised(self, rng):
+        data = rng.normal(100.0, 10.0, size=2000)
+        centers, density = Empirical(data).histogram()
+        width = centers[1] - centers[0]
+        assert np.sum(density) * width == pytest.approx(1.0, rel=0.01)
+
+    def test_tail_curve_spans_sample_range(self, rng):
+        data = rng.gamma(20, 100, size=500)
+        x, tdf = Empirical(data).tail_curve(50)
+        assert x[0] == pytest.approx(data.min())
+        assert x[-1] == pytest.approx(data.max())
+        assert tdf[0] >= tdf[-1]
+
+    def test_samples_returns_sorted_copy(self):
+        dist = Empirical([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(dist.samples, [1.0, 2.0, 3.0])
+
+    def test_resampling_stays_within_support(self, rng):
+        dist = Empirical([1.0, 2.0, 3.0])
+        samples = dist.sample(100, rng=rng)
+        assert set(np.unique(samples)).issubset({1.0, 2.0, 3.0})
+
+
+class TestMixture:
+    def test_rejects_empty_components(self):
+        with pytest.raises(ParameterError):
+            Mixture([])
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ParameterError):
+            Mixture([Exponential(1.0)], weights=[0.5, 0.5])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ParameterError):
+            Mixture([Exponential(1.0), Exponential(2.0)], weights=[1.0, -0.5])
+
+    def test_weights_are_normalised(self):
+        mix = Mixture([Exponential(1.0), Exponential(2.0)], weights=[2.0, 2.0])
+        np.testing.assert_allclose(mix.weights, [0.5, 0.5])
+
+    def test_mean_is_weighted_average(self):
+        mix = Mixture([Deterministic(10.0), Deterministic(20.0)], weights=[0.25, 0.75])
+        assert mix.mean == pytest.approx(17.5)
+
+    def test_variance_includes_between_component_spread(self):
+        mix = Mixture([Deterministic(0.0), Deterministic(10.0)])
+        assert mix.variance == pytest.approx(25.0)
+
+    def test_mgf_is_weighted_average(self):
+        a, b = Exponential(2.0), Exponential(5.0)
+        mix = Mixture([a, b], weights=[0.3, 0.7])
+        s = 0.5
+        assert mix.mgf(s) == pytest.approx(0.3 * a.mgf(s) + 0.7 * b.mgf(s))
+
+    def test_uniform_position_identity(self):
+        """Eq. (34): U * Erlang(K) equals an equal mixture of Erlang(1..K-1)."""
+        order, rate = 6, 0.02
+        mix = Mixture([Erlang(m, rate) for m in range(1, order)])
+        rng = np.random.default_rng(5)
+        bursts = rng.gamma(order, 1.0 / rate, size=200_000)
+        product = rng.uniform(size=200_000) * bursts
+        grid = np.linspace(10.0, 500.0, 15)
+        empirical = np.array([(product > x).mean() for x in grid])
+        np.testing.assert_allclose(mix.tail(grid), empirical, atol=0.01)
+
+    def test_quantile_inverts_cdf(self):
+        mix = Mixture([Exponential(1.0), Erlang(4, 2.0)], weights=[0.5, 0.5])
+        for level in (0.1, 0.5, 0.99):
+            assert mix.cdf(mix.quantile(level)) == pytest.approx(level, abs=1e-6)
+
+    def test_sampling_matches_mean(self, rng):
+        mix = Mixture([Exponential(1.0), Erlang(4, 2.0)], weights=[0.5, 0.5])
+        samples = mix.sample(100_000, rng=rng)
+        assert np.mean(samples) == pytest.approx(mix.mean, rel=0.02)

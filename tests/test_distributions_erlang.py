@@ -1,0 +1,108 @@
+"""Tests for the Erlang distribution (the burst-size model of Section 2.3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Erlang, Exponential
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_rejects_non_integer_order(self):
+        with pytest.raises(ParameterError):
+            Erlang(2.5, 1.0)
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(ParameterError):
+            Erlang(0, 1.0)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ParameterError):
+            Erlang(3, 0.0)
+
+    def test_from_mean_order(self):
+        dist = Erlang.from_mean_order(1852.0, 20)
+        assert dist.order == 20
+        assert dist.mean == pytest.approx(1852.0)
+
+    def test_from_mean_cov_matches_paper_k28(self):
+        # Section 2.3.2: CoV 0.19 -> K = 28.
+        dist = Erlang.from_mean_cov(1852.0, 0.19)
+        assert dist.order == 28
+
+    def test_exponential_is_order_one(self):
+        assert Exponential(2.0).order == 1
+
+
+class TestMoments:
+    def test_mean_and_variance(self):
+        dist = Erlang(9, 0.5)
+        assert dist.mean == pytest.approx(18.0)
+        assert dist.variance == pytest.approx(36.0)
+
+    def test_cov_is_inverse_sqrt_order(self):
+        assert Erlang(16, 3.0).cov == pytest.approx(0.25)
+
+
+class TestProbabilities:
+    def test_tail_formula_against_series(self):
+        # P(X > x) = exp(-lx) sum_{i<K} (lx)^i / i!
+        dist = Erlang(4, 2.0)
+        x = 3.0
+        lx = 2.0 * x
+        expected = math.exp(-lx) * sum(lx**i / math.factorial(i) for i in range(4))
+        assert dist.tail(x) == pytest.approx(expected, rel=1e-12)
+
+    def test_tail_at_zero_is_one(self):
+        assert Erlang(5, 1.0).tail(0.0) == pytest.approx(1.0)
+
+    def test_tail_negative_argument(self):
+        assert Erlang(5, 1.0).tail(-1.0) == 1.0
+
+    def test_tail_is_accurate_deep_into_the_tail(self):
+        # Figure 1 plots tails down to 1e-6; make sure no precision is lost.
+        dist = Erlang.from_mean_order(1852.0, 20)
+        deep = dist.tail(3800.0)
+        assert 0.0 < deep < 1e-4
+
+    def test_cdf_plus_tail_is_one(self):
+        dist = Erlang(7, 0.004)
+        for x in (100.0, 1852.0, 4000.0):
+            assert dist.cdf(x) + dist.tail(x) == pytest.approx(1.0, abs=1e-10)
+
+    def test_quantile_inverts_cdf(self):
+        dist = Erlang(9, 0.01)
+        for level in (0.1, 0.5, 0.99):
+            assert dist.cdf(dist.quantile(level)) == pytest.approx(level, rel=1e-9)
+
+    def test_pdf_integrates_to_mean(self):
+        dist = Erlang(3, 0.5)
+        xs = np.linspace(0, 60, 20001)
+        mean = np.trapezoid(xs * dist.pdf(xs), xs)
+        assert mean == pytest.approx(dist.mean, rel=1e-4)
+
+
+class TestTransformAndSampling:
+    def test_mgf_matches_closed_form(self):
+        dist = Erlang(4, 3.0)
+        s = 1.2
+        assert dist.mgf(s) == pytest.approx((3.0 / (3.0 - s)) ** 4)
+
+    def test_mgf_at_zero_is_one(self):
+        assert Erlang(6, 0.2).mgf(0.0) == pytest.approx(1.0)
+
+    def test_sample_mean_and_cov(self, rng):
+        dist = Erlang.from_mean_order(1852.0, 20)
+        samples = dist.sample(100_000, rng=rng)
+        assert np.mean(samples) == pytest.approx(1852.0, rel=0.01)
+        assert np.std(samples) / np.mean(samples) == pytest.approx(dist.cov, rel=0.03)
+
+    def test_erlang_is_sum_of_exponentials(self, rng):
+        # Erlang(K, rate) has the distribution of a sum of K exponentials.
+        exp_sum = rng.exponential(1.0 / 2.0, size=(50_000, 5)).sum(axis=1)
+        dist = Erlang(5, 2.0)
+        grid = np.linspace(0.5, 6.0, 12)
+        empirical = np.array([(exp_sum > x).mean() for x in grid])
+        np.testing.assert_allclose(dist.tail(grid), empirical, atol=0.01)

@@ -1,0 +1,85 @@
+"""Tests for the extreme value (Gumbel) distribution ``Ext(a, b)``."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.distributions import EULER_MASCHERONI, Extreme
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ParameterError):
+            Extreme(120.0, 0.0)
+
+    def test_name_matches_paper_notation(self):
+        assert Extreme(120.0, 36.0).name == "Ext(120, 36)"
+
+
+class TestMoments:
+    def test_mean_of_paper_fit(self):
+        # Ext(120, 36): mean = 120 + gamma*36 ~ 140.8 bytes.
+        dist = Extreme(120.0, 36.0)
+        assert dist.mean == pytest.approx(120.0 + EULER_MASCHERONI * 36.0)
+
+    def test_variance(self):
+        dist = Extreme(55.0, 6.0)
+        assert dist.variance == pytest.approx(math.pi**2 / 6.0 * 36.0)
+
+    def test_from_mean_cov_roundtrip(self):
+        dist = Extreme.from_mean_cov(82.0, 0.12)
+        assert dist.mean == pytest.approx(82.0)
+        assert dist.cov == pytest.approx(0.12)
+
+    def test_from_mean_cov_rejects_bad_input(self):
+        with pytest.raises(ParameterError):
+            Extreme.from_mean_cov(-1.0, 0.1)
+        with pytest.raises(ParameterError):
+            Extreme.from_mean_cov(10.0, 0.0)
+
+
+class TestProbabilities:
+    def test_pdf_integrates_to_one(self):
+        dist = Extreme(120.0, 36.0)
+        area, _ = integrate.quad(dist.pdf, -400.0, 1500.0)
+        assert area == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_matches_paper_formula(self):
+        # eq. (1): F(x) = exp(-exp(-(x-a)/b)).
+        dist = Extreme(55.0, 6.0)
+        x = 60.0
+        expected = math.exp(-math.exp(-(x - 55.0) / 6.0))
+        assert dist.cdf(x) == pytest.approx(expected)
+
+    def test_tail_complements_cdf(self):
+        dist = Extreme(55.0, 6.0)
+        for x in (40.0, 55.0, 80.0):
+            assert dist.tail(x) == pytest.approx(1.0 - dist.cdf(x), abs=1e-12)
+
+    def test_quantile_inverts_cdf(self):
+        dist = Extreme(120.0, 36.0)
+        for level in (0.05, 0.5, 0.999):
+            assert dist.cdf(dist.quantile(level)) == pytest.approx(level)
+
+    def test_quantile_rejects_boundaries(self):
+        with pytest.raises(ParameterError):
+            Extreme(0.0, 1.0).quantile(0.0)
+
+    def test_median_below_mean(self):
+        # The Gumbel distribution is right-skewed.
+        dist = Extreme(120.0, 36.0)
+        assert dist.quantile(0.5) < dist.mean
+
+
+class TestSampling:
+    def test_sample_moments_converge(self, rng):
+        dist = Extreme(120.0, 36.0)
+        samples = dist.sample(200_000, rng=rng)
+        assert np.mean(samples) == pytest.approx(dist.mean, rel=0.01)
+        assert np.std(samples) == pytest.approx(dist.std, rel=0.02)
+
+    def test_sample_scalar_shape(self, rng):
+        assert np.isscalar(float(Extreme(0.0, 1.0).sample(rng=rng)))

@@ -1,0 +1,142 @@
+"""Tests for the Section 2 fitting procedures."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Erlang,
+    Extreme,
+    Lognormal,
+    fit_by_moments,
+    fit_deterministic,
+    fit_erlang_cov,
+    fit_erlang_tail,
+    fit_extreme_least_squares,
+    fit_lognormal_least_squares,
+    fit_normal_least_squares,
+    rank_candidate_fits,
+    sample_moments,
+)
+from repro.errors import FittingError
+
+
+@pytest.fixture(scope="module")
+def extreme_samples():
+    rng = np.random.default_rng(42)
+    return Extreme(120.0, 36.0).sample(20_000, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def erlang_samples():
+    rng = np.random.default_rng(43)
+    return Erlang.from_mean_order(1852.0, 20).sample(8_000, rng=rng)
+
+
+class TestSampleMoments:
+    def test_mean_and_cov(self):
+        mean, cov = sample_moments([10.0, 12.0, 8.0, 10.0])
+        assert mean == pytest.approx(10.0)
+        assert cov == pytest.approx(np.std([10, 12, 8, 10], ddof=1) / 10.0)
+
+    def test_single_sample_has_zero_cov(self):
+        assert sample_moments([5.0]) == (5.0, 0.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(FittingError):
+            sample_moments([])
+
+
+class TestLeastSquaresFits:
+    def test_extreme_fit_recovers_parameters(self, extreme_samples):
+        fit = fit_extreme_least_squares(extreme_samples)
+        assert fit.distribution.location == pytest.approx(120.0, rel=0.05)
+        assert fit.distribution.scale == pytest.approx(36.0, rel=0.10)
+
+    def test_extreme_fit_records_method(self, extreme_samples):
+        fit = fit_extreme_least_squares(extreme_samples)
+        assert "extreme" in fit.method
+
+    def test_lognormal_fit_recovers_mean(self):
+        rng = np.random.default_rng(44)
+        truth = Lognormal.from_mean_cov(140.0, 0.4)
+        fit = fit_lognormal_least_squares(truth.sample(20_000, rng=rng))
+        assert fit.distribution.mean == pytest.approx(140.0, rel=0.05)
+
+    def test_normal_fit_recovers_mean(self):
+        rng = np.random.default_rng(45)
+        fit = fit_normal_least_squares(rng.normal(75.0, 5.0, size=10_000))
+        assert fit.distribution.mean == pytest.approx(75.0, rel=0.02)
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(FittingError):
+            fit_extreme_least_squares([1.0, 1.0])
+
+
+class TestMomentAndDeterministicFits:
+    @pytest.mark.parametrize(
+        "family", ["extreme", "erlang", "lognormal", "weibull", "normal", "deterministic"]
+    )
+    def test_moment_fit_matches_sample_mean(self, family, extreme_samples):
+        fit = fit_by_moments(extreme_samples, family)
+        assert fit.distribution.mean == pytest.approx(np.mean(extreme_samples), rel=1e-6)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(FittingError):
+            fit_by_moments([1.0, 2.0], "zipf")
+
+    def test_deterministic_fit_reports_cov_as_error(self):
+        fit = fit_deterministic([40.0, 42.0, 38.0, 41.0])
+        assert fit.distribution.mean == pytest.approx(40.25)
+        assert fit.error == pytest.approx(sample_moments([40.0, 42.0, 38.0, 41.0])[1])
+
+
+class TestErlangOrderSelection:
+    def test_cov_fit_reproduces_paper_k28(self):
+        """A CoV of 0.19 must map to K = 28 (Section 2.3.2)."""
+        rng = np.random.default_rng(46)
+        samples = Erlang.from_mean_cov(1852.0, 0.19).sample(60_000, rng=rng)
+        fit = fit_erlang_cov(samples)
+        assert fit.distribution.order in (26, 27, 28, 29, 30)
+
+    def test_tail_fit_recovers_true_order(self, erlang_samples):
+        fit = fit_erlang_tail(erlang_samples)
+        assert 15 <= fit.distribution.order <= 25
+
+    def test_tail_fit_prefers_lower_order_for_heavy_tails(self):
+        """A heavier-than-Erlang tail pushes the tail fit below the CoV fit.
+
+        This is the Figure 1 phenomenon: the measured burst sizes have
+        CoV 0.19 (K=28 by moment matching) but their tail is tracked
+        better by K between 15 and 20.
+        """
+        rng = np.random.default_rng(47)
+        samples = Lognormal.from_mean_cov(1852.0, 0.19).sample(60_000, rng=rng)
+        cov_fit = fit_erlang_cov(samples)
+        tail_fit = fit_erlang_tail(samples)
+        assert tail_fit.distribution.order < cov_fit.distribution.order
+
+    def test_tail_fit_pins_the_mean(self, erlang_samples):
+        fit = fit_erlang_tail(erlang_samples)
+        assert fit.distribution.mean == pytest.approx(np.mean(erlang_samples), rel=1e-9)
+
+    def test_tail_fit_requires_enough_samples(self):
+        with pytest.raises(FittingError):
+            fit_erlang_tail([1.0] * 5)
+
+    def test_cov_fit_rejects_constant_sample(self):
+        with pytest.raises(FittingError):
+            fit_erlang_cov([5.0, 5.0, 5.0])
+
+
+class TestRanking:
+    def test_extreme_data_ranks_extreme_first_or_close(self, extreme_samples):
+        fits = rank_candidate_fits(extreme_samples)
+        assert fits, "expected at least one successful fit"
+        assert fits[0].error <= fits[-1].error
+        names = [type(fit.distribution).__name__ for fit in fits]
+        assert "Extreme" in names
+
+    def test_ranking_is_sorted_by_error(self, extreme_samples):
+        fits = rank_candidate_fits(extreme_samples)
+        errors = [fit.error for fit in fits]
+        assert errors == sorted(errors)

@@ -1,0 +1,116 @@
+"""Tests for the lognormal, normal and Weibull distributions."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.distributions import Lognormal, Normal, Weibull
+from repro.errors import ParameterError
+
+
+class TestLognormal:
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(ParameterError):
+            Lognormal(1.0, 0.0)
+
+    def test_from_mean_cov_roundtrip(self):
+        dist = Lognormal.from_mean_cov(140.0, 0.4)
+        assert dist.mean == pytest.approx(140.0)
+        assert dist.cov == pytest.approx(0.4, rel=1e-9)
+
+    def test_shift_moves_the_mean(self):
+        dist = Lognormal.from_mean_cov(140.0, 0.3, shift=50.0)
+        assert dist.shift == 50.0
+        assert dist.mean == pytest.approx(140.0)
+
+    def test_from_mean_cov_rejects_shift_above_mean(self):
+        with pytest.raises(ParameterError):
+            Lognormal.from_mean_cov(100.0, 0.2, shift=150.0)
+
+    def test_cdf_tail_complement(self):
+        dist = Lognormal.from_mean_cov(75.0, 0.08)
+        for x in (60.0, 75.0, 90.0):
+            assert dist.cdf(x) + dist.tail(x) == pytest.approx(1.0, abs=1e-12)
+
+    def test_quantile_inverts_cdf(self):
+        dist = Lognormal.from_mean_cov(160.0, 0.45)
+        for level in (0.05, 0.5, 0.95):
+            assert dist.cdf(dist.quantile(level)) == pytest.approx(level)
+
+    def test_pdf_integrates_to_one(self):
+        dist = Lognormal.from_mean_cov(100.0, 0.5)
+        area, _ = integrate.quad(dist.pdf, 0.0, 3000.0)
+        assert area == pytest.approx(1.0, abs=1e-6)
+
+    def test_sampling_matches_moments(self, rng):
+        dist = Lognormal.from_mean_cov(154.0, 0.28)
+        samples = dist.sample(200_000, rng=rng)
+        assert np.mean(samples) == pytest.approx(154.0, rel=0.01)
+        assert np.std(samples) / np.mean(samples) == pytest.approx(0.28, rel=0.03)
+
+    def test_right_skew(self):
+        dist = Lognormal.from_mean_cov(100.0, 0.5)
+        assert dist.quantile(0.5) < dist.mean
+
+
+class TestNormal:
+    def test_rejects_non_positive_std(self):
+        with pytest.raises(ParameterError):
+            Normal(75.0, 0.0)
+
+    def test_moments(self):
+        dist = Normal(75.0, 6.0)
+        assert dist.mean == 75.0
+        assert dist.variance == 36.0
+
+    def test_symmetry(self):
+        dist = Normal(0.0, 1.0)
+        assert dist.cdf(1.0) + dist.cdf(-1.0) == pytest.approx(1.0)
+
+    def test_quantile_median(self):
+        assert Normal(75.0, 6.0).quantile(0.5) == pytest.approx(75.0)
+
+    def test_mgf(self):
+        dist = Normal(2.0, 3.0)
+        assert dist.mgf(0.5) == pytest.approx(np.exp(2.0 * 0.5 + 0.5 * (3.0 * 0.5) ** 2))
+
+    def test_sampling(self, rng):
+        samples = Normal(75.0, 6.0).sample(100_000, rng=rng)
+        assert np.mean(samples) == pytest.approx(75.0, abs=0.2)
+
+
+class TestWeibull:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            Weibull(1.0, -1.0)
+
+    def test_from_mean_cov_roundtrip(self):
+        dist = Weibull.from_mean_cov(127.0, 0.74)
+        assert dist.mean == pytest.approx(127.0, rel=1e-6)
+        assert dist.cov == pytest.approx(0.74, rel=1e-4)
+
+    def test_shape_one_is_exponential(self):
+        dist = Weibull.from_mean_cov(10.0, 1.0)
+        assert dist.shape == pytest.approx(1.0, rel=1e-4)
+
+    def test_cdf_tail_complement(self):
+        dist = Weibull.from_mean_cov(127.0, 0.5)
+        for x in (50.0, 127.0, 300.0):
+            assert dist.cdf(x) + dist.tail(x) == pytest.approx(1.0, abs=1e-12)
+
+    def test_quantile_inverts_cdf(self):
+        dist = Weibull.from_mean_cov(127.0, 0.74)
+        for level in (0.1, 0.5, 0.99):
+            assert dist.cdf(dist.quantile(level)) == pytest.approx(level)
+
+    def test_shifted_weibull(self):
+        dist = Weibull.from_mean_cov(127.0, 0.3, shift=60.0)
+        assert dist.mean == pytest.approx(127.0, rel=1e-6)
+        assert dist.cdf(59.0) == 0.0
+
+    def test_sampling(self, rng):
+        dist = Weibull.from_mean_cov(127.0, 0.74)
+        samples = dist.sample(200_000, rng=rng)
+        assert np.mean(samples) == pytest.approx(127.0, rel=0.02)

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) on the distribution layer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Extreme,
+    Lognormal,
+    Mixture,
+    Weibull,
+)
+
+positive_mean = st.floats(min_value=1.0, max_value=5_000.0)
+cov_values = st.floats(min_value=0.02, max_value=1.5)
+erlang_orders = st.integers(min_value=1, max_value=40)
+rates = st.floats(min_value=1e-3, max_value=1e3)
+
+
+class TestMomentMatchingProperties:
+    @given(mean=positive_mean, cov=cov_values)
+    @settings(max_examples=60, deadline=None)
+    def test_extreme_from_mean_cov(self, mean, cov):
+        dist = Extreme.from_mean_cov(mean, cov)
+        assert math.isclose(dist.mean, mean, rel_tol=1e-9)
+        assert math.isclose(dist.cov, cov, rel_tol=1e-9)
+
+    @given(mean=positive_mean, cov=cov_values)
+    @settings(max_examples=60, deadline=None)
+    def test_lognormal_from_mean_cov(self, mean, cov):
+        dist = Lognormal.from_mean_cov(mean, cov)
+        assert math.isclose(dist.mean, mean, rel_tol=1e-9)
+        assert math.isclose(dist.cov, cov, rel_tol=1e-6)
+
+    @given(mean=positive_mean, cov=st.floats(min_value=0.1, max_value=1.2))
+    @settings(max_examples=40, deadline=None)
+    def test_weibull_from_mean_cov(self, mean, cov):
+        dist = Weibull.from_mean_cov(mean, cov)
+        assert math.isclose(dist.mean, mean, rel_tol=1e-6)
+        assert math.isclose(dist.cov, cov, rel_tol=1e-4)
+
+    @given(mean=positive_mean, order=erlang_orders)
+    @settings(max_examples=60, deadline=None)
+    def test_erlang_from_mean_order(self, mean, order):
+        dist = Erlang.from_mean_order(mean, order)
+        assert math.isclose(dist.mean, mean, rel_tol=1e-12)
+        assert math.isclose(dist.cov, 1.0 / math.sqrt(order), rel_tol=1e-12)
+
+
+class TestDistributionInvariants:
+    @given(order=erlang_orders, rate=rates, x=st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=80, deadline=None)
+    def test_erlang_tail_is_a_probability(self, order, rate, x):
+        tail = Erlang(order, rate).tail(x)
+        assert 0.0 <= tail <= 1.0
+
+    @given(order=erlang_orders, rate=rates,
+           x1=st.floats(min_value=0.0, max_value=100.0),
+           x2=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_erlang_tail_is_monotone(self, order, rate, x1, x2):
+        dist = Erlang(order, rate)
+        lo, hi = sorted((x1, x2))
+        assert dist.tail(lo) >= dist.tail(hi) - 1e-12
+
+    @given(location=st.floats(min_value=-100, max_value=1000),
+           scale=st.floats(min_value=0.1, max_value=100),
+           level=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=80, deadline=None)
+    def test_extreme_quantile_inverts_cdf(self, location, scale, level):
+        dist = Extreme(location, scale)
+        assert math.isclose(dist.cdf(dist.quantile(level)), level, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(value=st.floats(min_value=-1e6, max_value=1e6),
+           x=st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_cdf_is_indicator(self, value, x):
+        dist = Deterministic(value)
+        assert dist.cdf(x) == (1.0 if x >= value else 0.0)
+
+    @given(order=st.integers(min_value=2, max_value=30), rate=rates,
+           s_fraction=st.floats(min_value=-5.0, max_value=0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_erlang_mgf_positive_below_pole(self, order, rate, s_fraction):
+        dist = Erlang(order, rate)
+        value = dist.mgf(s_fraction * rate)
+        assert value.real > 0.0
+
+
+class TestMixtureProperties:
+    @given(
+        weights=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=2, max_size=5),
+        rate=rates,
+        x=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixture_tail_between_component_tails(self, weights, rate, x):
+        components = [Erlang(order, rate) for order in range(1, len(weights) + 1)]
+        mix = Mixture(components, weights=weights)
+        tails = [c.tail(x) for c in components]
+        assert min(tails) - 1e-12 <= mix.tail(x) <= max(tails) + 1e-12
+
+    @given(
+        weights=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=2, max_size=5),
+        rate=rates,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixture_mean_is_convex_combination(self, weights, rate):
+        components = [Erlang(order, rate) for order in range(1, len(weights) + 1)]
+        mix = Mixture(components, weights=weights)
+        means = [c.mean for c in components]
+        assert min(means) - 1e-12 <= mix.mean <= max(means) + 1e-12

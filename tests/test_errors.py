@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    FittingError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    StabilityError,
+    TraceFormatError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ParameterError, StabilityError, FittingError, TraceFormatError,
+         ConvergenceError, SimulationError],
+    )
+    def test_all_errors_derive_from_repro_error(self, exc):
+        if exc is StabilityError:
+            instance = exc(1.2)
+        elif exc is ConvergenceError:
+            instance = exc("did not converge")
+        else:
+            instance = exc("boom")
+        assert isinstance(instance, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(ParameterError, ValueError)
+
+    def test_fitting_error_is_runtime_error(self):
+        assert issubclass(FittingError, RuntimeError)
+
+
+class TestStabilityError:
+    def test_records_the_offending_load(self):
+        error = StabilityError(1.07)
+        assert error.load == pytest.approx(1.07)
+
+    def test_default_message_mentions_load(self):
+        assert "1.07" in str(StabilityError(1.07))
+
+    def test_custom_message(self):
+        assert str(StabilityError(1.2, "too hot")) == "too hot"
+
+
+class TestConvergenceError:
+    def test_records_iteration_count(self):
+        error = ConvergenceError("no luck", iterations=500)
+        assert error.iterations == 500
+
+    def test_iterations_default_to_none(self):
+        assert ConvergenceError("no luck").iterations is None

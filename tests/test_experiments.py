@@ -1,0 +1,228 @@
+"""Integration tests for the experiment drivers (tables and figures).
+
+Shortened workloads are used so the whole suite stays fast; the full
+paper-scale runs live in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro import experiments
+from repro.experiments.dimensioning import PAPER_DIMENSIONING
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return experiments.run_table1(duration_s=60.0, num_players=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return experiments.run_table2(duration_s=40.0, num_players=6, seed=22)
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return experiments.run_table3(duration_s=90.0, num_players=12, seed=2006)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return experiments.run_figure1(duration_s=120.0, num_players=12, seed=2006)
+
+
+@pytest.fixture(scope="module")
+def figure3():
+    return experiments.run_figure3(loads=[0.2, 0.4, 0.6, 0.8])
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return experiments.run_figure4(loads=[0.2, 0.4, 0.6, 0.8])
+
+
+class TestTable1:
+    def test_has_all_four_rows(self, table1):
+        assert len(table1.rows) == 4
+
+    def test_client_packet_fit_close_to_faerber(self, table1):
+        row = table1.row("packet_size_bytes", "client_to_server")
+        assert row.measured_mean == pytest.approx(83.3, rel=0.05)
+        assert "Ext(" in row.fitted
+
+    def test_server_packet_fit_close_to_faerber(self, table1):
+        row = table1.row("packet_size_bytes", "server_to_client")
+        assert row.measured_mean == pytest.approx(141.0, rel=0.07)
+
+    def test_client_iat_deterministic_fit(self, table1):
+        row = table1.row("iat_ms", "client_to_server")
+        assert row.measured_mean == pytest.approx(42.0, rel=0.05)
+        assert row.fitted.startswith("Det(")
+
+    def test_unknown_row_raises(self, table1):
+        with pytest.raises(KeyError):
+            table1.row("nope", "client_to_server")
+
+    def test_formatting_contains_paper_reference(self, table1):
+        text = experiments.format_table1(table1)
+        assert "Ext(120, 36)" in text
+        assert "paper mean" in text
+
+
+class TestTable2:
+    def test_one_row_per_map(self, table2):
+        assert len(table2.rows) == 3
+
+    def test_intervals_match_lang(self, table2):
+        for row in table2.rows:
+            assert row.server_iat_mean_ms == pytest.approx(60.0, rel=0.03)
+            assert row.client_iat_mean_ms == pytest.approx(41.0, rel=0.03)
+
+    def test_server_sizes_are_map_dependent(self, table2):
+        sizes = {row.game_map: row.server_packet_mean_bytes for row in table2.rows}
+        assert sizes["crossfire"] < sizes["boot_camp"]
+
+    def test_client_packets_in_published_range(self, table2):
+        low, high = table2.paper_client_packet_range
+        for row in table2.rows:
+            assert low * 0.7 <= row.client_packet_mean_bytes <= high * 1.3
+
+    def test_formatting(self, table2):
+        text = experiments.format_table2(table2)
+        assert "Lognormal" in text
+
+
+class TestTable3:
+    def test_packet_and_burst_means(self, table3):
+        assert table3.server_packet_mean_bytes == pytest.approx(154.0, rel=0.05)
+        assert table3.burst_size_mean_bytes == pytest.approx(1852.0, rel=0.05)
+        assert table3.client_packet_mean_bytes == pytest.approx(73.0, rel=0.05)
+
+    def test_interval_statistics(self, table3):
+        assert table3.burst_iat_mean_ms == pytest.approx(47.0, rel=0.05)
+        assert table3.client_iat_mean_ms == pytest.approx(30.0, rel=0.07)
+        assert table3.client_iat_cov == pytest.approx(0.65, abs=0.12)
+
+    def test_burst_size_cov_close_to_paper(self, table3):
+        assert table3.burst_size_cov == pytest.approx(0.19, abs=0.05)
+
+    def test_within_burst_cov_below_overall(self, table3):
+        assert table3.within_burst_cov_max < table3.server_packet_cov * 1.2
+
+    def test_anomaly_fractions_are_small(self, table3):
+        assert table3.incomplete_burst_fraction < 0.03
+        assert table3.delayed_burst_fraction < 0.02
+
+    def test_formatting(self, table3):
+        text = experiments.format_table3(table3)
+        assert "burst size" in text
+        assert "paper" in text
+
+
+class TestFigure1:
+    def test_erlang_orders_present(self, figure1):
+        assert set(figure1.erlang_tdfs) == {15, 20, 25}
+
+    def test_empirical_tdf_is_monotone_decreasing(self, figure1):
+        diffs = np.diff(figure1.empirical_tdf)
+        assert np.all(diffs <= 1e-12)
+
+    def test_cov_fit_matches_paper_k28(self, figure1):
+        assert 24 <= figure1.order_from_cov <= 32
+
+    def test_tail_fit_lands_in_paper_range(self, figure1):
+        assert 13 <= figure1.order_from_tail <= 24
+
+    def test_tail_fit_below_cov_fit(self, figure1):
+        assert figure1.order_from_tail < figure1.order_from_cov
+
+    def test_mean_burst_bytes(self, figure1):
+        assert figure1.mean_burst_bytes == pytest.approx(1852.0, rel=0.05)
+
+    def test_tail_mismatch_metric(self, figure1):
+        # The Figure-1 orders should track the empirical tail within an
+        # order of magnitude on average over the plotted window.
+        assert figure1.tail_mismatch(20) < 1.0
+
+    def test_formatting(self, figure1):
+        text = experiments.format_figure1(figure1)
+        assert "Erlang(K=20)" in text
+        assert "K from CoV fit" in text
+
+
+class TestFigure3:
+    def test_series_per_order(self, figure3):
+        assert set(figure3.series_by_order) == {2, 9, 20}
+
+    def test_rtt_ordered_in_erlang_order(self, figure3):
+        for load_index in range(len(figure3.loads)):
+            assert (
+                figure3.rtt_ms(2)[load_index]
+                > figure3.rtt_ms(9)[load_index]
+                > figure3.rtt_ms(20)[load_index]
+            )
+
+    def test_rtt_monotone_in_load(self, figure3):
+        for order in (2, 9, 20):
+            assert figure3.rtt_ms(order) == sorted(figure3.rtt_ms(order))
+
+    def test_low_load_behaviour_is_linear(self):
+        """At low load the packet-position delay dominates and the RTT
+        grows linearly with the load (Section 4)."""
+        result = experiments.run_figure3(loads=[0.05, 0.10, 0.20], orders=(9,))
+        rtt = np.asarray(result.rtt_ms(9))
+        serialization = 1e3 * result.scenario.model_at_load(0.1).serialization_delay_s
+        queueing = rtt - serialization
+        assert queueing[1] / queueing[0] == pytest.approx(2.0, rel=0.15)
+        assert queueing[2] / queueing[1] == pytest.approx(2.0, rel=0.15)
+
+    def test_interpolation_helper(self, figure3):
+        value = figure3.rtt_at_load(9, 0.5)
+        assert figure3.rtt_ms(9)[1] <= value <= figure3.rtt_ms(9)[2]
+
+    def test_formatting(self, figure3):
+        text = experiments.format_figure3(figure3)
+        assert "K=20" in text
+
+
+class TestFigure4:
+    def test_series_per_tick(self, figure4):
+        assert set(figure4.series_by_tick_ms) == {40, 60}
+
+    def test_60ms_curve_above_40ms_curve(self, figure4):
+        assert all(
+            slow > fast for slow, fast in zip(figure4.rtt_ms(60), figure4.rtt_ms(40))
+        )
+
+    def test_ratio_is_three_halves(self, figure4):
+        np.testing.assert_allclose(figure4.rtt_ratio(), 1.5, rtol=0.05)
+
+    def test_formatting(self, figure4):
+        text = experiments.format_figure4(figure4)
+        assert "IAT=60ms" in text
+
+
+class TestDimensioning:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return experiments.run_dimensioning(orders=(2, 9, 20))
+
+    def test_paper_reference_values(self):
+        assert PAPER_DIMENSIONING[9] == (0.40, 80)
+
+    def test_max_load_close_to_paper(self, table):
+        for order, (paper_load, _) in PAPER_DIMENSIONING.items():
+            assert table.row(order).max_load == pytest.approx(paper_load, abs=0.07)
+
+    def test_max_gamers_close_to_paper(self, table):
+        for order, (_, paper_gamers) in PAPER_DIMENSIONING.items():
+            measured = table.row(order).max_gamers
+            assert abs(measured - paper_gamers) <= 12
+
+    def test_gamers_increase_with_order(self, table):
+        gamers = [table.row(order).max_gamers for order in (2, 9, 20)]
+        assert gamers == sorted(gamers)
+
+    def test_formatting(self, table):
+        text = experiments.format_dimensioning(table)
+        assert "RTT bound = 50 ms" in text

@@ -1,0 +1,118 @@
+"""Integration tests: the analytical model against the discrete-event simulator.
+
+These are the end-to-end validation runs: the Figure 2 topology is
+simulated with the idealised periodic traffic of Section 2.3 and the
+measured delays are compared against the analytical components
+(serialization, upstream M/D/1, downstream burst + position delay).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PingTimeModel
+from repro.netsim import AccessNetworkConfig, GamingSimulation, GamingWorkload
+
+
+def build_pair(num_clients=40, tick=0.040, seed=31):
+    """Build a (simulation, analytical model) pair with matched parameters."""
+    config = AccessNetworkConfig(
+        num_clients=num_clients,
+        access_uplink_bps=128e3,
+        access_downlink_bps=1024e3,
+        aggregation_rate_bps=5e6,
+        scheduler="fifo",
+    )
+    workload = GamingWorkload(
+        client_packet_bytes=80.0, server_packet_bytes=125.0, tick_interval_s=tick
+    )
+    simulation = GamingSimulation(config, workload, seed=seed)
+    model = PingTimeModel(
+        num_gamers=num_clients,
+        tick_interval_s=tick,
+        client_packet_bytes=80.0,
+        server_packet_bytes=125.0,
+        erlang_order=9,
+        access_uplink_bps=128e3,
+        access_downlink_bps=1024e3,
+        aggregation_rate_bps=5e6,
+    )
+    return simulation, model
+
+
+@pytest.fixture(scope="module")
+def medium_load_run():
+    simulation, model = build_pair(num_clients=40)
+    delays = simulation.run(40.0, warmup_s=2.0)
+    return simulation, model, delays
+
+
+class TestLoadsAgree:
+    def test_offered_loads_match(self, medium_load_run):
+        simulation, model, _ = medium_load_run
+        assert simulation.downlink_load == pytest.approx(model.downlink_load)
+        assert simulation.uplink_load == pytest.approx(model.uplink_load)
+
+    def test_simulated_link_utilisation_matches_load(self, medium_load_run):
+        simulation, model, _ = medium_load_run
+        elapsed = simulation.sim.now
+        measured = simulation.network.downlink_aggregation.utilisation(elapsed)
+        assert measured == pytest.approx(model.downlink_load, rel=0.10)
+
+
+class TestMeanDelays:
+    def test_mean_rtt_close_to_model(self, medium_load_run):
+        _, model, delays = medium_load_run
+        assert delays.mean("rtt") == pytest.approx(model.mean_rtt(), rel=0.25)
+
+    def test_mean_upstream_queueing_close_to_md1(self, medium_load_run):
+        _, model, delays = medium_load_run
+        analytic = model.upstream_queue().mean_waiting_time()
+        simulated = delays.mean("upstream_aggregation_queueing")
+        # The periodic (N*D/D/1) upstream traffic queues a bit less than
+        # the Poisson limit; the M/D/1 mean must upper-bound it but stay
+        # within the same order of magnitude.
+        assert simulated <= analytic * 1.3
+        assert simulated >= analytic * 0.05
+
+    def test_downstream_queueing_dominates_upstream_queueing(self, medium_load_run):
+        """Section 4: for P_S > P_C the downstream (aggregation-link) queueing
+        dominates the upstream queueing.  The comparison is on the shared
+        aggregation link — the per-user access links only add fixed
+        serialization."""
+        _, _, delays = medium_load_run
+        assert delays.mean("downstream_aggregation_queueing") > delays.mean(
+            "upstream_aggregation_queueing"
+        )
+
+
+class TestDistributionShape:
+    def test_simulated_rtt_quantile_bounded_by_model(self, medium_load_run):
+        """The 99.9% simulated RTT must not exceed the analytical 99.999% quantile.
+
+        The analytical downstream model (Erlang bursts, uniform packet
+        position) is an upper-bound style abstraction of the simulated
+        deterministic bursts, so its high quantile should dominate.
+        """
+        _, model, delays = medium_load_run
+        assert delays.quantile("rtt", 0.999) <= model.rtt_quantile(0.99999)
+
+    def test_simulated_rtt_above_serialization_floor(self, medium_load_run):
+        _, model, delays = medium_load_run
+        assert delays.quantile("rtt", 0.01) >= model.serialization_delay_s * 0.95
+
+    def test_downstream_quantile_scales_with_tick(self):
+        sim40, _ = build_pair(num_clients=30, tick=0.040, seed=5)
+        sim60, _ = build_pair(num_clients=30, tick=0.060, seed=5)
+        d40 = sim40.run(25.0, warmup_s=2.0)
+        d60 = sim60.run(25.0, warmup_s=2.0)
+        # Same number of clients: the per-burst backlog is identical, so
+        # the downstream position delay (which dominates) is similar,
+        # while the load is lower for T=60ms; delays must not explode.
+        assert d60.quantile("downstream", 0.99) <= d40.quantile("downstream", 0.99) * 1.5
+
+    def test_queueing_grows_with_number_of_gamers(self):
+        small_sim, _ = build_pair(num_clients=15, seed=8)
+        large_sim, _ = build_pair(num_clients=60, seed=8)
+        small = small_sim.run(25.0, warmup_s=2.0)
+        large = large_sim.run(25.0, warmup_s=2.0)
+        assert large.quantile("downstream", 0.99) > small.quantile("downstream", 0.99)

@@ -1,0 +1,94 @@
+"""Integration test: the full trace pipeline of Section 2.
+
+Generate a game trace -> persist it -> reload it -> analyse it -> fit
+the burst-size distribution -> feed the fitted parameters into the
+queueing model.  This is the workflow a user of the library would follow
+to go from a packet capture to a dimensioning answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DEKOneQueue, PingTimeModel
+from repro.distributions import fit_erlang_tail
+from repro.traffic import PacketTrace, reconstruct_bursts, summarize_trace
+from repro.traffic import bursts as burst_analysis
+from repro.traffic.games import unreal_tournament
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory, ut_trace_short):
+    """Run the full pipeline once and expose its intermediate products."""
+    tmp_dir = tmp_path_factory.mktemp("pipeline")
+    path = ut_trace_short.to_csv(tmp_dir / "ut2003.csv")
+    reloaded = PacketTrace.from_csv(path)
+    summary = summarize_trace(reloaded, expected_packets=12)
+    bursts = reconstruct_bursts(reloaded)
+    sizes = burst_analysis.burst_sizes(bursts)
+    fit = fit_erlang_tail(sizes)
+    return {
+        "path": path,
+        "reloaded": reloaded,
+        "summary": summary,
+        "bursts": bursts,
+        "fit": fit,
+    }
+
+
+class TestPipeline:
+    def test_roundtrip_preserves_packet_count(self, pipeline, ut_trace_short):
+        assert len(pipeline["reloaded"]) == len(ut_trace_short)
+
+    def test_summary_matches_generator_targets(self, pipeline):
+        summary = pipeline["summary"]
+        assert summary.server_to_client.burst_size_bytes.mean == pytest.approx(1852.0, rel=0.06)
+        assert summary.client_to_server.packet_size_bytes.mean == pytest.approx(73.0, rel=0.05)
+
+    def test_fitted_erlang_order_in_paper_range(self, pipeline):
+        assert 10 <= pipeline["fit"].distribution.order <= 30
+
+    def test_fitted_parameters_drive_the_queueing_model(self, pipeline):
+        """Close the loop: use the fitted K and measured means for dimensioning."""
+        summary = pipeline["summary"]
+        order = pipeline["fit"].distribution.order
+        tick = summary.server_to_client.inter_arrival_time_s.mean
+        server_packet = summary.server_to_client.packet_size_bytes.mean
+        client_packet = summary.client_to_server.packet_size_bytes.mean
+
+        model = PingTimeModel(
+            num_gamers=30,
+            tick_interval_s=tick,
+            client_packet_bytes=client_packet,
+            server_packet_bytes=server_packet,
+            erlang_order=order,
+            access_uplink_bps=128e3,
+            access_downlink_bps=1024e3,
+            aggregation_rate_bps=5e6,
+        )
+        quantile = model.rtt_quantile_ms()
+        assert 5.0 < quantile < 200.0
+
+    def test_downstream_queue_from_measured_statistics(self, pipeline):
+        """Build the D/E_K/1 model directly from the measured burst sizes."""
+        summary = pipeline["summary"]
+        tick = summary.server_to_client.inter_arrival_time_s.mean
+        mean_burst_bits = 8.0 * summary.server_to_client.burst_size_bytes.mean
+        # A 400 kbit/s dedicated pipe gives a high but stable load (~0.8),
+        # where bursts queue behind each other with visible probability.
+        rate = 400_000.0
+        queue = DEKOneQueue(
+            order=pipeline["fit"].distribution.order,
+            mean_service_s=mean_burst_bits / rate,
+            interval_s=tick,
+        )
+        assert 0.0 < queue.load < 1.0
+        assert queue.waiting_time_quantile(0.9999) > 0.0
+
+    def test_burst_reconstruction_is_stable_across_reload(self, pipeline, ut_trace_short):
+        original = reconstruct_bursts(ut_trace_short)
+        reloaded = pipeline["bursts"]
+        assert len(original) == len(reloaded)
+        assert np.isclose(
+            np.mean(burst_analysis.burst_sizes(original)),
+            np.mean(burst_analysis.burst_sizes(reloaded)),
+        )

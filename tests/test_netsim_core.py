@@ -1,0 +1,228 @@
+"""Tests for the discrete-event simulator building blocks."""
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.netsim import (
+    EventQueue,
+    FIFOScheduler,
+    Link,
+    PriorityScheduler,
+    Simulator,
+    WFQScheduler,
+)
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(3.0, lambda: order.append("c"))
+        while queue.peek_time() is not None:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("first"))
+        queue.schedule(1.0, lambda: order.append("second"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_pop_advances_clock(self):
+        queue = EventQueue()
+        queue.schedule(1.5, lambda: None)
+        queue.pop()
+        assert queue.now == 1.5
+
+    def test_scheduling_in_the_past_raises(self):
+        queue = EventQueue()
+        queue.schedule(2.0, lambda: None)
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.schedule(1.0, lambda: None)
+
+    def test_schedule_in_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule_in(-0.1, lambda: None)
+
+    def test_len(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+
+
+class TestSimulator:
+    def test_run_until_processes_only_due_events(self):
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule(0.5, lambda: fired.append(0.5))
+        sim.schedule(1.5, lambda: fired.append(1.5))
+        processed = sim.run_until(1.0)
+        assert processed == 1
+        assert fired == [0.5]
+
+    def test_event_budget_guard(self):
+        sim = Simulator(seed=1)
+
+        def reschedule():
+            sim.schedule_in(0.001, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run_until(10.0, max_events=100)
+
+    def test_new_packet_ids_are_unique(self):
+        sim = Simulator(seed=1)
+        a = sim.new_packet(100, "gaming", 0, "up")
+        b = sim.new_packet(100, "gaming", 0, "up")
+        assert a.packet_id != b.packet_id
+
+    def test_new_packet_rejects_bad_size(self):
+        with pytest.raises(SimulationError):
+            Simulator(seed=1).new_packet(0.0, "gaming", 0, "up")
+
+    def test_seeded_rng_is_reproducible(self):
+        a = Simulator(seed=7).rng.random(3)
+        b = Simulator(seed=7).rng.random(3)
+        assert list(a) == list(b)
+
+
+def make_packet(sim, size=100.0, traffic_class="gaming", client_id=0):
+    return sim.new_packet(size, traffic_class, client_id, "down")
+
+
+class TestSchedulers:
+    def test_fifo_order(self):
+        sim = Simulator(seed=1)
+        scheduler = FIFOScheduler()
+        first = make_packet(sim)
+        second = make_packet(sim)
+        scheduler.enqueue(first, 0.0)
+        scheduler.enqueue(second, 0.0)
+        assert scheduler.select(0.0) is first
+        assert scheduler.select(0.0) is second
+        assert scheduler.select(0.0) is None
+
+    def test_fifo_interleaves_classes_by_arrival(self):
+        sim = Simulator(seed=1)
+        scheduler = FIFOScheduler()
+        gaming = make_packet(sim, traffic_class="gaming")
+        data = make_packet(sim, traffic_class="data")
+        scheduler.enqueue(data, 0.0)
+        scheduler.enqueue(gaming, 0.0)
+        assert scheduler.select(0.0) is data
+
+    def test_priority_serves_gaming_first(self):
+        sim = Simulator(seed=1)
+        scheduler = PriorityScheduler(["gaming", "data"])
+        data = make_packet(sim, traffic_class="data")
+        gaming = make_packet(sim, traffic_class="gaming")
+        scheduler.enqueue(data, 0.0)
+        scheduler.enqueue(gaming, 0.0)
+        assert scheduler.select(0.0) is gaming
+        assert scheduler.select(0.0) is data
+
+    def test_priority_requires_class_order(self):
+        with pytest.raises(ParameterError):
+            PriorityScheduler([])
+
+    def test_priority_serves_unknown_classes_last(self):
+        sim = Simulator(seed=1)
+        scheduler = PriorityScheduler(["gaming"])
+        other = make_packet(sim, traffic_class="voice")
+        gaming = make_packet(sim, traffic_class="gaming")
+        scheduler.enqueue(other, 0.0)
+        scheduler.enqueue(gaming, 0.0)
+        assert scheduler.select(0.0) is gaming
+        assert scheduler.select(0.0) is other
+
+    def test_wfq_rejects_bad_weights(self):
+        with pytest.raises(ParameterError):
+            WFQScheduler({})
+        with pytest.raises(ParameterError):
+            WFQScheduler({"gaming": 0.0})
+
+    def test_wfq_rejects_unknown_class(self):
+        sim = Simulator(seed=1)
+        scheduler = WFQScheduler({"gaming": 0.5, "data": 0.5})
+        with pytest.raises(SimulationError):
+            scheduler.enqueue(make_packet(sim, traffic_class="voice"), 0.0)
+
+    def test_wfq_shares_bandwidth_by_weight(self):
+        """With a heavy data backlog, gaming packets still go out regularly."""
+        sim = Simulator(seed=1)
+        scheduler = WFQScheduler({"gaming": 0.5, "data": 0.5})
+        # 10 large data packets and 10 small gaming packets, all queued at t=0.
+        for _ in range(10):
+            scheduler.enqueue(make_packet(sim, size=1500.0, traffic_class="data"), 0.0)
+        for _ in range(10):
+            scheduler.enqueue(make_packet(sim, size=100.0, traffic_class="gaming"), 0.0)
+        order = [scheduler.select(0.0).traffic_class for _ in range(20)]
+        # All gaming packets clear before the last data packet under WFQ
+        # (they are 15x smaller with equal weight).
+        assert order.index("gaming") < 3
+        assert "gaming" not in order[-5:]
+
+    def test_backlog_accounting(self):
+        sim = Simulator(seed=1)
+        scheduler = FIFOScheduler()
+        scheduler.enqueue(make_packet(sim, size=100.0), 0.0)
+        scheduler.enqueue(make_packet(sim, size=200.0, traffic_class="data"), 0.0)
+        assert scheduler.backlog_packets() == 2
+        assert scheduler.backlog_bytes() == pytest.approx(300.0)
+        assert scheduler.backlog_bytes("data") == pytest.approx(200.0)
+        assert not scheduler.is_empty()
+
+
+class TestLink:
+    def test_packets_are_serialised_at_link_rate(self):
+        sim = Simulator(seed=1)
+        received = []
+        link = Link(sim, "test", rate_bps=8_000.0, target=received.append)
+        packet = sim.new_packet(100.0, "gaming", 0, "up")  # 800 bits -> 0.1 s
+        sim.schedule(0.0, lambda: link.send(packet))
+        sim.run_until(1.0)
+        assert len(received) == 1
+        assert received[0].timestamps["test:departure"] == pytest.approx(0.1)
+
+    def test_queueing_delay_recorded_for_second_packet(self):
+        sim = Simulator(seed=1)
+        received = []
+        link = Link(sim, "test", rate_bps=8_000.0, target=received.append)
+        p1 = sim.new_packet(100.0, "gaming", 0, "up")
+        p2 = sim.new_packet(100.0, "gaming", 1, "up")
+        sim.schedule(0.0, lambda: link.send(p1))
+        sim.schedule(0.0, lambda: link.send(p2))
+        sim.run_until(1.0)
+        assert link.queueing_delay_of(p1) == pytest.approx(0.0)
+        assert link.queueing_delay_of(p2) == pytest.approx(0.1)
+
+    def test_propagation_delay_added_after_serialization(self):
+        sim = Simulator(seed=1)
+        received = []
+        link = Link(sim, "test", rate_bps=8_000.0, propagation_delay_s=0.05,
+                    target=received.append)
+        packet = sim.new_packet(100.0, "gaming", 0, "up")
+        sim.schedule(0.0, lambda: link.send(packet))
+        sim.run_until(1.0)
+        assert received[0].timestamps["test:delivered"] == pytest.approx(0.15)
+
+    def test_utilisation(self):
+        sim = Simulator(seed=1)
+        link = Link(sim, "test", rate_bps=8_000.0, target=lambda p: None)
+        packet = sim.new_packet(100.0, "gaming", 0, "up")
+        sim.schedule(0.0, lambda: link.send(packet))
+        sim.run_until(1.0)
+        assert link.utilisation(1.0) == pytest.approx(0.1)
+        assert link.transmitted_packets == 1
+        assert link.transmitted_bytes == pytest.approx(100.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            Link(Simulator(seed=1), "bad", rate_bps=0.0)

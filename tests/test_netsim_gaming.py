@@ -1,0 +1,125 @@
+"""Integration tests for the gaming-session simulation (Figure 2 architecture)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.netsim import (
+    AccessNetworkConfig,
+    DelayRecorder,
+    GamingSimulation,
+    GamingWorkload,
+    make_scheduler,
+    FIFOScheduler,
+    PriorityScheduler,
+    WFQScheduler,
+)
+
+
+class TestDelayRecorder:
+    def test_record_and_summaries(self):
+        recorder = DelayRecorder()
+        for value in (0.01, 0.02, 0.03):
+            recorder.record("rtt", value)
+        summary = recorder.summary("rtt")
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.02)
+        assert summary.maximum == pytest.approx(0.03)
+        assert recorder.quantile("rtt", 0.5) == pytest.approx(0.02)
+
+    def test_tail_probability(self):
+        recorder = DelayRecorder()
+        for value in np.linspace(0.0, 1.0, 101):
+            recorder.record("x", float(value))
+        assert recorder.tail_probability("x", 0.9) == pytest.approx(0.099, abs=0.02)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            DelayRecorder().record("x", -1e-3)
+
+    def test_missing_category_raises(self):
+        with pytest.raises(ParameterError):
+            DelayRecorder().mean("nothing")
+
+    def test_all_summaries(self):
+        recorder = DelayRecorder()
+        recorder.record("a", 0.1)
+        recorder.record("b", 0.2)
+        assert set(recorder.all_summaries()) == {"a", "b"}
+
+
+class TestMakeScheduler:
+    def test_kinds(self):
+        assert isinstance(make_scheduler("fifo"), FIFOScheduler)
+        assert isinstance(make_scheduler("priority"), PriorityScheduler)
+        assert isinstance(make_scheduler("wfq", gaming_weight=0.7), WFQScheduler)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            make_scheduler("round-robin")
+
+    def test_wfq_weight_validated(self):
+        with pytest.raises(ParameterError):
+            make_scheduler("wfq", gaming_weight=1.5)
+
+
+class TestGamingSimulation:
+    def _run(self, num_clients=20, duration=8.0, scheduler="fifo", background=0.0, seed=5):
+        config = AccessNetworkConfig(num_clients=num_clients, scheduler=scheduler)
+        workload = GamingWorkload(background_rate_bps=background)
+        simulation = GamingSimulation(config, workload, seed=seed)
+        delays = simulation.run(duration, warmup_s=1.0)
+        return simulation, delays
+
+    def test_collects_all_delay_categories(self):
+        _, delays = self._run()
+        for category in ("upstream", "downstream", "rtt"):
+            assert delays.count(category) > 0
+
+    def test_packet_counts_match_expectation(self):
+        simulation, delays = self._run(num_clients=10, duration=8.0)
+        expected_downstream = 10 * 8.0 / 0.040
+        assert delays.count("downstream") == pytest.approx(expected_downstream, rel=0.1)
+
+    def test_rtt_at_least_serialization(self):
+        _, delays = self._run()
+        # Serialization alone is ~6.3 ms in the default DSL scenario.
+        assert delays.quantile("rtt", 0.01) >= 0.006
+
+    def test_load_properties(self):
+        simulation, _ = self._run(num_clients=40)
+        assert simulation.downlink_load == pytest.approx(8 * 40 * 125 / (0.040 * 5e6))
+        assert simulation.uplink_load == pytest.approx(8 * 40 * 80 / (0.040 * 5e6))
+
+    def test_reproducible_with_seed(self):
+        _, first = self._run(seed=9, duration=4.0)
+        _, second = self._run(seed=9, duration=4.0)
+        assert first.mean("rtt") == pytest.approx(second.mean("rtt"))
+
+    def test_higher_load_increases_queueing(self):
+        _, light = self._run(num_clients=10, duration=6.0)
+        _, heavy = self._run(num_clients=60, duration=6.0)
+        assert heavy.quantile("downstream", 0.99) > light.quantile("downstream", 0.99)
+
+    def test_background_traffic_hurts_fifo_but_not_wfq(self):
+        """Section 1: under FIFO elastic traffic degrades gaming delay; WFQ protects it."""
+        _, fifo_clean = self._run(scheduler="fifo", background=0.0, duration=6.0)
+        _, fifo_loaded = self._run(scheduler="fifo", background=3_000_000.0, duration=6.0)
+        _, wfq_loaded = self._run(scheduler="wfq", background=3_000_000.0, duration=6.0)
+        fifo_degradation = fifo_loaded.quantile("rtt", 0.99) - fifo_clean.quantile("rtt", 0.99)
+        wfq_degradation = wfq_loaded.quantile("rtt", 0.99) - fifo_clean.quantile("rtt", 0.99)
+        assert fifo_degradation > 0.0
+        assert wfq_degradation < fifo_degradation
+
+    def test_priority_scheduler_protects_gaming(self):
+        _, fifo_loaded = self._run(scheduler="fifo", background=3_000_000.0, duration=6.0)
+        _, prio_loaded = self._run(scheduler="priority", background=3_000_000.0, duration=6.0)
+        assert prio_loaded.quantile("rtt", 0.99) <= fifo_loaded.quantile("rtt", 0.99)
+
+    def test_rejects_invalid_workload(self):
+        with pytest.raises(ParameterError):
+            GamingWorkload(background_rate_bps=-1.0)
+
+    def test_rejects_invalid_config(self):
+        with pytest.raises(ParameterError):
+            AccessNetworkConfig(num_clients=0)

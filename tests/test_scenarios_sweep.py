@@ -1,0 +1,116 @@
+"""Tests for the DSL scenario objects and load sweeps (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.scenarios import (
+    DslScenario,
+    PAPER_BASELINE,
+    PAPER_ERLANG_ORDERS,
+    PAPER_SERVER_PACKET_SIZES,
+    PAPER_TICK_INTERVALS_S,
+    default_load_grid,
+    sweep_loads,
+)
+
+
+class TestDslScenario:
+    def test_paper_baseline_defaults(self):
+        assert PAPER_BASELINE.client_packet_bytes == 80.0
+        assert PAPER_BASELINE.server_packet_bytes == 125.0
+        assert PAPER_BASELINE.access_uplink_bps == 128_000.0
+        assert PAPER_BASELINE.access_downlink_bps == 1_024_000.0
+        assert PAPER_BASELINE.aggregation_rate_bps == 5_000_000.0
+
+    def test_paper_parameter_sets(self):
+        assert PAPER_ERLANG_ORDERS == (2, 9, 20)
+        assert PAPER_TICK_INTERVALS_S == (0.040, 0.060)
+        assert PAPER_SERVER_PACKET_SIZES == (75.0, 100.0, 125.0)
+
+    def test_variants_do_not_mutate_the_original(self):
+        variant = PAPER_BASELINE.with_erlang_order(20)
+        assert variant.erlang_order == 20
+        assert PAPER_BASELINE.erlang_order == 9
+
+    def test_with_tick_interval(self):
+        assert PAPER_BASELINE.with_tick_interval(0.040).tick_interval_s == 0.040
+
+    def test_with_server_packet_bytes(self):
+        assert PAPER_BASELINE.with_server_packet_bytes(75.0).server_packet_bytes == 75.0
+
+    def test_rejects_order_below_two(self):
+        with pytest.raises(ParameterError):
+            DslScenario(erlang_order=1)
+
+    def test_model_at_load_roundtrip(self):
+        model = PAPER_BASELINE.model_at_load(0.42)
+        assert model.downlink_load == pytest.approx(0.42)
+
+    def test_model_for_gamers(self):
+        model = PAPER_BASELINE.model_for_gamers(60)
+        assert model.num_gamers == 60
+
+    def test_gamer_load_conversions(self):
+        load = 0.37
+        gamers = PAPER_BASELINE.gamers_at_load(load)
+        assert PAPER_BASELINE.load_for_gamers(gamers) == pytest.approx(load)
+
+    def test_dimensioning_kwargs_build_a_model(self):
+        from repro.core import PingTimeModel
+
+        kwargs = PAPER_BASELINE.dimensioning_kwargs()
+        model = PingTimeModel(num_gamers=10, **kwargs)
+        assert model.erlang_order == PAPER_BASELINE.erlang_order
+
+
+class TestSweeps:
+    def test_default_load_grid_range(self):
+        grid = default_load_grid()
+        assert grid[0] == pytest.approx(0.05)
+        assert grid[-1] == pytest.approx(0.90)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_default_load_grid_validation(self):
+        with pytest.raises(ParameterError):
+            default_load_grid(start=0.5, stop=0.3)
+
+    def test_sweep_produces_one_point_per_load(self):
+        series = sweep_loads(PAPER_BASELINE, loads=[0.2, 0.4, 0.6])
+        assert len(series.points) == 3
+        assert series.loads() == pytest.approx([0.2, 0.4, 0.6])
+
+    def test_sweep_rtt_is_monotone_in_load(self):
+        series = sweep_loads(PAPER_BASELINE, loads=[0.2, 0.4, 0.6, 0.8])
+        rtts = series.rtt_ms()
+        assert rtts == sorted(rtts)
+
+    def test_sweep_point_unit_conversion(self):
+        series = sweep_loads(PAPER_BASELINE, loads=[0.3])
+        point = series.points[0]
+        assert point.rtt_quantile_ms == pytest.approx(1e3 * point.rtt_quantile_s)
+
+    def test_series_interpolation(self):
+        series = sweep_loads(PAPER_BASELINE, loads=[0.2, 0.4])
+        mid = series.interpolate_rtt_ms(0.3)
+        assert series.rtt_ms()[0] <= mid <= series.rtt_ms()[1]
+
+    def test_max_load_for_rtt_bound(self):
+        series = sweep_loads(PAPER_BASELINE, loads=[0.1, 0.3, 0.5, 0.7])
+        bound = series.rtt_ms()[2]
+        max_load = series.max_load_for_rtt_ms(bound)
+        assert max_load == pytest.approx(0.5, abs=0.02)
+
+    def test_max_load_zero_when_bound_unreachable(self):
+        series = sweep_loads(PAPER_BASELINE, loads=[0.3, 0.6])
+        assert series.max_load_for_rtt_ms(1.0) == 0.0
+
+    def test_as_rows(self):
+        series = sweep_loads(PAPER_BASELINE, loads=[0.25], label="demo")
+        rows = series.as_rows()
+        assert rows[0]["label"] == "demo"
+        assert rows[0]["load"] == pytest.approx(0.25)
+
+    def test_default_label_mentions_order_and_tick(self):
+        series = sweep_loads(PAPER_BASELINE, loads=[0.25])
+        assert "K=9" in series.label

@@ -1,0 +1,155 @@
+"""Tests for burst reconstruction and trace statistics (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.traffic import (
+    Direction,
+    Packet,
+    PacketTrace,
+    burst_inter_arrival_times,
+    burst_packet_counts,
+    burst_sizes,
+    count_delayed_bursts,
+    count_incomplete_bursts,
+    group_by_burst_id,
+    group_by_gap,
+    reconstruct_bursts,
+    summarize_trace,
+    summarize_values,
+    within_burst_size_cov,
+)
+
+
+def make_burst_trace(num_bursts=5, num_clients=3, tick=0.040, with_ids=True):
+    packets = []
+    for b in range(num_bursts):
+        for c in range(num_clients):
+            packets.append(
+                Packet(
+                    timestamp=b * tick + c * 1e-5,
+                    size_bytes=100.0 + 10 * c,
+                    direction=Direction.SERVER_TO_CLIENT,
+                    client_id=c,
+                    burst_id=b if with_ids else None,
+                )
+            )
+    for c in range(num_clients):
+        for k in range(num_bursts):
+            packets.append(
+                Packet(
+                    timestamp=k * tick + 0.01 + c * 1e-3,
+                    size_bytes=80.0,
+                    direction=Direction.CLIENT_TO_SERVER,
+                    client_id=c,
+                )
+            )
+    return PacketTrace(packets, name="synthetic")
+
+
+class TestGrouping:
+    def test_group_by_burst_id(self):
+        bursts = group_by_burst_id(make_burst_trace())
+        assert len(bursts) == 5
+        assert all(b.packet_count == 3 for b in bursts)
+
+    def test_group_by_burst_id_requires_ids(self):
+        with pytest.raises(ParameterError):
+            group_by_burst_id(make_burst_trace(with_ids=False))
+
+    def test_group_by_gap_recovers_bursts(self):
+        bursts = group_by_gap(make_burst_trace(with_ids=False), gap_threshold=0.005)
+        assert len(bursts) == 5
+        assert all(b.packet_count == 3 for b in bursts)
+
+    def test_group_by_gap_rejects_non_positive_threshold(self):
+        with pytest.raises(ParameterError):
+            group_by_gap(make_burst_trace(), gap_threshold=0.0)
+
+    def test_reconstruct_prefers_ids(self):
+        with_ids = reconstruct_bursts(make_burst_trace(with_ids=True))
+        without = reconstruct_bursts(make_burst_trace(with_ids=False))
+        assert len(with_ids) == len(without) == 5
+
+    def test_burst_sizes_and_counts(self):
+        bursts = group_by_burst_id(make_burst_trace())
+        assert burst_sizes(bursts) == pytest.approx([330.0] * 5)
+        assert burst_packet_counts(bursts) == [3] * 5
+
+    def test_burst_inter_arrival_times(self):
+        bursts = group_by_burst_id(make_burst_trace(tick=0.040))
+        iats = burst_inter_arrival_times(bursts)
+        assert len(iats) == 4
+        assert iats == pytest.approx([0.040] * 4, rel=1e-6)
+
+
+class TestAnomalyCounters:
+    def test_within_burst_cov(self):
+        bursts = group_by_burst_id(make_burst_trace())
+        covs = within_burst_size_cov(bursts)
+        assert len(covs) == 5
+        assert all(cov > 0.0 for cov in covs)
+
+    def test_delayed_bursts_counted(self):
+        trace = make_burst_trace(num_bursts=20)
+        packets = trace.packets
+        # Shift one whole burst 30 ms later to create a "delayed" burst.
+        shifted = []
+        for p in packets:
+            if p.burst_id == 10:
+                shifted.append(
+                    Packet(p.timestamp + 0.030, p.size_bytes, p.direction, p.client_id, p.burst_id)
+                )
+            else:
+                shifted.append(p)
+        bursts = group_by_burst_id(PacketTrace(shifted))
+        assert count_delayed_bursts(bursts, nominal_interval=0.040) >= 1
+
+    def test_no_delayed_bursts_in_clean_trace(self):
+        bursts = group_by_burst_id(make_burst_trace(num_bursts=20))
+        assert count_delayed_bursts(bursts, nominal_interval=0.040) == 0
+
+    def test_incomplete_bursts(self):
+        trace = make_burst_trace(num_bursts=10)
+        packets = [p for p in trace.packets
+                   if not (p.burst_id == 4 and p.client_id == 2)]
+        bursts = group_by_burst_id(PacketTrace(packets))
+        assert count_incomplete_bursts(bursts, expected_packets=3) == 1
+
+
+class TestSummaries:
+    def test_summarize_values(self):
+        stat = summarize_values([10.0, 12.0, 8.0])
+        assert stat.mean == pytest.approx(10.0)
+        assert stat.count == 3
+        assert stat.minimum == 8.0
+        assert stat.maximum == 12.0
+
+    def test_summarize_values_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            summarize_values([])
+
+    def test_summarize_trace_structure(self):
+        summary = summarize_trace(make_burst_trace(num_bursts=30))
+        assert summary.server_to_client.packet_size_bytes.mean == pytest.approx(110.0)
+        assert summary.client_to_server.packet_size_bytes.mean == pytest.approx(80.0)
+        assert summary.server_to_client.burst_size_bytes.mean == pytest.approx(330.0)
+        assert summary.extra["num_bursts"] == 30
+
+    def test_summarize_trace_requires_both_directions(self):
+        upstream_only = make_burst_trace().upstream()
+        with pytest.raises(ParameterError):
+            summarize_trace(upstream_only)
+
+    def test_as_table_contains_expected_sections(self):
+        table = summarize_trace(make_burst_trace(num_bursts=30)).as_table()
+        assert "packet_size_bytes" in table
+        assert "inter_arrival_time_ms" in table
+        assert "burst_size_bytes" in table
+
+    def test_client_iat_computed_per_client(self):
+        # Per-client upstream IATs equal the tick; pooling across clients
+        # without separating them would give much smaller values.
+        summary = summarize_trace(make_burst_trace(num_bursts=30, tick=0.040))
+        assert summary.client_to_server.inter_arrival_time_s.mean == pytest.approx(0.040, rel=1e-6)

@@ -1,0 +1,154 @@
+"""Tests for the per-game synthetic traffic models (Section 2.1 / 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import reconstruct_bursts, summarize_trace
+from repro.traffic.games import (
+    GAME_REGISTRY,
+    available_games,
+    build_game_model,
+    counter_strike,
+    half_life,
+    halo,
+    quake3,
+    unreal_tournament,
+)
+
+
+class TestRegistry:
+    def test_all_games_present(self):
+        assert set(available_games()) == {
+            "counter-strike",
+            "half-life",
+            "halo",
+            "quake3",
+            "unreal-tournament",
+        }
+
+    @pytest.mark.parametrize("name", sorted(GAME_REGISTRY))
+    def test_every_factory_builds(self, name):
+        model = build_game_model(name)
+        assert model.client_packet_bytes > 0
+        assert model.server_packet_bytes > 0
+        assert model.tick_interval_s > 0
+
+    def test_unknown_game_raises(self):
+        with pytest.raises(KeyError):
+            build_game_model("pong")
+
+    def test_kwargs_forwarded(self):
+        model = build_game_model("half-life", game_map="boot_camp")
+        assert "boot_camp" in model.name
+
+
+class TestCounterStrike:
+    def test_nominal_parameters_match_faerber(self, cs_trace_short):
+        model = counter_strike.build_model()
+        # The generator draws from Ext(80, 5.7) / Ext(120, 36) whose means
+        # are ~83 and ~141 bytes.
+        assert model.client.mean_packet_bytes == pytest.approx(83.3, rel=0.01)
+        assert model.server.mean_packet_bytes == pytest.approx(140.8, rel=0.01)
+
+    def test_generated_trace_statistics(self, cs_trace_short):
+        summary = summarize_trace(cs_trace_short)
+        assert summary.client_to_server.packet_size_bytes.mean == pytest.approx(83.0, rel=0.05)
+        assert summary.client_to_server.inter_arrival_time_s.mean == pytest.approx(0.042, rel=0.05)
+        assert summary.server_to_client.inter_arrival_time_s.mean == pytest.approx(0.0585, rel=0.05)
+
+    def test_ideal_model_is_deterministic(self):
+        ideal = counter_strike.ideal_model()
+        assert ideal.client.packet_size.variance == 0.0
+        assert ideal.server.burst_interval.variance == 0.0
+
+
+class TestHalfLife:
+    def test_map_profiles_affect_server_packet_size(self):
+        small = half_life.build_model("crossfire")
+        large = half_life.build_model("boot_camp")
+        assert small.server_packet_bytes < large.server_packet_bytes
+
+    def test_unknown_map_raises(self):
+        with pytest.raises(KeyError):
+            half_life.build_model("no_such_map")
+
+    def test_client_packets_in_published_range(self, hl_trace_short):
+        sizes = hl_trace_short.upstream().sizes()
+        low, high = half_life.PUBLISHED.client_packet_range_bytes
+        assert low * 0.8 <= np.mean(sizes) <= high * 1.2
+
+    def test_deterministic_intervals(self, hl_trace_short):
+        summary = summarize_trace(hl_trace_short)
+        assert summary.server_to_client.inter_arrival_time_s.mean == pytest.approx(0.060, rel=0.02)
+        assert summary.client_to_server.inter_arrival_time_s.mean == pytest.approx(0.041, rel=0.02)
+        assert summary.server_to_client.inter_arrival_time_s.cov < 0.05
+
+
+class TestHalo:
+    def test_packet_sizes_grow_with_players(self):
+        assert halo.server_packet_bytes(8) > halo.server_packet_bytes(2)
+        assert halo.client_packet_bytes(8) > halo.client_packet_bytes(2)
+
+    def test_upstream_mixture_has_both_packet_types(self, rng):
+        model = halo.build_model(num_players=4)
+        trace = model.session_trace(30.0, 2, rng=rng)
+        sizes = set(round(s) for s in trace.upstream().sizes())
+        assert 72 in sizes
+        assert any(size != 72 for size in sizes)
+
+    def test_server_tick_is_40ms(self):
+        model = halo.build_model()
+        assert model.tick_interval_s == pytest.approx(0.040)
+
+
+class TestQuake3:
+    def test_server_packet_size_range(self):
+        assert quake3.server_packet_bytes(1) == pytest.approx(50.0)
+        assert quake3.server_packet_bytes(16) == pytest.approx(400.0)
+        assert quake3.server_packet_bytes(100) == pytest.approx(400.0)
+
+    def test_client_packets_small_and_constant_rate(self, rng):
+        model = quake3.build_model(num_players=8, client_iat_ms=20.0)
+        trace = model.session_trace(20.0, 3, rng=rng)
+        sizes = trace.upstream().sizes()
+        assert 45.0 <= np.mean(sizes) <= 75.0
+        summary = summarize_trace(trace)
+        assert summary.client_to_server.inter_arrival_time_s.mean == pytest.approx(0.020, rel=0.02)
+
+
+class TestUnrealTournament:
+    def test_published_values_match_table3(self):
+        published = unreal_tournament.PUBLISHED
+        assert published.burst_size_mean_bytes == 1852.0
+        assert published.num_players == 12
+
+    def test_trace_matches_key_statistics(self, ut_trace_short):
+        summary = summarize_trace(ut_trace_short, expected_packets=12)
+        assert summary.server_to_client.packet_size_bytes.mean == pytest.approx(154.0, rel=0.05)
+        assert summary.server_to_client.burst_size_bytes.mean == pytest.approx(1852.0, rel=0.05)
+        assert summary.server_to_client.inter_arrival_time_s.mean == pytest.approx(0.047, rel=0.05)
+        assert summary.client_to_server.packet_size_bytes.mean == pytest.approx(73.0, rel=0.05)
+
+    def test_burst_size_cov_near_published(self, ut_trace_short):
+        summary = summarize_trace(ut_trace_short, expected_packets=12)
+        assert 0.12 <= summary.server_to_client.burst_size_bytes.cov <= 0.26
+
+    def test_within_burst_cov_smaller_than_overall(self, ut_trace_short):
+        summary = summarize_trace(ut_trace_short, expected_packets=12)
+        low, high = summary.within_burst_size_cov_range
+        assert high < summary.server_to_client.packet_size_bytes.cov * 1.1
+        assert low > 0.0
+
+    def test_bursts_contain_one_packet_per_player(self, ut_trace_short):
+        bursts = reconstruct_bursts(ut_trace_short)
+        counts = [b.packet_count for b in bursts]
+        assert max(counts) == 12
+        # Only a tiny fraction of bursts may miss a packet.
+        assert np.mean([c < 12 for c in counts]) < 0.05
+
+    def test_generator_mean_is_unbiased(self):
+        """The activity/spike mixture must keep the mean packet size at 154."""
+        server = unreal_tournament.UnrealTournamentServerModel()
+        rng = np.random.default_rng(9)
+        packets = server.generate(60.0, 12, rng=rng)
+        assert np.mean([p.size_bytes for p in packets]) == pytest.approx(154.0, rel=0.03)

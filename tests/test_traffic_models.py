@@ -1,0 +1,134 @@
+"""Tests for the parametric client/server traffic models (Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Extreme
+from repro.errors import ParameterError
+from repro.traffic import (
+    ClientTrafficModel,
+    Direction,
+    GameTrafficModel,
+    ServerTrafficModel,
+    reconstruct_bursts,
+)
+
+
+@pytest.fixture()
+def periodic_model() -> GameTrafficModel:
+    return GameTrafficModel.periodic(
+        name="test-game",
+        client_packet_bytes=80.0,
+        server_packet_bytes=125.0,
+        tick_interval_s=0.040,
+    )
+
+
+class TestClientModel:
+    def test_mean_bitrate(self):
+        client = ClientTrafficModel(Deterministic(80.0), Deterministic(0.040))
+        assert client.mean_bitrate_bps == pytest.approx(16_000.0)
+
+    def test_generate_counts(self, rng):
+        client = ClientTrafficModel(Deterministic(80.0), Deterministic(0.040))
+        packets = client.generate(10.0, client_id=3, rng=rng)
+        assert len(packets) in (249, 250, 251)
+        assert all(p.direction is Direction.CLIENT_TO_SERVER for p in packets)
+        assert all(p.client_id == 3 for p in packets)
+
+    def test_generate_respects_duration(self, rng):
+        client = ClientTrafficModel(Deterministic(80.0), Deterministic(0.040))
+        packets = client.generate(5.0, rng=rng)
+        assert all(p.timestamp < 5.0 for p in packets)
+
+    def test_phase_offset_is_honoured(self, rng):
+        client = ClientTrafficModel(Deterministic(80.0), Deterministic(0.040))
+        packets = client.generate(1.0, rng=rng, start_offset=0.017)
+        assert packets[0].timestamp == pytest.approx(0.017)
+
+    def test_minimum_packet_size_floor(self, rng):
+        client = ClientTrafficModel(
+            Extreme(10.0, 30.0), Deterministic(0.040), min_packet_bytes=40.0
+        )
+        packets = client.generate(20.0, rng=rng)
+        assert min(p.size_bytes for p in packets) >= 40.0
+
+    def test_rejects_non_positive_duration(self, rng):
+        client = ClientTrafficModel(Deterministic(80.0), Deterministic(0.040))
+        with pytest.raises(ParameterError):
+            client.generate(0.0, rng=rng)
+
+
+class TestServerModel:
+    def test_bursts_contain_one_packet_per_client(self, rng):
+        server = ServerTrafficModel(Deterministic(125.0), Deterministic(0.040))
+        packets = server.generate(5.0, num_clients=7, rng=rng)
+        bursts = {}
+        for p in packets:
+            bursts.setdefault(p.burst_id, []).append(p)
+        assert all(len(group) == 7 for group in bursts.values())
+
+    def test_mean_bitrate_scales_with_clients(self):
+        server = ServerTrafficModel(Deterministic(125.0), Deterministic(0.040))
+        assert server.mean_bitrate_bps(10) == pytest.approx(250_000.0)
+
+    def test_drop_probability_removes_packets(self, rng):
+        server = ServerTrafficModel(
+            Deterministic(125.0), Deterministic(0.040), drop_probability=0.3
+        )
+        packets = server.generate(20.0, num_clients=10, rng=rng)
+        counts = {}
+        for p in packets:
+            counts[p.burst_id] = counts.get(p.burst_id, 0) + 1
+        assert any(count < 10 for count in counts.values())
+
+    def test_invalid_drop_probability(self):
+        with pytest.raises(ParameterError):
+            ServerTrafficModel(
+                Deterministic(125.0), Deterministic(0.040), drop_probability=1.5
+            )
+
+    def test_rejects_zero_clients(self, rng):
+        server = ServerTrafficModel(Deterministic(125.0), Deterministic(0.040))
+        with pytest.raises(ParameterError):
+            server.generate(1.0, num_clients=0, rng=rng)
+
+    def test_shuffle_changes_order_between_bursts(self, rng):
+        server = ServerTrafficModel(
+            Deterministic(125.0), Deterministic(0.040), shuffle_order=True
+        )
+        packets = server.generate(30.0, num_clients=6, rng=rng)
+        orders = {}
+        for p in packets:
+            orders.setdefault(p.burst_id, []).append(p.client_id)
+        unique_orders = {tuple(v) for v in orders.values()}
+        assert len(unique_orders) > 1
+
+
+class TestGameModel:
+    def test_periodic_model_nominal_parameters(self, periodic_model):
+        assert periodic_model.client_packet_bytes == 80.0
+        assert periodic_model.server_packet_bytes == 125.0
+        assert periodic_model.tick_interval_s == 0.040
+
+    def test_session_trace_has_both_directions(self, periodic_model):
+        trace = periodic_model.session_trace(5.0, 4, seed=3)
+        assert len(trace.upstream()) > 0
+        assert len(trace.downstream()) > 0
+
+    def test_session_trace_is_reproducible_with_seed(self, periodic_model):
+        a = periodic_model.session_trace(5.0, 4, seed=3)
+        b = periodic_model.session_trace(5.0, 4, seed=3)
+        assert a.timestamps() == pytest.approx(b.timestamps())
+        assert a.sizes() == pytest.approx(b.sizes())
+
+    def test_session_trace_burst_structure(self, periodic_model):
+        trace = periodic_model.session_trace(5.0, 4, seed=3)
+        bursts = reconstruct_bursts(trace)
+        assert all(b.packet_count == 4 for b in bursts)
+
+    def test_downstream_rate_matches_nominal(self, periodic_model):
+        trace = periodic_model.session_trace(20.0, 4, seed=3)
+        downstream = trace.downstream()
+        rate = 8.0 * sum(downstream.sizes()) / trace.duration
+        assert rate == pytest.approx(periodic_model.server.mean_bitrate_bps(4), rel=0.05)

@@ -1,0 +1,85 @@
+"""Tests for packet and burst records."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.traffic import Burst, Direction, Packet
+
+
+class TestDirection:
+    def test_parse_enum_passthrough(self):
+        assert Direction.parse(Direction.CLIENT_TO_SERVER) is Direction.CLIENT_TO_SERVER
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("c2s", Direction.CLIENT_TO_SERVER),
+            ("s2c", Direction.SERVER_TO_CLIENT),
+            ("CLIENT_TO_SERVER", Direction.CLIENT_TO_SERVER),
+            ("server_to_client", Direction.SERVER_TO_CLIENT),
+        ],
+    )
+    def test_parse_strings(self, text, expected):
+        assert Direction.parse(text) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ParameterError):
+            Direction.parse("sideways")
+
+
+class TestPacket:
+    def test_size_bits(self):
+        packet = Packet(0.0, 125.0, Direction.SERVER_TO_CLIENT)
+        assert packet.size_bits == 1000.0
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ParameterError):
+            Packet(-1.0, 80.0, Direction.CLIENT_TO_SERVER)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ParameterError):
+            Packet(0.0, 0.0, Direction.CLIENT_TO_SERVER)
+
+    def test_ordering_is_by_timestamp(self):
+        early = Packet(1.0, 80.0, Direction.CLIENT_TO_SERVER)
+        late = Packet(2.0, 80.0, Direction.CLIENT_TO_SERVER)
+        assert early < late
+
+    def test_default_burst_id_is_none(self):
+        assert Packet(0.0, 80.0, Direction.CLIENT_TO_SERVER).burst_id is None
+
+
+class TestBurst:
+    def _make_burst(self):
+        packets = [
+            Packet(0.010, 120.0, Direction.SERVER_TO_CLIENT, client_id=1, burst_id=3),
+            Packet(0.0101, 130.0, Direction.SERVER_TO_CLIENT, client_id=0, burst_id=3),
+            Packet(0.0102, 150.0, Direction.SERVER_TO_CLIENT, client_id=2, burst_id=3),
+        ]
+        return Burst(3, packets)
+
+    def test_rejects_empty_burst(self):
+        with pytest.raises(ParameterError):
+            Burst(0, [])
+
+    def test_timestamp_is_first_packet(self):
+        assert self._make_burst().timestamp == pytest.approx(0.010)
+
+    def test_size_is_sum_of_packets(self):
+        assert self._make_burst().size_bytes == pytest.approx(400.0)
+
+    def test_packet_count(self):
+        burst = self._make_burst()
+        assert burst.packet_count == 3
+        assert len(burst) == 3
+
+    def test_packets_sorted_by_time(self):
+        burst = self._make_burst()
+        times = [p.timestamp for p in burst]
+        assert times == sorted(times)
+
+    def test_client_ids_follow_packet_order(self):
+        assert list(self._make_burst().client_ids) == [1, 0, 2]
+
+    def test_packet_sizes(self):
+        assert self._make_burst().packet_sizes() == [120.0, 130.0, 150.0]

@@ -1,0 +1,115 @@
+"""Tests for the packet-trace container and its persistence formats."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traffic import Direction, Packet, PacketTrace
+
+
+@pytest.fixture()
+def small_trace() -> PacketTrace:
+    packets = [
+        Packet(0.00, 80.0, Direction.CLIENT_TO_SERVER, client_id=0),
+        Packet(0.01, 120.0, Direction.SERVER_TO_CLIENT, client_id=0, burst_id=0),
+        Packet(0.012, 130.0, Direction.SERVER_TO_CLIENT, client_id=1, burst_id=0),
+        Packet(0.04, 82.0, Direction.CLIENT_TO_SERVER, client_id=1),
+        Packet(0.05, 125.0, Direction.SERVER_TO_CLIENT, client_id=0, burst_id=1),
+    ]
+    return PacketTrace(packets, name="small")
+
+
+class TestContainer:
+    def test_len_and_iteration(self, small_trace):
+        assert len(small_trace) == 5
+        assert len(list(small_trace)) == 5
+
+    def test_packets_are_time_ordered_even_if_given_unordered(self):
+        unordered = [
+            Packet(0.5, 80.0, Direction.CLIENT_TO_SERVER),
+            Packet(0.1, 80.0, Direction.CLIENT_TO_SERVER),
+        ]
+        trace = PacketTrace(unordered)
+        assert trace.timestamps() == sorted(trace.timestamps())
+
+    def test_duration(self, small_trace):
+        assert small_trace.duration == pytest.approx(0.05)
+
+    def test_duration_of_empty_trace_is_zero(self):
+        assert PacketTrace().duration == 0.0
+
+    def test_getitem_slice_returns_trace(self, small_trace):
+        sub = small_trace[:2]
+        assert isinstance(sub, PacketTrace)
+        assert len(sub) == 2
+
+    def test_append_keeps_order(self, small_trace):
+        small_trace.append(Packet(0.02, 90.0, Direction.CLIENT_TO_SERVER))
+        assert small_trace.timestamps() == sorted(small_trace.timestamps())
+
+    def test_merge(self, small_trace):
+        other = PacketTrace([Packet(0.03, 70.0, Direction.CLIENT_TO_SERVER)])
+        merged = small_trace.merge(other)
+        assert len(merged) == 6
+
+
+class TestFiltering:
+    def test_upstream_downstream_partition(self, small_trace):
+        assert len(small_trace.upstream()) + len(small_trace.downstream()) == len(small_trace)
+
+    def test_upstream_only_contains_c2s(self, small_trace):
+        assert all(
+            p.direction is Direction.CLIENT_TO_SERVER for p in small_trace.upstream()
+        )
+
+    def test_for_client(self, small_trace):
+        assert len(small_trace.for_client(0)) == 3
+
+    def test_between(self, small_trace):
+        assert len(small_trace.between(0.01, 0.05)) == 3
+
+    def test_client_ids(self, small_trace):
+        assert small_trace.client_ids() == [0, 1]
+
+    def test_inter_arrival_times(self, small_trace):
+        iats = small_trace.inter_arrival_times()
+        assert len(iats) == len(small_trace) - 1
+        assert all(iat >= 0.0 for iat in iats)
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, small_trace, tmp_path):
+        path = small_trace.to_csv(tmp_path / "trace.csv")
+        loaded = PacketTrace.from_csv(path)
+        assert len(loaded) == len(small_trace)
+        assert loaded.timestamps() == pytest.approx(small_trace.timestamps())
+        assert loaded.sizes() == pytest.approx(small_trace.sizes())
+
+    def test_csv_preserves_burst_ids(self, small_trace, tmp_path):
+        path = small_trace.to_csv(tmp_path / "trace.csv")
+        loaded = PacketTrace.from_csv(path)
+        original_ids = [p.burst_id for p in small_trace]
+        assert [p.burst_id for p in loaded] == original_ids
+
+    def test_jsonl_roundtrip(self, small_trace, tmp_path):
+        path = small_trace.to_jsonl(tmp_path / "trace.jsonl")
+        loaded = PacketTrace.from_jsonl(path)
+        assert len(loaded) == len(small_trace)
+        assert loaded.sizes() == pytest.approx(small_trace.sizes())
+
+    def test_csv_missing_columns_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,size_bytes\n0.0,80\n")
+        with pytest.raises(TraceFormatError):
+            PacketTrace.from_csv(path)
+
+    def test_jsonl_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp": 0.0, "size_bytes": 80, "direction": "c2s"}\nnot json\n')
+        with pytest.raises(TraceFormatError):
+            PacketTrace.from_jsonl(path)
+
+    def test_jsonl_malformed_record_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp": 0.0, "direction": "c2s"}\n')
+        with pytest.raises(TraceFormatError):
+            PacketTrace.from_jsonl(path)

@@ -1,0 +1,91 @@
+"""Tests for the unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.units import (
+    bits_to_bytes,
+    bps_to_kbps,
+    bytes_to_bits,
+    kbps_to_bps,
+    mbps_to_bps,
+    ms_to_s,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+    s_to_ms,
+    serialization_delay,
+)
+
+
+class TestConversions:
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(125) == 1000.0
+
+    def test_bits_to_bytes_roundtrip(self):
+        assert bits_to_bytes(bytes_to_bits(37.5)) == pytest.approx(37.5)
+
+    def test_kbps_to_bps(self):
+        assert kbps_to_bps(5000) == 5_000_000.0
+
+    def test_bps_to_kbps_roundtrip(self):
+        assert bps_to_kbps(kbps_to_bps(128)) == pytest.approx(128.0)
+
+    def test_mbps_to_bps(self):
+        assert mbps_to_bps(1.024) == pytest.approx(1_024_000.0)
+
+    def test_ms_to_s(self):
+        assert ms_to_s(40) == 0.040
+
+    def test_s_to_ms_roundtrip(self):
+        assert s_to_ms(ms_to_s(62.5)) == pytest.approx(62.5)
+
+
+class TestSerializationDelay:
+    def test_paper_access_uplink_example(self):
+        # An 80-byte packet on a 128 kbit/s DSL uplink takes 5 ms.
+        assert serialization_delay(80, 128_000) == pytest.approx(0.005)
+
+    def test_paper_aggregation_example(self):
+        # A 125-byte packet on the 5 Mbit/s aggregation link takes 0.2 ms.
+        assert serialization_delay(125, 5_000_000) == pytest.approx(0.0002)
+
+    def test_zero_size_packet_has_zero_delay(self):
+        assert serialization_delay(0, 1_000_000) == 0.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ParameterError):
+            serialization_delay(100, 0.0)
+
+
+class TestValidators:
+    def test_require_positive_accepts_positive(self):
+        assert require_positive(3.5, "x") == 3.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, -1e-12])
+    def test_require_positive_rejects_non_positive(self, value):
+        with pytest.raises(ParameterError):
+            require_positive(value, "x")
+
+    def test_require_non_negative_accepts_zero(self):
+        assert require_non_negative(0.0, "x") == 0.0
+
+    def test_require_non_negative_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            require_non_negative(-0.1, "x")
+
+    def test_require_fraction_open_interval(self):
+        assert require_fraction(0.5, "x") == 0.5
+        with pytest.raises(ParameterError):
+            require_fraction(1.0, "x")
+
+    def test_require_fraction_inclusive(self):
+        assert require_fraction(1.0, "x", inclusive=True) == 1.0
+        with pytest.raises(ParameterError):
+            require_fraction(1.1, "x", inclusive=True)
+
+    def test_error_message_mentions_parameter_name(self):
+        with pytest.raises(ParameterError, match="link_rate"):
+            require_positive(-1.0, "link_rate")
