@@ -12,10 +12,43 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import PingTimeModel
+from repro import Engine, PingTimeModel, Scenario, available_scenarios, get_scenario
+
+
+def scenario_engine_quickstart() -> None:
+    """The scenario-first API: one typed parameter object, cached engine.
+
+    A :class:`Scenario` bundles the nine access-network parameters (with
+    validation and JSON round-tripping); an :class:`Engine` evaluates it
+    with memoized models, so sweeps, dimensioning and point queries
+    share every expensive transform inversion.
+    """
+    scenario = Scenario(tick_interval_s=0.040)     # paper DSL baseline, T = 40 ms
+    engine = Engine(scenario)                      # 99.999% quantile by default
+
+    print("Scenario-first quickstart")
+    print(f"  presets available        : {', '.join(available_scenarios())}")
+    print(f"  same as preset           : "
+          f"{scenario == get_scenario('paper-dsl-tick40')}")
+    print(f"  JSON round-trip          : "
+          f"{Scenario.from_json(scenario.to_json()) == scenario}")
+
+    # Point query, dimensioning and an 18-point sweep share one cache.
+    rtt_ms = 1e3 * engine.rtt_quantile(0.40)
+    result = engine.dimension(0.050)
+    series = engine.sweep()
+    print(f"  RTT at 40% load          : {rtt_ms:6.2f} ms")
+    print(f"  max load for RTT<=50 ms  : {result.max_load:.0%}"
+          f" ({result.max_gamers} gamers)")
+    print(f"  sweep points evaluated   : {len(series.points)}"
+          f" (model builds: {engine.stats.model_builds},"
+          f" cache hits: {engine.stats.quantile_cache_hits})")
+    print()
 
 
 def main() -> None:
+    scenario_engine_quickstart()
+
     model = PingTimeModel.from_downlink_load(
         0.40,
         tick_interval_s=0.040,           # server tick T = 40 ms

@@ -1,4 +1,6 @@
-"""Reproduction of "Modeling Ping times in First Person Shooter games".
+"""Ping-time modeling and access-network dimensioning for First Person
+Shooter games — a reproduction of Degrande, De Vleeschauwer et al.
+(CoNEXT 2006, ``conf_conext_DegrandeVKM06``).
 
 The package is organised as follows:
 
@@ -13,10 +15,23 @@ The package is organised as follows:
   dimensioning rules of Section 4 (Figures 3-4);
 * :mod:`repro.netsim` -- a discrete-event simulator of the Figure 2
   access architecture used to validate the analytical model;
-* :mod:`repro.scenarios` -- the DSL scenario of Section 4 and parameter
-  sweeps;
+* :mod:`repro.scenarios` -- the unified :class:`Scenario` parameter
+  type, the named preset registry (DSL / cable / FTTH / LTE profiles
+  and per-game traffic presets) and parameter sweeps;
+* :mod:`repro.engine` -- the :class:`Engine` facade: memoized, batched
+  evaluation (RTT quantiles, sweeps, dimensioning, simulation) of one
+  scenario;
 * :mod:`repro.experiments` -- drivers that regenerate every table and
   figure of the paper and compare them against the reported values.
+
+The scenario-first surface is the recommended entry point::
+
+    from repro import Engine, Scenario, get_scenario
+
+    engine = Engine(get_scenario("paper-dsl-tick40"))
+    engine.rtt_quantile(0.40)     # 99.999% RTT at 40% downlink load
+    engine.dimension(0.050)       # max load / gamers for RTT <= 50 ms
+    engine.sweep()                # the Figure 3/4 load grid, cached
 """
 
 from .core import (
@@ -31,7 +46,17 @@ from .core import (
     max_gamers,
     max_tolerable_load,
 )
+from .engine import Engine, EngineStats
 from .errors import ReproError
+from .scenarios import (
+    SCENARIO_PRESETS,
+    DslScenario,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_from_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -40,12 +65,21 @@ __all__ = [
     "DEKOneQueue",
     "DeterministicRttBound",
     "DimensioningResult",
+    "DslScenario",
+    "Engine",
+    "EngineStats",
     "ErlangTermSum",
     "MD1Queue",
     "PacketPositionDelay",
     "PingTimeModel",
+    "ReproError",
+    "SCENARIO_PRESETS",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
     "max_gamers",
     "max_tolerable_load",
-    "ReproError",
+    "register_scenario",
+    "scenario_from_spec",
     "__version__",
 ]

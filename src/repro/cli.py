@@ -4,24 +4,52 @@
 the RTT calculator from the shell::
 
     fps-ping rtt --load 0.4 --erlang-order 9 --tick-ms 40
-    fps-ping dimension --rtt-bound-ms 50
+    fps-ping rtt --scenario counter-strike --load 0.3 --json
+    fps-ping dimension --rtt-bound-ms 50 --scenario lte
     fps-ping table1 | table2 | table3 | figure1 | figure3 | figure4
     fps-ping simulate --clients 40 --duration 30
+
+``--scenario`` accepts a preset name (see
+:func:`repro.scenarios.available_scenarios`) or a path to a JSON file
+written with :meth:`repro.scenarios.Scenario.save`; individual flags
+given on the command line override the preset's values.  ``--json``
+switches every subcommand to machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
+
+import numpy as np
 
 from . import experiments
-from .core import PingTimeModel
-from .core.dimensioning import max_tolerable_load
-from .netsim import AccessNetworkConfig, GamingSimulation, GamingWorkload
-from .scenarios import DslScenario
+from .engine import Engine
+from .errors import ReproError
+from .netsim import GamingSimulation
+from .scenarios import Scenario, scenario_from_spec
 
 __all__ = ["main", "build_parser"]
+
+
+class _RecordingAction(argparse._StoreAction):
+    """``store`` action that records which options were given explicitly.
+
+    Scenario presets and explicit flags are layered (flag beats preset),
+    which requires telling "the user typed ``--tick-ms 40``" apart from
+    "40 is the parser default"; argparse alone cannot.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        super().__call__(parser, namespace, values, option_string)
+        explicit = getattr(namespace, "_explicit", None)
+        if explicit is None:
+            explicit = set()
+            setattr(namespace, "_explicit", explicit)
+        explicit.add(self.dest)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,49 +85,139 @@ def build_parser() -> argparse.ArgumentParser:
         ("figure3", "regenerate Figure 3 (RTT vs load per Erlang order)"),
         ("figure4", "regenerate Figure 4 (RTT vs load per tick interval)"),
     ]:
-        sub.add_parser(name, help=help_text)
+        table_parser = sub.add_parser(name, help=help_text)
+        _add_json_argument(table_parser)
 
     sim = sub.add_parser("simulate", help="run the discrete-event simulator")
+    sim.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="scenario preset name or JSON file (flags below override it)",
+    )
     sim.add_argument("--clients", type=int, default=40, help="number of gamers")
     sim.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
-    sim.add_argument("--tick-ms", type=float, default=40.0, help="tick interval in ms")
-    sim.add_argument("--server-packet-bytes", type=float, default=125.0)
-    sim.add_argument("--client-packet-bytes", type=float, default=80.0)
-    sim.add_argument("--aggregation-kbps", type=float, default=5000.0)
+    sim.add_argument("--tick-ms", type=float, default=40.0, action=_RecordingAction,
+                     help="tick interval in ms")
+    sim.add_argument("--server-packet-bytes", type=float, default=125.0,
+                     action=_RecordingAction)
+    sim.add_argument("--client-packet-bytes", type=float, default=80.0,
+                     action=_RecordingAction)
+    sim.add_argument("--aggregation-kbps", type=float, default=5000.0,
+                     action=_RecordingAction)
     sim.add_argument("--scheduler", choices=["fifo", "priority", "wfq"], default="fifo")
     sim.add_argument("--background-kbps", type=float, default=0.0,
                      help="elastic background traffic rate in kbit/s")
     sim.add_argument("--seed", type=int, default=1)
+    _add_json_argument(sim)
 
     return parser
 
 
-def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--tick-ms", type=float, default=40.0, help="tick interval in ms")
-    parser.add_argument("--client-packet-bytes", type=float, default=80.0)
-    parser.add_argument("--server-packet-bytes", type=float, default=125.0)
-    parser.add_argument("--erlang-order", type=int, default=9)
-    parser.add_argument("--uplink-kbps", type=float, default=128.0)
-    parser.add_argument("--downlink-kbps", type=float, default=1024.0)
-    parser.add_argument("--aggregation-kbps", type=float, default=5000.0)
-
-
-def _scenario_from_args(args: argparse.Namespace) -> DslScenario:
-    return DslScenario(
-        client_packet_bytes=args.client_packet_bytes,
-        server_packet_bytes=args.server_packet_bytes,
-        tick_interval_s=args.tick_ms / 1e3,
-        erlang_order=args.erlang_order,
-        access_uplink_bps=args.uplink_kbps * 1e3,
-        access_downlink_bps=args.downlink_kbps * 1e3,
-        aggregation_rate_bps=args.aggregation_kbps * 1e3,
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of text"
     )
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="scenario preset name or JSON file (flags below override it)",
+    )
+    parser.add_argument("--tick-ms", type=float, default=40.0, action=_RecordingAction,
+                        help="tick interval in ms")
+    parser.add_argument("--client-packet-bytes", type=float, default=80.0,
+                        action=_RecordingAction)
+    parser.add_argument("--server-packet-bytes", type=float, default=125.0,
+                        action=_RecordingAction)
+    parser.add_argument("--erlang-order", type=int, default=9, action=_RecordingAction)
+    parser.add_argument("--uplink-kbps", type=float, default=128.0,
+                        action=_RecordingAction)
+    parser.add_argument("--downlink-kbps", type=float, default=1024.0,
+                        action=_RecordingAction)
+    parser.add_argument("--aggregation-kbps", type=float, default=5000.0,
+                        action=_RecordingAction)
+    _add_json_argument(parser)
+
+
+#: CLI flag dest -> (Scenario field, unit conversion).
+_FLAG_TO_FIELD = {
+    "tick_ms": ("tick_interval_s", 1e-3),
+    "client_packet_bytes": ("client_packet_bytes", 1.0),
+    "server_packet_bytes": ("server_packet_bytes", 1.0),
+    "erlang_order": ("erlang_order", 1),
+    "uplink_kbps": ("access_uplink_bps", 1e3),
+    "downlink_kbps": ("access_downlink_bps", 1e3),
+    "aggregation_kbps": ("aggregation_rate_bps", 1e3),
+}
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """Layer a preset/file (if any) under the explicitly given flags."""
+    explicit = getattr(args, "_explicit", set())
+    if getattr(args, "scenario", None):
+        base = scenario_from_spec(args.scenario)
+        overrides = {}
+        for dest, (field_name, factor) in _FLAG_TO_FIELD.items():
+            if dest in explicit and hasattr(args, dest):
+                overrides[field_name] = getattr(args, dest) * factor
+        return base.derive(**overrides) if overrides else base
+    overrides = {
+        field_name: getattr(args, dest) * factor
+        for dest, (field_name, factor) in _FLAG_TO_FIELD.items()
+        if hasattr(args, dest)
+    }
+    return Scenario.from_dict(overrides)
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert result objects to JSON-serializable values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def _emit_json(payload: Any) -> int:
+    # default=str catches non-dataclass leaves (e.g. fitted distribution
+    # objects inside the table results) with their repr.
+    print(json.dumps(_jsonable(payload), indent=2, sort_keys=True, default=str))
+    return 0
 
 
 def _command_rtt(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
-    model: PingTimeModel = scenario.model_at_load(args.load)
+    engine = Engine(scenario, probability=args.quantile, method=args.method)
+    model = engine.model_at_load(args.load)
     breakdown = model.breakdown(args.quantile)
+    rtt_quantile_s = engine.rtt_quantile(args.load)
+    if args.json:
+        return _emit_json(
+            {
+                "scenario": scenario.to_dict(),
+                "downlink_load": model.downlink_load,
+                "uplink_load": model.uplink_load,
+                "num_gamers": model.num_gamers,
+                "probability": args.quantile,
+                "method": args.method,
+                "breakdown": breakdown.as_dict(),
+                "rtt_quantile_s": rtt_quantile_s,
+                "rtt_quantile_ms": 1e3 * rtt_quantile_s,
+            }
+        )
     print(
         experiments.format_kv(
             {
@@ -110,8 +228,7 @@ def _command_rtt(args: argparse.Namespace) -> int:
                 "upstream queueing quantile (ms)": 1e3 * breakdown.upstream_queueing_s,
                 "burst delay quantile (ms)": 1e3 * breakdown.downstream_burst_s,
                 "packet position quantile (ms)": 1e3 * breakdown.packet_position_s,
-                f"RTT {100 * args.quantile:.3f}% quantile (ms)": 1e3
-                * model.rtt_quantile(args.quantile, method=args.method),
+                f"RTT {100 * args.quantile:.3f}% quantile (ms)": 1e3 * rtt_quantile_s,
             },
             title="RTT evaluation",
         )
@@ -121,11 +238,10 @@ def _command_rtt(args: argparse.Namespace) -> int:
 
 def _command_dimension(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
-    result = max_tolerable_load(
-        args.rtt_bound_ms / 1e3,
-        probability=args.quantile,
-        **scenario.dimensioning_kwargs(),
-    )
+    engine = Engine(scenario, probability=args.quantile)
+    result = engine.dimension(args.rtt_bound_ms / 1e3)
+    if args.json:
+        return _emit_json({"scenario": scenario.to_dict(), "result": result.to_dict()})
     print(
         experiments.format_kv(
             {
@@ -141,19 +257,34 @@ def _command_dimension(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    config = AccessNetworkConfig(
+    # The simulate subparser only carries a subset of the scenario flags;
+    # _scenario_from_args skips the absent ones and fills defaults.
+    scenario = _scenario_from_args(args)
+    simulation = GamingSimulation.from_scenario(
+        scenario,
         num_clients=args.clients,
-        aggregation_rate_bps=args.aggregation_kbps * 1e3,
         scheduler=args.scheduler,
-    )
-    workload = GamingWorkload(
-        client_packet_bytes=args.client_packet_bytes,
-        server_packet_bytes=args.server_packet_bytes,
-        tick_interval_s=args.tick_ms / 1e3,
         background_rate_bps=args.background_kbps * 1e3,
+        seed=args.seed,
     )
-    simulation = GamingSimulation(config, workload, seed=args.seed)
     delays = simulation.run(args.duration, warmup_s=min(5.0, args.duration / 10.0))
+    if args.json:
+        summaries = {
+            category: delays.summary(category).as_dict()
+            for category in ("upstream", "downstream", "rtt")
+            if delays.count(category) > 0
+        }
+        return _emit_json(
+            {
+                "scenario": scenario.to_dict(),
+                "num_clients": args.clients,
+                "scheduler": args.scheduler,
+                "duration_s": args.duration,
+                "downlink_load": simulation.downlink_load,
+                "uplink_load": simulation.uplink_load,
+                "delays": summaries,
+            }
+        )
     rows = {}
     for category in ("upstream", "downstream", "rtt"):
         if delays.count(category) == 0:
@@ -167,34 +298,41 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: command -> (runner, text formatter) for the table/figure subcommands.
+_REPORT_COMMANDS = {
+    "table1": (experiments.run_table1, experiments.format_table1),
+    "table2": (experiments.run_table2, experiments.format_table2),
+    "table3": (experiments.run_table3, experiments.format_table3),
+    "figure1": (experiments.run_figure1, experiments.format_figure1),
+    "figure3": (experiments.run_figure3, experiments.format_figure3),
+    "figure4": (experiments.run_figure4, experiments.format_figure4),
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (returns the process exit code)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "rtt":
-        return _command_rtt(args)
-    if args.command == "dimension":
-        return _command_dimension(args)
-    if args.command == "simulate":
-        return _command_simulate(args)
-    if args.command == "table1":
-        print(experiments.format_table1(experiments.run_table1()))
-        return 0
-    if args.command == "table2":
-        print(experiments.format_table2(experiments.run_table2()))
-        return 0
-    if args.command == "table3":
-        print(experiments.format_table3(experiments.run_table3()))
-        return 0
-    if args.command == "figure1":
-        print(experiments.format_figure1(experiments.run_figure1()))
-        return 0
-    if args.command == "figure3":
-        print(experiments.format_figure3(experiments.run_figure3()))
-        return 0
-    if args.command == "figure4":
-        print(experiments.format_figure4(experiments.run_figure4()))
-        return 0
+    try:
+        if args.command == "rtt":
+            return _command_rtt(args)
+        if args.command == "dimension":
+            return _command_dimension(args)
+        if args.command == "simulate":
+            return _command_simulate(args)
+        if args.command in _REPORT_COMMANDS:
+            run, fmt = _REPORT_COMMANDS[args.command]
+            result = run()
+            if args.json:
+                return _emit_json({args.command: result})
+            print(fmt(result))
+            return 0
+    except (ReproError, KeyError, json.JSONDecodeError) as exc:
+        # Bad preset names, malformed scenario files and out-of-range
+        # parameters produce a one-line error, not a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"{parser.prog}: error: {message}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

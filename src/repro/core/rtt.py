@@ -39,7 +39,36 @@ from .inversion import quantile_from_mgf, tail_from_mgf
 from .mgf import ErlangTerm, ErlangTermSum
 from .upstream import MD1Queue
 
-__all__ = ["PingTimeModel", "DEFAULT_QUANTILE", "RttBreakdown", "QUANTILE_METHODS"]
+__all__ = [
+    "PingTimeModel",
+    "DEFAULT_QUANTILE",
+    "RttBreakdown",
+    "QUANTILE_METHODS",
+    "model_build_count",
+    "reset_model_build_count",
+]
+
+#: Running count of PingTimeModel constructions (see model_build_count).
+_MODEL_BUILDS = 0
+
+
+def model_build_count() -> int:
+    """Number of :class:`PingTimeModel` instances built so far.
+
+    Model construction is the expensive step of every evaluation (it
+    triggers the component-transform computations), so benchmarks and
+    the :class:`repro.engine.Engine` cache tests use this counter to
+    verify how much work a code path really performs.
+    """
+    return _MODEL_BUILDS
+
+
+def reset_model_build_count() -> int:
+    """Reset the construction counter, returning the previous value."""
+    global _MODEL_BUILDS
+    previous = _MODEL_BUILDS
+    _MODEL_BUILDS = 0
+    return previous
 
 #: The paper computes 99.999% quantiles of the RTT (Section 4).
 DEFAULT_QUANTILE = 0.99999
@@ -123,6 +152,8 @@ class PingTimeModel:
     server_processing_s: float = 0.0
 
     def __post_init__(self) -> None:
+        global _MODEL_BUILDS
+        _MODEL_BUILDS += 1
         if self.num_gamers < 1.0:
             raise ParameterError("num_gamers must be at least 1")
         require_positive(self.tick_interval_s, "tick_interval_s")

@@ -1,0 +1,361 @@
+"""Cached evaluation facade over a :class:`~repro.scenarios.base.Scenario`.
+
+The seed code rebuilt a :class:`~repro.core.rtt.PingTimeModel` from
+scratch at every sweep point and every bisection step of the
+dimensioning search, even when the operating point had already been
+evaluated.  :class:`Engine` owns one scenario and memoizes both the
+models and the quantile evaluations per (operating point, probability,
+method), so that
+
+* ``engine.rtt_quantile(load)`` builds each distinct operating point
+  once, ever;
+* ``engine.sweep(loads)`` evaluates a load grid as a batch — duplicate
+  and previously-seen loads are cache hits — instead of per-point
+  rebuilds;
+* ``engine.dimension(rtt_bound)`` shares its bisection evaluations with
+  every other query, and reads the RTT at the optimum straight from the
+  cache instead of rebuilding the model a final time;
+* ``engine.simulate(...)`` runs the discrete-event validation of the
+  same scenario without re-threading nine keyword arguments.
+
+The cache is exact: hits return the very same floats the uncached path
+would produce (verified by the test suite), because keys are the
+rounded number of gamers — the only model parameter a load maps to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from scipy import optimize
+
+from .core.dimensioning import DimensioningResult
+from .core.rtt import DEFAULT_QUANTILE, QUANTILE_METHODS, PingTimeModel
+from .errors import ParameterError
+from .scenarios.base import Scenario
+from .scenarios.sweep import SweepPoint, SweepSeries, default_load_grid
+
+__all__ = ["Engine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Cache bookkeeping of one :class:`Engine`."""
+
+    model_builds: int = 0
+    model_cache_hits: int = 0
+    quantile_evaluations: int = 0
+    quantile_cache_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "model_builds": self.model_builds,
+            "model_cache_hits": self.model_cache_hits,
+            "quantile_evaluations": self.quantile_evaluations,
+            "quantile_cache_hits": self.quantile_cache_hits,
+        }
+
+
+class Engine:
+    """Memoized evaluator for one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The :class:`Scenario` to evaluate (a parameter mapping is also
+        accepted and converted with :meth:`Scenario.from_dict`).
+    probability:
+        Default quantile level for RTT queries (the paper's 99.999%).
+    method:
+        Default quantile evaluation method (see
+        :data:`~repro.core.rtt.QUANTILE_METHODS`).
+    """
+
+    def __init__(
+        self,
+        scenario: Union[Scenario, Mapping[str, float]],
+        *,
+        probability: float = DEFAULT_QUANTILE,
+        method: str = "inversion",
+    ) -> None:
+        if isinstance(scenario, Mapping):
+            scenario = Scenario.from_dict(scenario)
+        if not isinstance(scenario, Scenario):
+            raise TypeError(
+                f"expected a Scenario or a parameter mapping, got {type(scenario).__name__}"
+            )
+        if not 0.0 < probability < 1.0:
+            raise ParameterError("probability must lie in (0, 1)")
+        if method not in QUANTILE_METHODS:
+            raise ParameterError(
+                f"method must be one of {QUANTILE_METHODS}; got {method!r}"
+            )
+        self.scenario = scenario
+        self.probability = float(probability)
+        self.method = method
+        self.stats = EngineStats()
+        self._models: Dict[float, PingTimeModel] = {}
+        self._quantiles: Dict[Tuple[float, float, str], float] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Engine({self.scenario!r}, probability={self.probability}, "
+            f"method={self.method!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _gamers_key(num_gamers: float) -> float:
+        """Float-stable cache key for an operating point."""
+        return round(float(num_gamers), 9)
+
+    def clear_cache(self) -> None:
+        """Drop all memoized models and quantiles (stats are kept)."""
+        self._models.clear()
+        self._quantiles.clear()
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+    def model_for_gamers(self, num_gamers: float) -> PingTimeModel:
+        """The (memoized) RTT model for an explicit number of gamers."""
+        key = self._gamers_key(num_gamers)
+        model = self._models.get(key)
+        if model is None:
+            model = self.scenario.model_for_gamers(num_gamers)
+            self._models[key] = model
+            self.stats.model_builds += 1
+        else:
+            self.stats.model_cache_hits += 1
+        return model
+
+    def model_at_load(self, downlink_load: float) -> PingTimeModel:
+        """The (memoized) RTT model at a downlink load on the bottleneck."""
+        num_gamers = self.scenario.gamers_at_load(float(downlink_load))
+        if num_gamers < 1.0:
+            raise ParameterError(
+                f"load {downlink_load:.3f} corresponds to fewer than one gamer"
+            )
+        return self.model_for_gamers(num_gamers)
+
+    # ------------------------------------------------------------------
+    # RTT quantiles
+    # ------------------------------------------------------------------
+    def _resolve(self, probability: Optional[float], method: Optional[str]) -> Tuple[float, str]:
+        probability = self.probability if probability is None else float(probability)
+        method = self.method if method is None else method
+        if not 0.0 < probability < 1.0:
+            raise ParameterError("probability must lie in (0, 1)")
+        if method not in QUANTILE_METHODS:
+            raise ParameterError(
+                f"method must be one of {QUANTILE_METHODS}; got {method!r}"
+            )
+        return probability, method
+
+    def rtt_quantile_for_gamers(
+        self,
+        num_gamers: float,
+        probability: Optional[float] = None,
+        method: Optional[str] = None,
+    ) -> float:
+        """RTT quantile (seconds) at an explicit gamer count, memoized."""
+        probability, method = self._resolve(probability, method)
+        key = (self._gamers_key(num_gamers), probability, method)
+        value = self._quantiles.get(key)
+        if value is None:
+            model = self.model_for_gamers(num_gamers)
+            value = model.rtt_quantile(probability, method=method)
+            self._quantiles[key] = value
+            self.stats.quantile_evaluations += 1
+        else:
+            self.stats.quantile_cache_hits += 1
+        return value
+
+    def rtt_quantile(
+        self,
+        downlink_load: float,
+        probability: Optional[float] = None,
+        method: Optional[str] = None,
+    ) -> float:
+        """RTT quantile (seconds) at a downlink load, memoized."""
+        num_gamers = self.scenario.gamers_at_load(float(downlink_load))
+        if num_gamers < 1.0:
+            raise ParameterError(
+                f"load {downlink_load:.3f} corresponds to fewer than one gamer"
+            )
+        return self.rtt_quantile_for_gamers(num_gamers, probability, method)
+
+    def rtt_quantiles(
+        self,
+        downlink_loads: Sequence[float],
+        probability: Optional[float] = None,
+        method: Optional[str] = None,
+    ) -> list:
+        """Batch evaluation of :meth:`rtt_quantile` over a load grid."""
+        return [self.rtt_quantile(float(load), probability, method) for load in downlink_loads]
+
+    # ------------------------------------------------------------------
+    # Sweeps (the Figure 3 / Figure 4 engine)
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        loads: Optional[Sequence[float]] = None,
+        probability: Optional[float] = None,
+        method: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> SweepSeries:
+        """Evaluate the RTT quantile over a grid of downlink loads.
+
+        The grid is evaluated as a batch against the shared cache: each
+        distinct operating point is built and inverted exactly once per
+        (probability, method), including across repeated ``sweep`` /
+        ``dimension`` / ``rtt_quantile`` calls on the same engine.
+        """
+        if loads is None:
+            loads = default_load_grid()
+        probability, method = self._resolve(probability, method)
+        scenario = self.scenario
+        series = SweepSeries(
+            label=label
+            or f"K={scenario.erlang_order}, T={scenario.tick_interval_s * 1e3:.0f}ms",
+            scenario=scenario,
+            probability=probability,
+        )
+        for load in loads:
+            load = float(load)
+            model = self.model_at_load(load)
+            series.points.append(
+                SweepPoint(
+                    downlink_load=load,
+                    uplink_load=model.uplink_load,
+                    num_gamers=model.num_gamers,
+                    rtt_quantile_s=self.rtt_quantile_for_gamers(
+                        model.num_gamers, probability, method
+                    ),
+                )
+            )
+        return series
+
+    # ------------------------------------------------------------------
+    # Dimensioning (Section 4)
+    # ------------------------------------------------------------------
+    def dimension(
+        self,
+        rtt_bound_s: float,
+        probability: Optional[float] = None,
+        method: Optional[str] = None,
+        load_resolution: float = 1e-3,
+        max_load_ceiling: float = 0.98,
+    ) -> DimensioningResult:
+        """Largest downlink load whose RTT quantile meets ``rtt_bound_s``.
+
+        The RTT quantile is monotonically increasing in the load, so a
+        bisection on the load suffices.  Every evaluation goes through
+        the shared cache; in particular the RTT at the optimum is reused
+        from the bisection instead of rebuilding the model a final time.
+        """
+        if rtt_bound_s <= 0.0:
+            raise ParameterError("rtt_bound_s must be positive")
+        probability, method = self._resolve(probability, method)
+        scenario = self.scenario
+        ceiling = scenario.stable_load_ceiling(max_load_ceiling)
+
+        # The load must at least accommodate one gamer.
+        floor_load = scenario.load_for_gamers(1.0)
+        floor_load = min(max(floor_load, 1e-4), ceiling / 2.0)
+
+        rtt_floor = self.rtt_quantile(floor_load, probability, method)
+        if rtt_floor > rtt_bound_s:
+            raise ParameterError(
+                f"the RTT bound {rtt_bound_s * 1e3:.1f} ms cannot be met even at the "
+                f"minimum load ({rtt_floor * 1e3:.1f} ms with a single gamer)"
+            )
+        rtt_ceiling = self.rtt_quantile(ceiling, probability, method)
+        if rtt_ceiling <= rtt_bound_s:
+            best_load = ceiling
+        else:
+            best_load = float(
+                optimize.brentq(
+                    lambda load: self.rtt_quantile(load, probability, method)
+                    - rtt_bound_s,
+                    floor_load,
+                    ceiling,
+                    xtol=load_resolution,
+                )
+            )
+        gamers = int(math.floor(scenario.gamers_at_load(best_load)))
+        # brentq returns a load it has evaluated, so this is a cache hit.
+        rtt_at_best = self.rtt_quantile(best_load, probability, method)
+        return DimensioningResult(
+            rtt_bound_s=rtt_bound_s,
+            probability=probability,
+            max_load=best_load,
+            max_gamers=max(gamers, 0),
+            rtt_at_max_load_s=rtt_at_best,
+        )
+
+    # ------------------------------------------------------------------
+    # Discrete-event validation
+    # ------------------------------------------------------------------
+    def make_simulation(
+        self,
+        *,
+        num_clients: Optional[int] = None,
+        load: Optional[float] = None,
+        scheduler: str = "fifo",
+        gaming_weight: float = 0.5,
+        background_rate_bps: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        """Build a :class:`~repro.netsim.GamingSimulation` of the scenario.
+
+        The client count is given directly or derived from a target
+        downlink ``load`` (rounded to the nearest whole gamer).
+        """
+        from .netsim import GamingSimulation
+
+        if (num_clients is None) == (load is None):
+            raise ParameterError("pass exactly one of num_clients= or load=")
+        if num_clients is None:
+            num_clients = max(int(round(self.scenario.gamers_at_load(float(load)))), 1)
+        return GamingSimulation.from_scenario(
+            self.scenario,
+            num_clients=int(num_clients),
+            scheduler=scheduler,
+            gaming_weight=gaming_weight,
+            background_rate_bps=background_rate_bps,
+            seed=seed,
+        )
+
+    def simulate(
+        self,
+        duration_s: float = 30.0,
+        *,
+        warmup_s: Optional[float] = None,
+        num_clients: Optional[int] = None,
+        load: Optional[float] = None,
+        scheduler: str = "fifo",
+        gaming_weight: float = 0.5,
+        background_rate_bps: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        """Run the discrete-event simulator on the scenario.
+
+        Returns the :class:`~repro.netsim.DelayRecorder` with the
+        measured upstream / downstream / RTT samples.
+        """
+        simulation = self.make_simulation(
+            num_clients=num_clients,
+            load=load,
+            scheduler=scheduler,
+            gaming_weight=gaming_weight,
+            background_rate_bps=background_rate_bps,
+            seed=seed,
+        )
+        if warmup_s is None:
+            warmup_s = min(5.0, duration_s / 10.0)
+        return simulation.run(duration_s, warmup_s=warmup_s)

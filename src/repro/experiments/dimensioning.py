@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.dimensioning import DimensioningResult, max_tolerable_load
+from ..core.dimensioning import DimensioningResult
 from ..core.rtt import DEFAULT_QUANTILE
-from ..scenarios import DslScenario
+from ..engine import Engine
+from ..scenarios import Scenario
 from .report import format_table
 
 __all__ = [
@@ -49,7 +50,7 @@ class DimensioningTable:
     rows: List[DimensioningRow]
     rtt_bound_ms: float
     probability: float
-    scenario: DslScenario
+    scenario: Scenario
 
     def row(self, erlang_order: int) -> DimensioningRow:
         for row in self.rows:
@@ -67,18 +68,15 @@ def run_dimensioning(
     method: str = "inversion",
 ) -> DimensioningTable:
     """Recompute the maximum tolerable load and N_max per Erlang order."""
-    base = DslScenario(
+    base = Scenario(
         server_packet_bytes=server_packet_bytes, tick_interval_s=tick_interval_s
     )
     rows: List[DimensioningRow] = []
     for order in orders:
-        scenario = base.with_erlang_order(int(order))
-        result: DimensioningResult = max_tolerable_load(
-            rtt_bound_s,
-            probability=probability,
-            method=method,
-            **scenario.dimensioning_kwargs(),
+        engine = Engine(
+            base.with_erlang_order(int(order)), probability=probability, method=method
         )
+        result: DimensioningResult = engine.dimension(rtt_bound_s)
         paper = PAPER_DIMENSIONING.get(int(order), (None, None))
         rows.append(
             DimensioningRow(

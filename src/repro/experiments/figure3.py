@@ -16,7 +16,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.rtt import DEFAULT_QUANTILE
-from ..scenarios import DslScenario, SweepSeries, default_load_grid, sweep_loads
+from ..engine import Engine
+from ..scenarios import Scenario, SweepSeries, default_load_grid
 from .report import format_series
 
 __all__ = ["Figure3Result", "run_figure3", "format_figure3"]
@@ -32,7 +33,7 @@ class Figure3Result:
     loads: np.ndarray
     series_by_order: Dict[int, SweepSeries]
     probability: float
-    scenario: DslScenario
+    scenario: Scenario
 
     def rtt_ms(self, order: int) -> List[float]:
         """RTT quantile curve (ms) for one Erlang order."""
@@ -55,15 +56,15 @@ def run_figure3(
     if loads is None:
         loads = default_load_grid()
     loads = np.asarray(list(loads), dtype=float)
-    base = DslScenario(
+    base = Scenario(
         server_packet_bytes=server_packet_bytes, tick_interval_s=tick_interval_s
     )
     series_by_order: Dict[int, SweepSeries] = {}
     for order in orders:
-        scenario = base.with_erlang_order(int(order))
-        series_by_order[int(order)] = sweep_loads(
-            scenario, loads, probability=probability, method=method, label=f"K={order}"
+        engine = Engine(
+            base.with_erlang_order(int(order)), probability=probability, method=method
         )
+        series_by_order[int(order)] = engine.sweep(loads, label=f"K={order}")
     return Figure3Result(
         loads=loads,
         series_by_order=series_by_order,

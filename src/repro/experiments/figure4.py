@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.rtt import DEFAULT_QUANTILE
-from ..scenarios import DslScenario, SweepSeries, default_load_grid, sweep_loads
+from ..engine import Engine
+from ..scenarios import Scenario, SweepSeries, default_load_grid
 from .report import format_series
 
 __all__ = ["Figure4Result", "run_figure4", "format_figure4"]
@@ -31,7 +32,7 @@ class Figure4Result:
     loads: np.ndarray
     series_by_tick_ms: Dict[int, SweepSeries]
     probability: float
-    scenario: DslScenario
+    scenario: Scenario
 
     def rtt_ms(self, tick_ms: int) -> List[float]:
         """RTT quantile curve (ms) for one tick interval."""
@@ -64,14 +65,14 @@ def run_figure4(
     if loads is None:
         loads = default_load_grid()
     loads = np.asarray(list(loads), dtype=float)
-    base = DslScenario(server_packet_bytes=server_packet_bytes, erlang_order=erlang_order)
+    base = Scenario(server_packet_bytes=server_packet_bytes, erlang_order=erlang_order)
     series_by_tick_ms: Dict[int, SweepSeries] = {}
     for tick in tick_intervals_s:
-        scenario = base.with_tick_interval(float(tick))
-        tick_ms = int(round(tick * 1e3))
-        series_by_tick_ms[tick_ms] = sweep_loads(
-            scenario, loads, probability=probability, method=method, label=f"IAT={tick_ms}ms"
+        engine = Engine(
+            base.with_tick_interval(float(tick)), probability=probability, method=method
         )
+        tick_ms = int(round(tick * 1e3))
+        series_by_tick_ms[tick_ms] = engine.sweep(loads, label=f"IAT={tick_ms}ms")
     return Figure4Result(
         loads=loads,
         series_by_tick_ms=series_by_tick_ms,

@@ -53,6 +53,22 @@ class GamingWorkload:
         if self.background_rate_bps < 0.0:
             raise ParameterError("background_rate_bps must be >= 0")
 
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario,
+        background_rate_bps: float = 0.0,
+        server_packet_size_distribution: Optional[Distribution] = None,
+    ) -> "GamingWorkload":
+        """Workload matching a :class:`~repro.scenarios.base.Scenario`."""
+        return cls(
+            client_packet_bytes=scenario.client_packet_bytes,
+            server_packet_bytes=scenario.server_packet_bytes,
+            tick_interval_s=scenario.tick_interval_s,
+            server_packet_size_distribution=server_packet_size_distribution,
+            background_rate_bps=background_rate_bps,
+        )
+
 
 class GamingSimulation:
     """A complete simulated gaming session over the access network."""
@@ -114,6 +130,42 @@ class GamingSimulation:
                     direction="up",
                 )
             )
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario,
+        num_clients: int,
+        *,
+        scheduler: str = "fifo",
+        gaming_weight: float = 0.5,
+        background_rate_bps: float = 0.0,
+        server_packet_size_distribution: Optional[Distribution] = None,
+        seed: Optional[int] = None,
+    ) -> "GamingSimulation":
+        """Build the simulated session of a :class:`~repro.scenarios.base.Scenario`.
+
+        This is the discrete-event counterpart of
+        :meth:`Scenario.model_for_gamers`: same access rates, packet
+        sizes and tick interval, ``num_clients`` simulated gamers.
+        """
+        server_processing_s = getattr(scenario, "server_processing_s", 0.0)
+        if server_processing_s > 0.0:
+            raise ParameterError(
+                "the simulator does not model server_processing_s yet; "
+                "the simulated RTT would silently undershoot the analytical "
+                "model — use a scenario with server_processing_s=0"
+            )
+        config = AccessNetworkConfig.from_scenario(
+            scenario, num_clients=num_clients, scheduler=scheduler,
+            gaming_weight=gaming_weight,
+        )
+        workload = GamingWorkload.from_scenario(
+            scenario,
+            background_rate_bps=background_rate_bps,
+            server_packet_size_distribution=server_packet_size_distribution,
+        )
+        return cls(config, workload, seed=seed)
 
     # ------------------------------------------------------------------
     # Delivery hooks

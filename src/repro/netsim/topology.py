@@ -65,6 +65,25 @@ class AccessNetworkConfig:
         require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
         require_non_negative(self.propagation_delay_s, "propagation_delay_s")
 
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario,
+        num_clients: int,
+        scheduler: str = "fifo",
+        gaming_weight: float = 0.5,
+    ) -> "AccessNetworkConfig":
+        """Network configuration matching a :class:`~repro.scenarios.base.Scenario`."""
+        return cls(
+            num_clients=num_clients,
+            access_uplink_bps=scenario.access_uplink_bps,
+            access_downlink_bps=scenario.access_downlink_bps,
+            aggregation_rate_bps=scenario.aggregation_rate_bps,
+            propagation_delay_s=scenario.propagation_delay_s,
+            scheduler=scheduler,
+            gaming_weight=gaming_weight,
+        )
+
 
 class AccessNetwork:
     """The simulated links of the Figure 2 client-server architecture."""

@@ -1,5 +1,6 @@
-"""Scenario definitions and parameter sweeps (Section 4)."""
+"""Scenario definitions, presets and parameter sweeps (Section 4)."""
 
+from .base import Scenario
 from .dsl import (
     DslScenario,
     PAPER_BASELINE,
@@ -7,14 +8,27 @@ from .dsl import (
     PAPER_SERVER_PACKET_SIZES,
     PAPER_TICK_INTERVALS_S,
 )
+from .registry import (
+    SCENARIO_PRESETS,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_from_spec,
+)
 from .sweep import SweepPoint, SweepSeries, default_load_grid, sweep_loads
 
 __all__ = [
+    "Scenario",
     "DslScenario",
     "PAPER_BASELINE",
     "PAPER_ERLANG_ORDERS",
     "PAPER_SERVER_PACKET_SIZES",
     "PAPER_TICK_INTERVALS_S",
+    "SCENARIO_PRESETS",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenario_from_spec",
     "SweepPoint",
     "SweepSeries",
     "default_load_grid",

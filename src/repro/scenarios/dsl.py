@@ -1,24 +1,22 @@
-"""The DSL access scenario of Section 4.
+"""The DSL access scenario of Section 4 (thin compatibility layer).
 
 The paper fixes most parameters and varies only a handful: the client
 packet size is 80 byte, the DSL access rates are 128 kbit/s up and
 1024 kbit/s down, the gaming share of the aggregation link is 5 Mbit/s;
 the server packet size takes the values 125 / 100 / 75 byte, the tick
 interval 40 or 60 ms, and the Erlang order 2 / 9 / 20.
-:class:`DslScenario` captures one such parameter combination and builds
-:class:`~repro.core.rtt.PingTimeModel` instances at a given load or
-number of gamers.
+
+Those values are exactly the defaults of the unified
+:class:`~repro.scenarios.base.Scenario` type, so ``DslScenario`` is now
+a thin alias of it: existing code (and pickles of the old class) keep
+working, while every scenario — DSL or otherwise — shares one
+implementation of validation, serialization and model construction.
+New code should import :class:`Scenario` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterable, List
-
-from ..core import PingTimeModel
-from ..core.dimensioning import gamers_for_load, load_for_gamers
-from ..errors import ParameterError
-from ..units import require_positive
+from .base import Scenario
 
 __all__ = [
     "DslScenario",
@@ -27,6 +25,10 @@ __all__ = [
     "PAPER_TICK_INTERVALS_S",
     "PAPER_SERVER_PACKET_SIZES",
 ]
+
+#: Backwards-compatible name: the Section 4 DSL scenario *is* the
+#: default :class:`Scenario`.
+DslScenario = Scenario
 
 #: The Erlang orders examined in Section 4.
 PAPER_ERLANG_ORDERS = (2, 9, 20)
@@ -37,95 +39,5 @@ PAPER_TICK_INTERVALS_S = (0.040, 0.060)
 #: The server packet sizes examined in Section 4 (bytes).
 PAPER_SERVER_PACKET_SIZES = (75.0, 100.0, 125.0)
 
-
-@dataclass(frozen=True)
-class DslScenario:
-    """One parameter combination of the Section 4 DSL scenario."""
-
-    client_packet_bytes: float = 80.0
-    server_packet_bytes: float = 125.0
-    tick_interval_s: float = 0.060
-    erlang_order: int = 9
-    access_uplink_bps: float = 128_000.0
-    access_downlink_bps: float = 1_024_000.0
-    aggregation_rate_bps: float = 5_000_000.0
-    propagation_delay_s: float = 0.0
-    server_processing_s: float = 0.0
-
-    def __post_init__(self) -> None:
-        require_positive(self.client_packet_bytes, "client_packet_bytes")
-        require_positive(self.server_packet_bytes, "server_packet_bytes")
-        require_positive(self.tick_interval_s, "tick_interval_s")
-        if self.erlang_order < 2:
-            raise ParameterError("erlang_order must be >= 2")
-        require_positive(self.access_uplink_bps, "access_uplink_bps")
-        require_positive(self.access_downlink_bps, "access_downlink_bps")
-        require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
-
-    # ------------------------------------------------------------------
-    # Variants
-    # ------------------------------------------------------------------
-    def with_erlang_order(self, order: int) -> "DslScenario":
-        """Copy of the scenario with a different burst Erlang order."""
-        return replace(self, erlang_order=order)
-
-    def with_tick_interval(self, tick_interval_s: float) -> "DslScenario":
-        """Copy of the scenario with a different tick interval."""
-        return replace(self, tick_interval_s=tick_interval_s)
-
-    def with_server_packet_bytes(self, server_packet_bytes: float) -> "DslScenario":
-        """Copy of the scenario with a different server packet size."""
-        return replace(self, server_packet_bytes=server_packet_bytes)
-
-    # ------------------------------------------------------------------
-    # Model construction
-    # ------------------------------------------------------------------
-    def _model_kwargs(self) -> dict:
-        return dict(
-            tick_interval_s=self.tick_interval_s,
-            client_packet_bytes=self.client_packet_bytes,
-            server_packet_bytes=self.server_packet_bytes,
-            erlang_order=self.erlang_order,
-            access_uplink_bps=self.access_uplink_bps,
-            access_downlink_bps=self.access_downlink_bps,
-            aggregation_rate_bps=self.aggregation_rate_bps,
-            propagation_delay_s=self.propagation_delay_s,
-            server_processing_s=self.server_processing_s,
-        )
-
-    def model_at_load(self, downlink_load: float) -> PingTimeModel:
-        """RTT model at the given downlink load on the aggregation link."""
-        return PingTimeModel.from_downlink_load(downlink_load, **self._model_kwargs())
-
-    def model_for_gamers(self, num_gamers: float) -> PingTimeModel:
-        """RTT model for an explicit number of gamers."""
-        return PingTimeModel(num_gamers=num_gamers, **self._model_kwargs())
-
-    # ------------------------------------------------------------------
-    # Load / gamer conversions (eq. 37)
-    # ------------------------------------------------------------------
-    def gamers_at_load(self, downlink_load: float) -> float:
-        """Number of gamers that realises ``downlink_load`` (may be fractional)."""
-        return gamers_for_load(
-            downlink_load,
-            self.tick_interval_s,
-            self.aggregation_rate_bps,
-            self.server_packet_bytes,
-        )
-
-    def load_for_gamers(self, num_gamers: float) -> float:
-        """Downlink load generated by ``num_gamers`` players."""
-        return load_for_gamers(
-            num_gamers,
-            self.tick_interval_s,
-            self.aggregation_rate_bps,
-            self.server_packet_bytes,
-        )
-
-    def dimensioning_kwargs(self) -> dict:
-        """Keyword arguments for :func:`repro.core.dimensioning.max_tolerable_load`."""
-        return self._model_kwargs()
-
-
 #: The baseline parameter set used for Figure 3 (P_S = 125 byte, T = 60 ms).
-PAPER_BASELINE = DslScenario()
+PAPER_BASELINE = Scenario()

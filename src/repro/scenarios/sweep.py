@@ -1,19 +1,23 @@
-"""Parameter sweeps over the DSL scenario (the Figure 3 / Figure 4 engine).
+"""Parameter sweeps over a scenario (the Figure 3 / Figure 4 engine).
 
 A sweep evaluates the RTT quantile over a range of downlink loads for
 one or more scenario variants and returns the series the paper plots.
+The evaluation itself is delegated to :class:`repro.engine.Engine`, so
+every operating point is built and inverted at most once; this module
+keeps the series containers and the historical :func:`sweep_loads`
+entry point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.rtt import DEFAULT_QUANTILE
 from ..errors import ParameterError
-from .dsl import DslScenario
+from .base import Scenario
 
 __all__ = ["SweepPoint", "SweepSeries", "sweep_loads", "default_load_grid"]
 
@@ -38,13 +42,23 @@ class SweepPoint:
     def rtt_quantile_ms(self) -> float:
         return 1e3 * self.rtt_quantile_s
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready dictionary view."""
+        return {
+            "downlink_load": self.downlink_load,
+            "uplink_load": self.uplink_load,
+            "num_gamers": self.num_gamers,
+            "rtt_quantile_s": self.rtt_quantile_s,
+            "rtt_quantile_ms": self.rtt_quantile_ms,
+        }
+
 
 @dataclass
 class SweepSeries:
     """One curve: a labelled sequence of sweep points."""
 
     label: str
-    scenario: DslScenario
+    scenario: Scenario
     probability: float
     points: List[SweepPoint] = field(default_factory=list)
 
@@ -68,6 +82,15 @@ class SweepSeries:
             for p in self.points
         ]
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dictionary view of the whole series."""
+        return {
+            "label": self.label,
+            "scenario": self.scenario.to_dict(),
+            "probability": self.probability,
+            "points": [p.to_dict() for p in self.points],
+        }
+
     def interpolate_rtt_ms(self, load: float) -> float:
         """Linear interpolation of the RTT (ms) at an arbitrary load."""
         return float(np.interp(load, self.loads(), self.rtt_ms()))
@@ -85,28 +108,19 @@ class SweepSeries:
 
 
 def sweep_loads(
-    scenario: DslScenario,
+    scenario: Scenario,
     loads: Optional[Sequence[float]] = None,
     probability: float = DEFAULT_QUANTILE,
     method: str = "inversion",
     label: Optional[str] = None,
 ) -> SweepSeries:
-    """Evaluate the RTT quantile of ``scenario`` over a grid of loads."""
-    if loads is None:
-        loads = default_load_grid()
-    series = SweepSeries(
-        label=label or f"K={scenario.erlang_order}, T={scenario.tick_interval_s * 1e3:.0f}ms",
-        scenario=scenario,
-        probability=probability,
-    )
-    for load in loads:
-        model = scenario.model_at_load(float(load))
-        series.points.append(
-            SweepPoint(
-                downlink_load=float(load),
-                uplink_load=model.uplink_load,
-                num_gamers=model.num_gamers,
-                rtt_quantile_s=model.rtt_quantile(probability, method=method),
-            )
-        )
-    return series
+    """Evaluate the RTT quantile of ``scenario`` over a grid of loads.
+
+    Thin wrapper building a one-shot :class:`~repro.engine.Engine`; keep
+    an engine around instead when several sweeps, dimensioning runs or
+    point queries share the same scenario, so they share the cache too.
+    """
+    from ..engine import Engine  # imported lazily to avoid an import cycle
+
+    engine = Engine(scenario, probability=probability, method=method)
+    return engine.sweep(loads, label=label)

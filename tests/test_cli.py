@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -71,3 +73,97 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "downlink load" in capsys.readouterr().out
+
+
+class TestScenarioFlag:
+    def test_rtt_with_preset(self, capsys):
+        exit_code = main(["rtt", "--scenario", "counter-strike", "--load", "0.3", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["server_packet_bytes"] == 127.0
+
+    def test_explicit_flag_overrides_preset(self, capsys):
+        exit_code = main(
+            ["rtt", "--scenario", "counter-strike", "--tick-ms", "40", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["tick_interval_s"] == pytest.approx(0.040)
+        assert payload["scenario"]["server_packet_bytes"] == 127.0
+
+    def test_rtt_with_scenario_file(self, capsys, tmp_path):
+        from repro.scenarios import Scenario
+
+        path = tmp_path / "custom.json"
+        Scenario(erlang_order=20).save(path)
+        exit_code = main(["rtt", "--scenario", str(path), "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["erlang_order"] == 20
+
+    def test_unknown_preset_clean_error(self, capsys):
+        exit_code = main(["rtt", "--scenario", "no-such-preset"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "paper-dsl" in err
+
+    def test_malformed_scenario_file_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        exit_code = main(["rtt", "--scenario", str(path)])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_out_of_range_parameter_clean_error(self, capsys):
+        exit_code = main(["rtt", "--load", "0.001"])
+        assert exit_code == 2
+        assert "fewer than one gamer" in capsys.readouterr().err
+
+    def test_simulate_with_preset(self, capsys):
+        exit_code = main(
+            ["simulate", "--scenario", "half-life", "--clients", "6", "--duration", "2",
+             "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["tick_interval_s"] == pytest.approx(0.060)
+
+
+class TestJsonOutput:
+    def test_rtt_json(self, capsys):
+        exit_code = main(["rtt", "--load", "0.4", "--tick-ms", "40", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["downlink_load"] == pytest.approx(0.4)
+        assert payload["rtt_quantile_ms"] == pytest.approx(1e3 * payload["rtt_quantile_s"])
+        assert "breakdown" in payload
+
+    def test_dimension_json(self, capsys):
+        exit_code = main(["dimension", "--rtt-bound-ms", "50", "--tick-ms", "40", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["rtt_bound_ms"] == pytest.approx(50.0)
+        assert payload["result"]["max_gamers"] > 0
+
+    def test_simulate_json(self, capsys):
+        exit_code = main(
+            ["simulate", "--clients", "8", "--duration", "3", "--seed", "2", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_clients"] == 8
+        assert payload["delays"]["rtt"]["count"] > 0
+
+    def test_figure4_json(self, capsys):
+        exit_code = main(["figure4", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        series = payload["figure4"]["series_by_tick_ms"]
+        assert sorted(series) == ["40", "60"]
+        assert len(series["40"]["points"]) == 18
+
+    def test_table1_json(self, capsys):
+        exit_code = main(["table1", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "table1" in payload

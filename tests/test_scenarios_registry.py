@@ -1,0 +1,114 @@
+"""Tests for the named scenario preset registry."""
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIO_PRESETS,
+    PAPER_BASELINE,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_from_spec,
+)
+from repro.traffic.games import counter_strike, unreal_tournament
+
+
+class TestLookup:
+    def test_paper_baseline_preset(self):
+        assert get_scenario("paper-dsl") == PAPER_BASELINE
+
+    def test_tick40_variant(self):
+        assert get_scenario("paper-dsl-tick40").tick_interval_s == pytest.approx(0.040)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="paper-dsl"):
+            get_scenario("no-such-scenario")
+
+    def test_available_scenarios_sorted(self):
+        names = available_scenarios()
+        assert names == sorted(names)
+        for expected in ("paper-dsl", "cable", "ftth", "lte", "counter-strike"):
+            assert expected in names
+
+    def test_every_preset_is_a_valid_scenario(self):
+        for name, preset in SCENARIO_PRESETS.items():
+            assert isinstance(preset, Scenario), name
+
+    def test_every_preset_round_trips_through_dict(self):
+        # The acceptance criterion of the redesign: serialization is lossless.
+        for name, preset in SCENARIO_PRESETS.items():
+            assert Scenario.from_dict(preset.to_dict()) == preset, name
+
+
+class TestAccessProfiles:
+    def test_access_profiles_scale_up_from_dsl(self):
+        dsl = get_scenario("paper-dsl")
+        for name in ("cable", "ftth", "lte"):
+            preset = get_scenario(name)
+            assert preset.access_downlink_bps > dsl.access_downlink_bps, name
+            assert preset.aggregation_rate_bps > dsl.aggregation_rate_bps, name
+            # The gaming traffic itself stays the paper's.
+            assert preset.server_packet_bytes == dsl.server_packet_bytes, name
+
+
+class TestGamePresets:
+    def test_game_presets_wired_to_published_characteristics(self):
+        cs = get_scenario("counter-strike")
+        assert cs.server_packet_bytes == counter_strike.PUBLISHED.server_packet_mean_bytes
+        assert cs.client_packet_bytes == counter_strike.PUBLISHED.client_packet_mean_bytes
+        assert cs.tick_interval_s == pytest.approx(
+            counter_strike.PUBLISHED.server_iat_mean_ms / 1e3
+        )
+
+    def test_unreal_tournament_erlang_order_from_tail_fit(self):
+        ut = get_scenario("unreal-tournament")
+        assert ut.erlang_order == min(unreal_tournament.PUBLISHED.erlang_order_from_tail)
+
+    def test_all_games_have_presets(self):
+        for name in ("counter-strike", "half-life", "halo", "quake3", "unreal-tournament"):
+            preset = get_scenario(name)
+            # Every game preset must support the analytical model.
+            assert preset.model_at_load(0.3).downlink_load == pytest.approx(0.3)
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        custom = PAPER_BASELINE.derive(erlang_order=20)
+        register_scenario("test-custom", custom)
+        try:
+            assert get_scenario("test-custom") == custom
+        finally:
+            del SCENARIO_PRESETS["test-custom"]
+
+    def test_register_refuses_silent_overwrite(self):
+        with pytest.raises(KeyError):
+            register_scenario("paper-dsl", PAPER_BASELINE)
+
+    def test_register_overwrite_flag(self):
+        register_scenario("test-overwrite", PAPER_BASELINE)
+        try:
+            replacement = PAPER_BASELINE.derive(erlang_order=2)
+            register_scenario("test-overwrite", replacement, overwrite=True)
+            assert get_scenario("test-overwrite") == replacement
+        finally:
+            del SCENARIO_PRESETS["test-overwrite"]
+
+    def test_register_rejects_non_scenarios(self):
+        with pytest.raises(TypeError):
+            register_scenario("test-bad", {"erlang_order": 9})
+
+
+class TestSpecResolution:
+    def test_spec_resolves_preset_name(self):
+        assert scenario_from_spec("ftth") == get_scenario("ftth")
+
+    def test_spec_resolves_json_file(self, tmp_path):
+        scenario = PAPER_BASELINE.derive(tick_interval_s=0.040, erlang_order=20)
+        path = tmp_path / "custom.json"
+        scenario.save(path)
+        assert scenario_from_spec(str(path)) == scenario
+
+    def test_spec_rejects_unknown(self):
+        with pytest.raises(KeyError, match="neither a scenario preset"):
+            scenario_from_spec("/nonexistent/path.json")
