@@ -109,6 +109,7 @@ class ErlangTermSum:
         self.terms: List[ErlangTerm] = [
             t for t in terms if abs(t.coefficient) > _COEFFICIENT_FLOOR
         ]
+        self._mgf_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -151,9 +152,39 @@ class ErlangTermSum:
         """Probability mass at zero (e.g. the probability of no queueing)."""
         return float(self.atom.real)
 
+    def _term_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(coefficients, rates, orders) as ndarrays, built once per sum."""
+        if self._mgf_arrays is None:
+            self._mgf_arrays = (
+                np.array([t.coefficient for t in self.terms], dtype=complex),
+                np.array([t.rate for t in self.terms], dtype=complex),
+                np.array([t.order for t in self.terms], dtype=float),
+            )
+        return self._mgf_arrays
+
     def mgf(self, s: complex) -> complex:
-        """Evaluate the transform ``E[e^{sX}]`` at ``s``."""
-        return self.atom + sum(t.mgf(s) for t in self.terms)
+        """Evaluate the transform ``E[e^{sX}]`` at ``s``.
+
+        Accepts a scalar or a complex ndarray of any shape; array input
+        is evaluated with one vectorized pass over the cached term
+        arrays (the Euler inversion feeds all its abscissae at once).
+        Scalar input runs the same term arithmetic and the same pairwise
+        reduction over one abscissa, so a scalar call returns the exact
+        floats of the corresponding array element — the numerical
+        inversion relies on that to make its scalar fallback agree with
+        the batched path.
+        """
+        coefficients, rates, orders = self._term_arrays()
+        if isinstance(s, np.ndarray):
+            s = np.asarray(s, dtype=complex)
+            if coefficients.size == 0:
+                return np.full(s.shape, self.atom, dtype=complex)
+            values = coefficients * (rates / (rates - s[..., None])) ** orders
+            return self.atom + values.sum(axis=-1)
+        if coefficients.size == 0:
+            return self.atom
+        values = coefficients * (rates / (rates - complex(s))) ** orders
+        return complex(self.atom + values.sum())
 
     def mean(self) -> float:
         """First moment of the distribution."""

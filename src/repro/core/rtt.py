@@ -29,13 +29,19 @@ from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Dict, Optional
 
+import numpy as np
 from scipy import optimize
 
 from ..errors import ParameterError, StabilityError
 from ..units import require_non_negative, require_positive
 from .bounds import DeterministicRttBound
 from .downstream import DEKOneQueue, PacketPositionDelay
-from .inversion import quantile_from_mgf, tail_from_mgf
+from .inversion import (
+    quantile_from_mgf,
+    quantiles_from_mgf,
+    tail_from_mgf,
+    tails_from_mgf,
+)
 from .mgf import ErlangTerm, ErlangTermSum
 from .upstream import MD1Queue
 
@@ -44,6 +50,7 @@ __all__ = [
     "DEFAULT_QUANTILE",
     "RttBreakdown",
     "QUANTILE_METHODS",
+    "batch_rtt_quantiles",
     "model_build_count",
     "reset_model_build_count",
 ]
@@ -293,13 +300,38 @@ class PingTimeModel:
 
         Evaluating the product directly (without re-expanding it) is
         numerically stable at every load and is what the default
-        ``"inversion"`` quantile method operates on.
+        ``"inversion"`` quantile method operates on.  Accepts a scalar
+        or a complex ndarray (the Euler inversion evaluates all its
+        abscissae in one array call).  Scalar input is routed through a
+        one-element array so a scalar call returns the exact floats of
+        the corresponding array element, whatever SIMD kernels numpy
+        picks for the array product.
         """
+        if not isinstance(s, np.ndarray):
+            return complex(self.queueing_mgf(np.asarray(s, dtype=complex).reshape(1))[0])
         return (
             self._upstream_terms.mgf(s)
             * self._burst_terms.mgf(s)
             * self._position_terms.mgf(s)
         )
+
+    @property
+    def queueing_atom(self) -> float:
+        """``P(total queueing delay = 0)``: the product of the component atoms.
+
+        Passed to the inversion as the known atom at zero, replacing the
+        unbounded ``mgf(-1e12)`` probe the inversion used to perform.
+        """
+        return (
+            self._upstream_terms.atom_mass
+            * self._burst_terms.atom_mass
+            * self._position_terms.atom_mass
+        )
+
+    @property
+    def _inversion_scale_hint(self) -> float:
+        """Bracketing length scale of the quantile search."""
+        return max(self.mean_queueing_delay(), 1e-7)
 
     @cached_property
     def queueing_delay_erlang_sum(self) -> ErlangTermSum:
@@ -323,15 +355,29 @@ class PingTimeModel:
 
     def queueing_tail(self, delay_s: float) -> float:
         """``P(total queueing delay > delay_s)`` by transform inversion."""
-        return tail_from_mgf(self.queueing_mgf, delay_s)
+        return tail_from_mgf(self.queueing_mgf, delay_s, atom_at_zero=self.queueing_atom)
+
+    def queueing_tails(self, delays_s) -> "np.ndarray":
+        """Batch :meth:`queueing_tail` over an array of delays.
+
+        All Euler abscissae of all points are evaluated with a single
+        call of :meth:`queueing_mgf`.
+        """
+        return tails_from_mgf(
+            self.queueing_mgf, delays_s, atom_at_zero=self.queueing_atom
+        )
 
     def queueing_quantile(
         self, probability: float = DEFAULT_QUANTILE, method: str = "inversion"
     ) -> float:
         """Quantile of the total queueing delay, in seconds."""
         if method == "inversion":
-            scale = max(self.mean_queueing_delay(), 1e-7)
-            return quantile_from_mgf(self.queueing_mgf, probability, scale_hint=scale)
+            return quantile_from_mgf(
+                self.queueing_mgf,
+                probability,
+                scale_hint=self._inversion_scale_hint,
+                atom_at_zero=self.queueing_atom,
+            )
         if method == "erlang-sum":
             return self.queueing_delay_erlang_sum.quantile(probability)
         if method == "dominant-pole":
@@ -466,3 +512,30 @@ class PingTimeModel:
     def deterministic_bound(self) -> DeterministicRttBound:
         """The worst-case (network-calculus style) RTT bound baseline."""
         return DeterministicRttBound.from_model(self)
+
+
+def batch_rtt_quantiles(
+    models, probability: float = DEFAULT_QUANTILE, method: str = "inversion"
+) -> list:
+    """RTT quantiles of several models, batched per array call.
+
+    For the default ``"inversion"`` method the product transforms of all
+    models are inverted through
+    :func:`~repro.core.inversion.quantiles_from_mgf`: the Euler weights
+    are shared across the batch and every tail evaluation costs a single
+    vectorized ``queueing_mgf`` call instead of one scalar call per
+    abscissa.  The returned floats are identical to
+    ``model.rtt_quantile(probability, method=method)`` per model (the
+    batch runs the very same memoized search); methods without a batch
+    formulation fall back to the per-model path.
+    """
+    models = list(models)
+    if method != "inversion":
+        return [m.rtt_quantile(probability, method=method) for m in models]
+    queueing = quantiles_from_mgf(
+        [m.queueing_mgf for m in models],
+        probability,
+        scale_hints=[m._inversion_scale_hint for m in models],
+        atoms_at_zero=[m.queueing_atom for m in models],
+    )
+    return [m.deterministic_delay_s + q for m, q in zip(models, queueing)]

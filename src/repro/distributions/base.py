@@ -26,9 +26,14 @@ import numpy as np
 
 from ..errors import ParameterError
 
-__all__ = ["Distribution", "ArrayLike", "as_array"]
+__all__ = ["Distribution", "ArrayLike", "ComplexLike", "as_array"]
 
 ArrayLike = Union[float, np.ndarray]
+
+#: Scalar complex argument or a complex ndarray of any shape; MGF
+#: implementations must be numpy-vectorized so the Euler inversion can
+#: evaluate all of its abscissae in a single call.
+ComplexLike = Union[complex, np.ndarray]
 
 
 def as_array(x: ArrayLike) -> np.ndarray:
@@ -105,11 +110,15 @@ class Distribution(abc.ABC):
     ) -> ArrayLike:
         """Draw ``size`` i.i.d. samples (a scalar when ``size`` is ``None``)."""
 
-    def mgf(self, s: complex) -> complex:
+    def mgf(self, s: ComplexLike) -> ComplexLike:
         """Moment generating function ``E[exp(s X)]`` where defined.
 
         Subclasses that have a closed-form MGF override this; others
-        raise :class:`NotImplementedError`.
+        raise :class:`NotImplementedError`.  Implementations accept a
+        scalar ``complex`` or a complex ndarray and evaluate elementwise
+        (the numerical inversion batches all Euler abscissae — and, for
+        :func:`repro.core.inversion.tails_from_mgf`, all grid points —
+        into one such array call).
         """
         raise NotImplementedError(
             f"{type(self).__name__} has no closed-form moment generating function"

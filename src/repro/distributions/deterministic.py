@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ParameterError
-from .base import ArrayLike, Distribution, as_array
+from .base import ArrayLike, ComplexLike, Distribution, as_array
 
 __all__ = ["Deterministic"]
 
@@ -72,5 +72,6 @@ class Deterministic(Distribution):
         return np.full(size, self.value)
 
     # -- transform -----------------------------------------------------
-    def mgf(self, s: complex) -> complex:
+    def mgf(self, s: ComplexLike) -> ComplexLike:
+        """``E[e^{sX}] = e^{s v}`` (vectorized over complex arrays)."""
         return np.exp(s * self.value)

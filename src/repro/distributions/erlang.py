@@ -17,7 +17,7 @@ import numpy as np
 from scipy import special, stats
 
 from ..errors import ParameterError
-from .base import ArrayLike, Distribution, as_array
+from .base import ArrayLike, ComplexLike, Distribution, as_array
 
 __all__ = ["Erlang", "Exponential"]
 
@@ -85,8 +85,11 @@ class Erlang(Distribution):
         return rng.gamma(shape=self.order, scale=1.0 / self.rate, size=size)
 
     # -- transform -----------------------------------------------------
-    def mgf(self, s: complex) -> complex:
-        """``E[e^{sX}] = (rate / (rate - s))^K`` for ``Re(s) < rate``."""
+    def mgf(self, s: ComplexLike) -> ComplexLike:
+        """``E[e^{sX}] = (rate / (rate - s))^K`` for ``Re(s) < rate``.
+
+        Vectorized: ``s`` may be a complex ndarray of any shape.
+        """
         return (self.rate / (self.rate - s)) ** self.order
 
     # -- constructors --------------------------------------------------

@@ -16,7 +16,7 @@ import numpy as np
 from scipy import stats
 
 from ..errors import ParameterError
-from .base import ArrayLike, Distribution, as_array
+from .base import ArrayLike, ComplexLike, Distribution, as_array
 
 __all__ = ["Lognormal", "Normal"]
 
@@ -136,5 +136,10 @@ class Normal(Distribution):
         rng = self._rng(rng)
         return rng.normal(self._mean, self._std, size=size)
 
-    def mgf(self, s: complex) -> complex:
+    def mgf(self, s: ComplexLike) -> ComplexLike:
+        """``E[e^{sX}] = exp(mu s + sigma^2 s^2 / 2)`` (vectorized).
+
+        The quadratic exponent overflows for very large real ``|s|`` —
+        exactly why the inversion's atom-at-zero probe is bounded.
+        """
         return np.exp(self._mean * s + 0.5 * (self._std * s) ** 2)

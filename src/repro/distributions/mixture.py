@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import ParameterError
-from .base import ArrayLike, Distribution, as_array
+from .base import ArrayLike, ComplexLike, Distribution, as_array
 
 __all__ = ["Mixture"]
 
@@ -119,5 +119,6 @@ class Mixture(Distribution):
         return out
 
     # -- transform -----------------------------------------------------
-    def mgf(self, s: complex) -> complex:
+    def mgf(self, s: ComplexLike) -> ComplexLike:
+        """Weighted sum of the component MGFs (vectorized when they are)."""
         return sum(w * c.mgf(s) for w, c in zip(self.weights, self.components))

@@ -32,7 +32,12 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 from scipy import optimize
 
 from .core.dimensioning import DimensioningResult
-from .core.rtt import DEFAULT_QUANTILE, QUANTILE_METHODS, PingTimeModel
+from .core.rtt import (
+    DEFAULT_QUANTILE,
+    QUANTILE_METHODS,
+    PingTimeModel,
+    batch_rtt_quantiles,
+)
 from .errors import ParameterError
 from .scenarios.base import Scenario
 from .scenarios.sweep import SweepPoint, SweepSeries, default_load_grid
@@ -195,8 +200,42 @@ class Engine:
         probability: Optional[float] = None,
         method: Optional[str] = None,
     ) -> list:
-        """Batch evaluation of :meth:`rtt_quantile` over a load grid."""
-        return [self.rtt_quantile(float(load), probability, method) for load in downlink_loads]
+        """Batch evaluation of :meth:`rtt_quantile` over a load grid.
+
+        Cache misses are evaluated together through
+        :func:`~repro.core.rtt.batch_rtt_quantiles`, which inverts every
+        transform with vectorized (one-array-call) tail evaluations; the
+        floats are identical to per-point :meth:`rtt_quantile` calls.
+        """
+        probability, method = self._resolve(probability, method)
+        models = [self.model_at_load(float(load)) for load in downlink_loads]
+        return self._quantiles_for_models(models, probability, method)
+
+    def _quantiles_for_models(
+        self, models: Sequence[PingTimeModel], probability: float, method: str
+    ) -> list:
+        """Batch-resolve RTT quantiles for already-built models.
+
+        Duplicate and previously-seen operating points are cache hits;
+        the remaining points are evaluated in one batch.
+        """
+        ordered = []
+        missing: Dict[Tuple[float, float, str], PingTimeModel] = {}
+        for model in models:
+            key = (self._gamers_key(model.num_gamers), probability, method)
+            ordered.append(key)
+            if key in self._quantiles or key in missing:
+                self.stats.quantile_cache_hits += 1
+            else:
+                missing[key] = model
+        if missing:
+            values = batch_rtt_quantiles(
+                list(missing.values()), probability, method=method
+            )
+            for key, value in zip(missing, values):
+                self._quantiles[key] = value
+                self.stats.quantile_evaluations += 1
+        return [self._quantiles[key] for key in ordered]
 
     # ------------------------------------------------------------------
     # Sweeps (the Figure 3 / Figure 4 engine)
@@ -213,7 +252,10 @@ class Engine:
         The grid is evaluated as a batch against the shared cache: each
         distinct operating point is built and inverted exactly once per
         (probability, method), including across repeated ``sweep`` /
-        ``dimension`` / ``rtt_quantile`` calls on the same engine.
+        ``dimension`` / ``rtt_quantile`` calls on the same engine.  The
+        cache misses are inverted together through the vectorized batch
+        path (one MGF array call per tail evaluation instead of one
+        scalar call per Euler abscissa).
         """
         if loads is None:
             loads = default_load_grid()
@@ -225,17 +267,16 @@ class Engine:
             scenario=scenario,
             probability=probability,
         )
-        for load in loads:
-            load = float(load)
-            model = self.model_at_load(load)
+        loads = [float(load) for load in loads]
+        models = [self.model_at_load(load) for load in loads]
+        quantiles = self._quantiles_for_models(models, probability, method)
+        for load, model, rtt_quantile_s in zip(loads, models, quantiles):
             series.points.append(
                 SweepPoint(
                     downlink_load=load,
                     uplink_load=model.uplink_load,
                     num_gamers=model.num_gamers,
-                    rtt_quantile_s=self.rtt_quantile_for_gamers(
-                        model.num_gamers, probability, method
-                    ),
+                    rtt_quantile_s=rtt_quantile_s,
                 )
             )
         return series

@@ -1,0 +1,43 @@
+"""Instrumentation helpers shared by the test-suite and the benchmarks.
+
+The vectorized inversion is benchmarked and tested by counting MGF
+callable invocations and by forcing the per-abscissa scalar fallback.
+Both wrappers live here — in the package rather than a per-directory
+helper module — so the tests and the benchmark suites exercise the same
+scalar-fallback protocol: a ``TypeError`` raised on ndarray input is
+what signals a scalar-only MGF to the inversion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CountingMgf", "scalar_only"]
+
+
+def scalar_only(mgf):
+    """Wrap a vectorized MGF so it refuses arrays (forces the scalar path)."""
+
+    def wrapper(s):
+        if isinstance(s, np.ndarray):
+            raise TypeError("scalar-only MGF")
+        return mgf(s)
+
+    return wrapper
+
+
+class CountingMgf:
+    """Counts invocations (and records arguments) of a wrapped MGF."""
+
+    def __init__(self, mgf, accept_arrays=True):
+        self.mgf = mgf
+        self.accept_arrays = accept_arrays
+        self.calls = 0
+        self.arguments = []
+
+    def __call__(self, s):
+        if not self.accept_arrays and isinstance(s, np.ndarray):
+            raise TypeError("scalar-only MGF")
+        self.calls += 1
+        self.arguments.append(s)
+        return self.mgf(s)

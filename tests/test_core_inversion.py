@@ -4,11 +4,20 @@ import math
 
 import numpy as np
 import pytest
-from scipy import stats
+from scipy import optimize, stats
 
 from repro.core import ErlangTermSum
-from repro.core.inversion import euler_laplace_inversion, quantile_from_mgf, tail_from_mgf
+from repro.core import inversion as inversion_module
+from repro.core.inversion import (
+    _euler_weights,
+    euler_laplace_inversion,
+    quantile_from_mgf,
+    quantiles_from_mgf,
+    tail_from_mgf,
+    tails_from_mgf,
+)
 from repro.errors import ParameterError
+from repro.testing import CountingMgf, scalar_only
 
 
 class TestEulerInversion:
@@ -98,3 +107,289 @@ class TestQuantileFromMgf:
         q1 = quantile_from_mgf(dist.mgf, 0.99, scale_hint=dist.mean())
         q2 = quantile_from_mgf(dist.mgf, 0.9999, scale_hint=dist.mean())
         assert q2 > q1
+
+
+class TestVectorizedEuler:
+    """The array path: all abscissae in one transform call."""
+
+    def test_single_transform_invocation_for_vectorized_callable(self):
+        dist = ErlangTermSum.erlang(3, 2.0)
+        counting = CountingMgf(dist.mgf)
+        tail_from_mgf(counting, 1.0)
+        assert counting.calls == 1
+        assert isinstance(counting.arguments[0], np.ndarray)
+        assert counting.arguments[0].shape == (35,)  # N + M + 1 abscissae
+
+    def test_scalar_fallback_one_invocation_per_abscissa(self):
+        dist = ErlangTermSum.erlang(3, 2.0)
+        counting = CountingMgf(dist.mgf, accept_arrays=False)
+        tail_from_mgf(counting, 1.0)
+        assert counting.calls == 35  # N + M + 1 scalar evaluations
+
+    def test_vectorized_matches_scalar_fallback_bitwise(self):
+        # The scalar fallback combines per-abscissa values with the same
+        # weight vector and reduction, so the two paths agree exactly on
+        # vectorized transforms wrapped into scalar-only callables.
+        for dist in (
+            ErlangTermSum.erlang(5, 3.0),
+            ErlangTermSum.erlang_mixture([0.25, 0.5, 0.25], [1, 3, 6], rate=4.0),
+        ):
+            for x in (0.1, 0.9, 3.0):
+                assert tail_from_mgf(scalar_only(dist.mgf), x) == tail_from_mgf(
+                    dist.mgf, x
+                )
+
+    def test_weights_bit_identical_to_pow_signs(self):
+        # The alternating sign is carried inside the weight vector; the
+        # historical per-term (-1)**k pow produces exactly +/-1.0, so the
+        # two constructions must agree bit for bit.
+        for plain, euler in ((22, 12), (10, 5), (3, 2)):
+            weights = _euler_weights(plain, euler)
+            binomials = [math.comb(euler, m) for m in range(euler + 1)]
+            reference = []
+            for k in range(plain + euler + 1):
+                averaged = (
+                    1.0
+                    if k <= plain
+                    else sum(binomials[k - plain :]) / 2.0**euler
+                )
+                sign_and_double = 1.0 if k == 0 else 2.0 * (-1.0) ** k
+                reference.append(averaged * sign_and_double)
+            assert np.array_equal(weights, np.array(reference))
+
+    def test_euler_inversion_array_call_matches_scalar_calls(self):
+        value_vec = euler_laplace_inversion(lambda s: 1.0 / (s + 1.0), 1.5)
+        value_scal = euler_laplace_inversion(
+            scalar_only(lambda s: 1.0 / (s + 1.0)), 1.5
+        )
+        assert value_vec == pytest.approx(math.exp(-1.5), abs=1e-8)
+        assert value_scal == pytest.approx(value_vec, rel=1e-12)
+
+
+class TestTailsBatch:
+    """tails_from_mgf: a whole grid of points per MGF array call."""
+
+    def test_matches_single_point_evaluations_bitwise(self):
+        dist = ErlangTermSum.erlang_mixture([0.2, 0.5, 0.3], [2, 4, 7], rate=3.0)
+        xs = np.array([-1.0, 0.0, 1e-3, 0.5, 2.0, 6.0])
+        batch = tails_from_mgf(dist.mgf, xs)
+        single = np.array([tail_from_mgf(dist.mgf, float(x)) for x in xs])
+        assert np.array_equal(batch, single)
+
+    def test_one_mgf_call_for_the_whole_grid(self):
+        dist = ErlangTermSum.erlang(4, 2.0)
+        counting = CountingMgf(dist.mgf)
+        tails_from_mgf(counting, np.linspace(0.1, 3.0, 12))
+        assert counting.calls == 1
+        assert counting.arguments[0].shape == (12, 35)
+
+    def test_scalar_only_mgf_falls_back_per_point(self):
+        dist = ErlangTermSum.erlang(4, 2.0)
+        xs = np.array([0.2, 1.0, 2.5])
+        batch = tails_from_mgf(scalar_only(dist.mgf), xs)
+        single = np.array([tail_from_mgf(dist.mgf, float(x)) for x in xs])
+        assert np.array_equal(batch, single)
+
+    def test_scalar_input_returns_float(self):
+        dist = ErlangTermSum.exponential(2.0)
+        value = tails_from_mgf(dist.mgf, 1.0)
+        assert isinstance(value, float)
+        assert value == tail_from_mgf(dist.mgf, 1.0)
+
+    def test_preserves_shape_and_clamps(self):
+        dist = ErlangTermSum.erlang(2, 1.0)
+        xs = np.array([[0.5, 1.0], [2.0, 4.0]])
+        out = tails_from_mgf(dist.mgf, xs)
+        assert out.shape == xs.shape
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    def test_scalar_fallback_honours_euler_parameters(self):
+        # Regression: the fallback used to drop a/plain_terms/euler_terms
+        # and re-evaluate with the defaults.
+        dist = ErlangTermSum.erlang(3, 2.0)
+        xs = np.array([0.5, 1.0])
+        custom = dict(a=22.0, plain_terms=30, euler_terms=14)
+        batch = tails_from_mgf(scalar_only(dist.mgf), xs, **custom)
+        single = np.array(
+            [tail_from_mgf(dist.mgf, float(x), **custom) for x in xs]
+        )
+        assert np.array_equal(batch, single)
+
+    def test_overflowing_mgf_clamps_like_the_scalar_path(self):
+        # Regression: NaN from an MGF overflowing at the abscissae used
+        # to pass through np.clip while the scalar path clamped it to 0.
+        def gaussian_mgf(s):
+            return np.exp(0.12 * s + 0.5 * (2.0 * s) ** 2)
+
+        xs = np.array([1e-4, 1e-3])
+        batch = tails_from_mgf(gaussian_mgf, xs, atom_at_zero=0.0)
+        single = np.array(
+            [tail_from_mgf(gaussian_mgf, float(x), atom_at_zero=0.0) for x in xs]
+        )
+        assert np.array_equal(batch, single)
+        assert np.all(np.isfinite(batch))
+        assert np.all((batch >= 0.0) & (batch <= 1.0))
+
+    def test_non_finite_points_match_scalar_path(self):
+        # Regression: +inf/nan used to slip through the positive mask and
+        # yield NaN (batch) vs 0.0 (scalar).
+        dist = ErlangTermSum.erlang(3, 2.0)
+        xs = np.array([-np.inf, -1.0, 0.0, 1.0, np.inf, np.nan])
+        batch = tails_from_mgf(dist.mgf, xs)
+        single = np.array([tail_from_mgf(dist.mgf, float(x)) for x in xs])
+        assert np.array_equal(batch, single)
+        assert batch[-2] == 0.0  # tail(+inf)
+        assert batch[-1] == 0.0  # NaN clamps like the scalar path
+        assert batch[0] == 1.0  # tail(-inf)
+
+
+class TestAtomAtZero:
+    """The atom-at-zero probe: explicit argument plus bounded fallback."""
+
+    def test_explicit_atom_wins(self):
+        dist = ErlangTermSum.exponential(1.0, weight=0.25, atom=0.75)
+        assert tail_from_mgf(dist.mgf, 0.0, atom_at_zero=0.75) == 0.25
+
+    def test_explicit_atom_skips_mgf_probes(self):
+        dist = ErlangTermSum.exponential(1.0, weight=0.25, atom=0.75)
+        counting = CountingMgf(dist.mgf)
+        tail_from_mgf(counting, 0.0, atom_at_zero=0.75)
+        assert counting.calls == 0
+
+    def test_fallback_probe_is_graded_and_bounded(self):
+        # Regression: the old probe evaluated mgf(-1e12) unconditionally
+        # as its only point; the scan now grows from 1e2 (stopping at
+        # the first misbehaving probe) and never exceeds the old 1e12.
+        dist = ErlangTermSum.exponential(1.0, weight=0.3, atom=0.7)
+        counting = CountingMgf(dist.mgf)
+        value = tail_from_mgf(counting, 0.0)
+        assert value == pytest.approx(0.3, abs=1e-6)
+        probed = [abs(complex(s)) for s in counting.arguments]
+        assert probed and probed[0] == pytest.approx(1e2)
+        assert max(probed) <= 1e12
+
+    def test_fast_atomless_distribution_resolves_zero_atom(self):
+        # A rate-1e8 atomless exponential (10 ns mean): the probe must
+        # reach far enough to see the atom vanish.
+        dist = ErlangTermSum.exponential(1e8)
+        assert tail_from_mgf(dist.mgf, 0.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_overflowing_fitted_mgf_stays_sane(self):
+        # A Gaussian-fitted transform overflows at large |s| (the old
+        # -1e12 probe returned inf and the tail collapsed to 0); the
+        # bounded scan stops at the first broken probe.
+        def gaussian_mgf(s):
+            return np.exp(0.12 * s + 0.5 * (0.04 * s) ** 2)
+
+        value = tail_from_mgf(gaussian_mgf, 0.0)
+        assert math.isfinite(value)
+        assert 0.0 <= value <= 1.0
+        # The caller who knows there is no atom gets the exact answer.
+        assert tail_from_mgf(gaussian_mgf, 0.0, atom_at_zero=0.0) == 1.0
+
+    def test_raising_mgf_assumed_atom_free(self):
+        def exploding(s):
+            raise OverflowError("no large-argument evaluation")
+
+        assert tail_from_mgf(exploding, 0.0) == 1.0
+
+
+class TestQuantileSearchMemoization:
+    """No abscissa is inverted twice within one quantile search."""
+
+    MIXTURE = ErlangTermSum.erlang_mixture([0.25, 0.5, 0.25], [1, 3, 6], rate=4.0)
+
+    @staticmethod
+    def _legacy_quantile(mgf, probability, scale_hint, recorder):
+        """The seed implementation: unmemoized tails, upper/2 re-check."""
+
+        def tail(x):
+            recorder.append(x)
+            return tail_from_mgf(mgf, x)
+
+        target = 1.0 - probability
+        if tail(0.0) <= target:
+            return 0.0
+        upper = scale_hint
+        for _ in range(200):
+            if tail(upper) < target:
+                break
+            upper *= 2.0
+        return float(
+            optimize.brentq(
+                lambda x: tail(x) - target,
+                upper / 2.0 if tail(upper / 2.0) >= target else 0.0,
+                upper,
+                xtol=1e-10,
+            )
+        )
+
+    def test_no_duplicate_tail_evaluations(self, monkeypatch):
+        evaluated = []
+        original = inversion_module.tail_from_mgf
+
+        def recording(mgf, x, atom_at_zero=None):
+            evaluated.append(x)
+            return original(mgf, x, atom_at_zero=atom_at_zero)
+
+        monkeypatch.setattr(inversion_module, "tail_from_mgf", recording)
+        quantile_from_mgf(
+            self.MIXTURE.mgf, 0.99999, scale_hint=self.MIXTURE.mean() / 4.0
+        )
+        assert len(evaluated) == len(set(evaluated))
+
+    def test_at_least_three_fewer_evaluations_than_seed(self, monkeypatch):
+        legacy_calls = []
+        self._legacy_quantile(
+            self.MIXTURE.mgf, 0.99999, self.MIXTURE.mean() / 4.0, legacy_calls
+        )
+
+        memoized_calls = []
+        original = inversion_module.tail_from_mgf
+
+        def recording(mgf, x, atom_at_zero=None):
+            memoized_calls.append(x)
+            return original(mgf, x, atom_at_zero=atom_at_zero)
+
+        monkeypatch.setattr(inversion_module, "tail_from_mgf", recording)
+        quantile_from_mgf(
+            self.MIXTURE.mgf, 0.99999, scale_hint=self.MIXTURE.mean() / 4.0
+        )
+        # The seed re-evaluated the upper/2 bracket plus both brentq
+        # endpoints; the memoized search computes each point once.
+        assert len(memoized_calls) <= len(legacy_calls) - 3
+        assert len(set(memoized_calls)) == len(memoized_calls)
+
+
+class TestQuantilesBatch:
+    def test_identical_to_scalar_api(self):
+        dists = [
+            ErlangTermSum.erlang(4, 2.0),
+            ErlangTermSum.erlang_mixture([0.3, 0.7], [2, 5], rate=3.0),
+            ErlangTermSum.exponential(1.5, weight=0.6, atom=0.4),
+        ]
+        batch = quantiles_from_mgf(
+            [d.mgf for d in dists],
+            0.9999,
+            scale_hints=[d.mean() for d in dists],
+            atoms_at_zero=[d.atom_mass for d in dists],
+        )
+        single = [
+            quantile_from_mgf(
+                d.mgf, 0.9999, scale_hint=d.mean(), atom_at_zero=d.atom_mass
+            )
+            for d in dists
+        ]
+        assert batch == single
+
+    def test_scalar_hint_broadcasts(self):
+        dists = [ErlangTermSum.erlang(2, 1.0), ErlangTermSum.erlang(3, 1.0)]
+        batch = quantiles_from_mgf([d.mgf for d in dists], 0.999, scale_hints=1.0)
+        assert batch == [
+            quantile_from_mgf(d.mgf, 0.999, scale_hint=1.0) for d in dists
+        ]
+
+    def test_rejects_mismatched_lengths(self):
+        dist = ErlangTermSum.erlang(2, 1.0)
+        with pytest.raises(ParameterError):
+            quantiles_from_mgf([dist.mgf], 0.999, scale_hints=[1.0, 2.0])

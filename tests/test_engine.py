@@ -118,6 +118,32 @@ class TestSweep:
         values = engine.rtt_quantiles([0.2, 0.4])
         assert values == [engine.rtt_quantile(0.2), engine.rtt_quantile(0.4)]
 
+    def test_sweep_batch_returns_the_exact_cached_floats(self):
+        # The vectorized batch path must return the very same floats the
+        # cache holds from earlier per-point evaluations: the batch is an
+        # optimisation, not an approximation.
+        loads = [0.2, 0.4, 0.6]
+        warm = Engine(TICK40)
+        per_point = [warm.rtt_quantile(load) for load in loads]
+        series = warm.sweep(loads)
+        assert [p.rtt_quantile_s for p in series.points] == per_point
+        # The sweep after the per-point warm-up added no evaluations.
+        assert warm.stats.quantile_evaluations == len(loads)
+        assert warm.stats.quantile_cache_hits == len(loads)
+
+        # A cold batch sweep also lands on the same floats.
+        cold = Engine(TICK40)
+        cold_series = cold.sweep(loads)
+        assert [p.rtt_quantile_s for p in cold_series.points] == per_point
+        assert cold.stats.quantile_evaluations == len(loads)
+
+    def test_rtt_quantiles_deduplicates_within_the_batch(self):
+        engine = Engine(TICK40)
+        values = engine.rtt_quantiles([0.3, 0.3, 0.5])
+        assert values[0] == values[1]
+        assert engine.stats.quantile_evaluations == 2
+        assert engine.stats.quantile_cache_hits == 1
+
 
 class TestDimension:
     def test_matches_keyword_shim(self):
