@@ -12,7 +12,15 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Engine, PingTimeModel, Scenario, available_scenarios, get_scenario
+from repro import (
+    Engine,
+    Fleet,
+    PingTimeModel,
+    Request,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+)
 
 
 def scenario_engine_quickstart() -> None:
@@ -46,8 +54,53 @@ def scenario_engine_quickstart() -> None:
     print()
 
 
+def fleet_quickstart() -> None:
+    """The request-stream workflow: many scenarios, one serving pass.
+
+    A :class:`Fleet` multiplexes :class:`Request` values — scenario plus
+    operating point, optionally per-request quantile level — across
+    internally-managed engines behind one bounded LRU cache, and its
+    stacked inverter answers a heterogeneous batch with a few joint
+    array evaluations.  The same workflow is available from the shell
+    by authoring the requests as JSONL::
+
+        $ cat lookups.jsonl
+        {"scenario": "ftth", "load": 0.4}
+        {"scenario": "satellite-leo", "gamers": 500, "tag": "leo"}
+        $ fps-ping fleet --requests lookups.jsonl --warm-cache cache.json
+
+    which emits one JSON answer per line and persists the cache so the
+    next run starts warm (``fps-ping scenarios list`` enumerates the
+    preset names usable in request files).
+    """
+    fleet = Fleet(max_cache_entries=10_000)
+    answers = fleet.serve(
+        [
+            Request("paper-dsl-tick40", downlink_load=0.40),
+            Request("ftth", downlink_load=0.40),
+            Request("satellite-leo", num_gamers=500.0),
+        ]
+    )
+    # A later batch repeating an operating point is a cache hit.
+    answers += fleet.serve([Request("ftth", downlink_load=0.40)])
+    print("Request-stream quickstart (one Fleet, many scenarios)")
+    for answer in answers:
+        print(
+            f"  {answer.scenario_key}  load={answer.downlink_load:6.1%}"
+            f"  RTT={answer.rtt_quantile_ms:6.2f} ms"
+            f"  {'cache hit' if answer.cached else 'evaluated'}"
+        )
+    stats = fleet.stats
+    print(
+        f"  evaluations: {stats.evaluations}, cache hits: {stats.cache_hits},"
+        f" stacked MGF array calls: {stats.stacked_mgf_calls}"
+    )
+    print()
+
+
 def main() -> None:
     scenario_engine_quickstart()
+    fleet_quickstart()
 
     model = PingTimeModel.from_downlink_load(
         0.40,

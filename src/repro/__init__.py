@@ -21,6 +21,10 @@ The package is organised as follows:
 * :mod:`repro.engine` -- the :class:`Engine` facade: memoized, batched
   evaluation (RTT quantiles, sweeps, dimensioning, simulation) of one
   scenario;
+* :mod:`repro.fleet` -- the :class:`Fleet` serving layer: a stream of
+  :class:`Request` values spanning many scenarios, multiplexed over
+  internally-managed engines behind a shared bounded LRU cache and the
+  stacked cross-model inverter;
 * :mod:`repro.experiments` -- drivers that regenerate every table and
   figure of the paper and compare them against the reported values.
 
@@ -32,6 +36,14 @@ The scenario-first surface is the recommended entry point::
     engine.rtt_quantile(0.40)     # 99.999% RTT at 40% downlink load
     engine.dimension(0.050)       # max load / gamers for RTT <= 50 ms
     engine.sweep()                # the Figure 3/4 load grid, cached
+
+and for request streams across scenarios, the serving layer::
+
+    from repro import Fleet, Request
+
+    fleet = Fleet()
+    fleet.serve([Request("ftth", downlink_load=0.40),
+                 Request("lte", downlink_load=0.40)])
 """
 
 from .core import (
@@ -48,6 +60,7 @@ from .core import (
 )
 from .engine import Engine, EngineStats
 from .errors import ReproError
+from .fleet import Answer, Fleet, FleetStats, Request
 from .scenarios import (
     SCENARIO_PRESETS,
     DslScenario,
@@ -61,6 +74,7 @@ from .scenarios import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Answer",
     "DEFAULT_QUANTILE",
     "DEKOneQueue",
     "DeterministicRttBound",
@@ -69,10 +83,13 @@ __all__ = [
     "Engine",
     "EngineStats",
     "ErlangTermSum",
+    "Fleet",
+    "FleetStats",
     "MD1Queue",
     "PacketPositionDelay",
     "PingTimeModel",
     "ReproError",
+    "Request",
     "SCENARIO_PRESETS",
     "Scenario",
     "available_scenarios",

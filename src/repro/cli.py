@@ -1,19 +1,31 @@
 """Command-line interface.
 
-``fps-ping`` (or ``python -m repro``) exposes the experiment drivers and
-the RTT calculator from the shell::
+``fps-ping`` (or ``python -m repro``) exposes the experiment drivers,
+the RTT calculator and the request-stream serving layer from the shell::
 
     fps-ping rtt --load 0.4 --erlang-order 9 --tick-ms 40
     fps-ping rtt --scenario counter-strike --load 0.3 --json
     fps-ping dimension --rtt-bound-ms 50 --scenario lte
     fps-ping table1 | table2 | table3 | figure1 | figure3 | figure4
+    fps-ping compare-access
     fps-ping simulate --clients 40 --duration 30
+    fps-ping scenarios list
+    fps-ping fleet --requests lookups.jsonl --warm-cache fleet-cache.json
 
 ``--scenario`` accepts a preset name (see
 :func:`repro.scenarios.available_scenarios`) or a path to a JSON file
 written with :meth:`repro.scenarios.Scenario.save`; individual flags
 given on the command line override the preset's values.  ``--json``
 switches every subcommand to machine-readable output.
+
+``fleet`` reads one JSON request per line (``{"scenario": "ftth",
+"load": 0.4}``, see :meth:`repro.fleet.Request.from_dict` for the
+accepted fields) and emits one JSON answer per line, serving the whole
+stream through a shared bounded cache; ``--warm-cache PATH`` restores
+the cache before serving and persists it afterwards, so repeated runs
+start warm.  ``scenarios list`` enumerates the registered presets with
+their key parameters, so request files can be authored without reading
+the source.
 """
 
 from __future__ import annotations
@@ -21,16 +33,19 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import Any, List, Optional
 
 import numpy as np
 
 from . import experiments
+from .core.rtt import QUANTILE_METHODS
 from .engine import Engine
 from .errors import ReproError
+from .fleet import Fleet, Request
 from .netsim import GamingSimulation
-from .scenarios import Scenario, scenario_from_spec
+from .scenarios import SCENARIO_PRESETS, Scenario, scenario_from_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -84,9 +99,66 @@ def build_parser() -> argparse.ArgumentParser:
         ("figure1", "regenerate Figure 1 (burst-size tail fits)"),
         ("figure3", "regenerate Figure 3 (RTT vs load per Erlang order)"),
         ("figure4", "regenerate Figure 4 (RTT vs load per tick interval)"),
+        ("compare-access", "RTT vs load across access profiles, on one Fleet"),
     ]:
         table_parser = sub.add_parser(name, help=help_text)
         _add_json_argument(table_parser)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="inspect the registered scenario presets"
+    )
+    scenarios.add_argument(
+        "action",
+        nargs="?",
+        choices=["list"],
+        default="list",
+        help="what to do (default: list the presets)",
+    )
+    _add_json_argument(scenarios)
+
+    fleet = sub.add_parser(
+        "fleet",
+        aliases=["batch"],
+        help="serve a JSONL stream of RTT lookups across scenarios",
+    )
+    fleet.add_argument(
+        "--requests",
+        type=str,
+        required=True,
+        help="path to a JSONL request file ('-' reads standard input)",
+    )
+    fleet.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the JSONL answers here instead of standard output",
+    )
+    fleet.add_argument(
+        "--warm-cache",
+        type=str,
+        default=None,
+        help="cache file to restore before serving and persist afterwards",
+    )
+    fleet.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=100_000,
+        help="entry budget of the shared answer cache",
+    )
+    fleet.add_argument(
+        "--quantile", type=float, default=0.99999, help="default quantile level"
+    )
+    fleet.add_argument(
+        "--method",
+        choices=list(QUANTILE_METHODS),
+        default="inversion",
+        help="default quantile evaluation method",
+    )
+    fleet.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the fleet cache/evaluation statistics to standard error",
+    )
 
     sim = sub.add_parser("simulate", help="run the discrete-event simulator")
     sim.add_argument(
@@ -298,6 +370,90 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenarios(args: argparse.Namespace) -> int:
+    """List the registered presets with their key parameters."""
+    if args.json:
+        return _emit_json(
+            {name: scenario.to_dict() for name, scenario in sorted(SCENARIO_PRESETS.items())}
+        )
+    headers = [
+        "preset",
+        "tick (ms)",
+        "K",
+        "P_S (byte)",
+        "P_C (byte)",
+        "agg (Mbit/s)",
+        "prop (ms)",
+        "cache key",
+    ]
+    rows = []
+    for name, scenario in sorted(SCENARIO_PRESETS.items()):
+        rows.append(
+            [
+                name,
+                1e3 * scenario.tick_interval_s,
+                scenario.erlang_order,
+                scenario.server_packet_bytes,
+                scenario.client_packet_bytes,
+                scenario.aggregation_rate_bps / 1e6,
+                1e3 * scenario.propagation_delay_s,
+                scenario.cache_key(),
+            ]
+        )
+    print(experiments.format_table(headers, rows))
+    return 0
+
+
+def _read_requests(path: str) -> List[Request]:
+    """Parse a JSONL request file ('-' reads standard input)."""
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    requests = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ReproError(f"request line {number} is not a JSON object")
+        try:
+            requests.append(Request.from_dict(record))
+        except ReproError as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise ReproError(f"request line {number}: {message}") from exc
+    return requests
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    fleet = Fleet(
+        max_cache_entries=args.max_cache_entries,
+        probability=args.quantile,
+        method=args.method,
+    )
+    if args.warm_cache and os.path.exists(args.warm_cache):
+        fleet.warm_start(args.warm_cache)
+    requests = _read_requests(args.requests)
+    answers = fleet.serve(requests)
+    lines = [json.dumps(_jsonable(answer.to_dict()), sort_keys=True) for answer in answers]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+    else:
+        for line in lines:
+            print(line)
+    if args.warm_cache:
+        fleet.save_cache(args.warm_cache)
+    if args.stats:
+        print(
+            json.dumps(fleet.stats.as_dict(), indent=2, sort_keys=True),
+            file=sys.stderr,
+        )
+    return 0
+
+
 #: command -> (runner, text formatter) for the table/figure subcommands.
 _REPORT_COMMANDS = {
     "table1": (experiments.run_table1, experiments.format_table1),
@@ -306,6 +462,10 @@ _REPORT_COMMANDS = {
     "figure1": (experiments.run_figure1, experiments.format_figure1),
     "figure3": (experiments.run_figure3, experiments.format_figure3),
     "figure4": (experiments.run_figure4, experiments.format_figure4),
+    "compare-access": (
+        experiments.run_access_comparison,
+        experiments.format_access_comparison,
+    ),
 }
 
 
@@ -320,6 +480,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_dimension(args)
         if args.command == "simulate":
             return _command_simulate(args)
+        if args.command == "scenarios":
+            return _command_scenarios(args)
+        if args.command in ("fleet", "batch"):
+            return _command_fleet(args)
         if args.command in _REPORT_COMMANDS:
             run, fmt = _REPORT_COMMANDS[args.command]
             result = run()
@@ -327,10 +491,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return _emit_json({args.command: result})
             print(fmt(result))
             return 0
-    except (ReproError, KeyError, json.JSONDecodeError) as exc:
-        # Bad preset names, malformed scenario files and out-of-range
-        # parameters produce a one-line error, not a traceback.
-        message = exc.args[0] if exc.args else str(exc)
+    except (ReproError, KeyError, json.JSONDecodeError, OSError) as exc:
+        # Bad preset names, malformed scenario/request files, missing
+        # paths and out-of-range parameters produce a one-line error,
+        # not a traceback.
+        if isinstance(exc, OSError) and exc.strerror:
+            message = f"{exc.strerror}: {exc.filename}" if exc.filename else exc.strerror
+        else:
+            message = exc.args[0] if exc.args else str(exc)
         print(f"{parser.prog}: error: {message}", file=sys.stderr)
         return 2
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -36,6 +36,32 @@ every MGF in this code base is — all abscissae are evaluated in a
   :func:`quantile_from_mgf` over a sequence of transforms (one per
   operating point), returning floats identical to the scalar API.
 
+Stacked API (cross-transform batching)
+--------------------------------------
+
+The batched API above still spends one array call per *transform*: a
+multi-scenario sweep with ``N`` operating points performs ``N`` array
+evaluations per lockstep of the search.  The stacked API collapses the
+remaining axis — the *transform* index — as well:
+
+* :func:`tails_from_mgfs` takes a **list** of transforms with one point
+  grid each, vstacks every (transform, point) pair's abscissae into a
+  single complex array of rows and, given a joint evaluator
+  (``stack_eval``, e.g. :class:`repro.core.rtt.QueueingMgfStack`),
+  recovers every tail of every transform from **one** array evaluation;
+  without a joint evaluator it degrades gracefully to one array call
+  per transform;
+* :func:`quantiles_from_mgfs` runs all per-transform quantile searches
+  in *lockstep*: each search executes the very same bracketing/brentq
+  body as :func:`quantile_from_mgf` (in its own worker thread, used
+  purely as a control-flow device), but every round of outstanding tail
+  evaluations — one point per still-active search — is served by a
+  single stacked array evaluation.  Because the stacked arithmetic is
+  bit-identical per row to the per-transform path (same elementwise
+  kernels, same reduction lengths, same weights), every search follows
+  the exact trajectory of its scalar counterpart and the returned
+  quantiles are the very same floats.
+
 Error bounds (Abate & Whitt 1995): the discretization error is bounded
 by ``exp(-A) / (1 - exp(-A))`` (~1e-8 for the default ``A = 18.4``); the
 Euler-averaging truncation error decays geometrically in ``euler_terms``
@@ -51,8 +77,9 @@ the benchmark suite).
 from __future__ import annotations
 
 import math
+import threading
 from functools import lru_cache
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import optimize
@@ -63,9 +90,17 @@ __all__ = [
     "euler_laplace_inversion",
     "tail_from_mgf",
     "tails_from_mgf",
+    "tails_from_mgfs",
     "quantile_from_mgf",
     "quantiles_from_mgf",
+    "quantiles_from_mgfs",
 ]
+
+#: Joint evaluator protocol of the stacked API: called with a complex
+#: abscissa array of shape ``(rows, num_abscissae)`` and an integer array
+#: mapping each row to its transform index, returns the transform values
+#: with the same shape (see :class:`repro.core.rtt.QueueingMgfStack`).
+StackEval = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 #: Discretization parameter of the Euler algorithm; the discretization
 #: error is of the order of ``exp(-A)`` (~1e-8 for the default).
@@ -378,6 +413,330 @@ def tails_from_mgf(
     return out if out.ndim else float(out)
 
 
+# ----------------------------------------------------------------------
+# Stacked API: batching across transforms, not just across points
+# ----------------------------------------------------------------------
+def _is_per_transform_grids(xs, count: int) -> bool:
+    """Whether ``xs`` is a list/tuple of one point grid per transform.
+
+    Only a list/tuple of ``count`` *array-likes* qualifies; a flat list
+    of scalars is a shared grid no matter its length, so that e.g.
+    ``tails_from_mgfs([f, g], [0.01, 0.02])`` evaluates both points for
+    both transforms instead of silently splitting them.
+    """
+    return (
+        isinstance(xs, (list, tuple))
+        and len(xs) == count
+        and all(np.asarray(entry).ndim > 0 for entry in xs)
+    )
+
+
+def _stacked_tail_rows(
+    stack_eval: StackEval,
+    indices: np.ndarray,
+    ts: np.ndarray,
+    a: float,
+    plain_terms: int,
+    euler_terms: int,
+) -> np.ndarray:
+    """Tail probabilities of many (transform, point) rows in one evaluation.
+
+    ``ts`` holds one positive finite tail point per row and ``indices``
+    the transform each row belongs to; ``stack_eval`` evaluates every
+    transform on its own rows of the joint abscissa array in a single
+    call.  The ccdf arithmetic, the weight vector, the per-row dot
+    product and the NaN/clip handling mirror the per-transform path
+    exactly (the prefactor uses ``math.exp`` like
+    :func:`euler_laplace_inversion`, whose scalar-point route is what
+    the quantile searches compare against), so each row's float is
+    identical to the corresponding :func:`tail_from_mgf` call.
+    """
+    num = plain_terms + euler_terms + 1
+    s = _abscissae(ts, a, num)
+    with np.errstate(over="ignore", invalid="ignore"):
+        mgf_values = np.asarray(stack_eval(-s, indices))
+        transformed = (1.0 - mgf_values) / s
+    real = np.real(transformed).astype(float, copy=False)
+    prefactor = math.exp(a / 2.0) / (2.0 * ts)
+    values = prefactor * (real * _euler_weights(plain_terms, euler_terms)).sum(axis=-1)
+    return np.where(np.isnan(values), 0.0, np.clip(values, 0.0, 1.0))
+
+
+def tails_from_mgfs(
+    mgfs: Sequence[Callable[[complex], complex]],
+    xs,
+    atoms_at_zero: Optional[Sequence[Optional[float]]] = None,
+    a: float = _EULER_A,
+    plain_terms: int = _EULER_N,
+    euler_terms: int = _EULER_M,
+    stack_eval: Optional[StackEval] = None,
+) -> List[np.ndarray]:
+    """Batch ``P(X_i > x)`` over the (transform, point) plane.
+
+    The Euler abscissae of every positive point of every transform are
+    vstacked into one complex array of rows.  With ``stack_eval`` (a
+    joint evaluator such as :class:`repro.core.rtt.QueueingMgfStack`)
+    the whole heterogeneous batch costs a **single** array evaluation;
+    without one, each transform is evaluated once on its own rows (one
+    array call per transform, the :func:`tails_from_mgf` cost), so the
+    function is usable with arbitrary callables.
+
+    Parameters
+    ----------
+    mgfs:
+        One MGF callable per transform.
+    xs:
+        Either one array of points shared by every transform, or a
+        list/tuple of arrays with one point grid per transform.  A flat
+        list of scalars is always a *shared* grid, whatever its length
+        — per-transform grids must be given as array-likes.
+    atoms_at_zero:
+        Optional per-transform probability masses at zero (``None``
+        entries are estimated with the bounded probe).
+    stack_eval:
+        Optional joint evaluator called as ``stack_eval(s, indices)``
+        with the vstacked abscissa rows and their transform indices.
+
+    Returns a list with one float ndarray per transform, shaped like
+    that transform's ``xs`` entry, clipped to ``[0, 1]``; each value is
+    bit-identical to the corresponding per-transform evaluation.
+    """
+    mgfs = list(mgfs)
+    if atoms_at_zero is None:
+        atoms: Sequence[Optional[float]] = [None] * len(mgfs)
+    else:
+        atoms = list(atoms_at_zero)
+        if len(atoms) != len(mgfs):
+            raise ParameterError(
+                "atoms_at_zero must match the number of transforms"
+            )
+    shared = not _is_per_transform_grids(xs, len(mgfs))
+    grids = [np.asarray(xs if shared else xs[i], dtype=float) for i in range(len(mgfs))]
+
+    if stack_eval is None:
+        return [
+            np.asarray(
+                tails_from_mgf(
+                    mgf,
+                    grid,
+                    atom,
+                    a=a,
+                    plain_terms=plain_terms,
+                    euler_terms=euler_terms,
+                )
+            )
+            for mgf, grid, atom in zip(mgfs, grids, atoms)
+        ]
+
+    outs: List[np.ndarray] = []
+    row_indices: List[int] = []
+    row_ts: List[float] = []
+    row_slots: List[tuple] = []
+    for i, (grid, atom) in enumerate(zip(grids, atoms)):
+        flat = grid.ravel()
+        out = np.ones(flat.shape, dtype=float)
+        out[np.isposinf(flat) | np.isnan(flat)] = 0.0
+        zero = flat == 0.0
+        if np.any(zero):
+            mass = _atom_limit(mgfs[i]) if atom is None else float(atom)
+            out[zero] = min(1.0, max(0.0, 1.0 - mass))
+        outs.append(out)
+        positive = (flat > 0.0) & np.isfinite(flat)
+        for j in np.nonzero(positive)[0]:
+            row_indices.append(i)
+            row_ts.append(float(flat[j]))
+            row_slots.append((i, int(j)))
+    if row_ts:
+        values = _stacked_tail_rows(
+            stack_eval,
+            np.asarray(row_indices, dtype=np.intp),
+            np.asarray(row_ts, dtype=float),
+            a,
+            plain_terms,
+            euler_terms,
+        )
+        for (i, j), value in zip(row_slots, values):
+            outs[i][j] = value
+    return [out.reshape(grid.shape) for out, grid in zip(outs, grids)]
+
+
+class _LockstepAborted(RuntimeError):
+    """Internal: unwinds a lockstep worker whose round evaluation failed."""
+
+
+class _LockstepTailBatcher:
+    """Round-based rendezvous of the lockstep quantile searches.
+
+    Each active search submits exactly one pending tail point and
+    blocks; when every active search has either submitted or finished,
+    the round fires: one stacked evaluation serves all pending points
+    and every search resumes.  The worker threads are a control-flow
+    device only (scipy's ``brentq`` cannot be suspended mid-search from
+    Python) — rounds are serialized under the condition lock, so the
+    evaluation order, and therefore every float, is deterministic.
+    """
+
+    def __init__(self, evaluate: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> None:
+        self._evaluate = evaluate
+        self._condition = threading.Condition()
+        self._active = 0
+        self._pending: Dict[int, float] = {}
+        self._served: Dict[int, float] = {}
+        self._failure: Optional[BaseException] = None
+
+    def register(self) -> None:
+        with self._condition:
+            self._active += 1
+
+    def deregister(self) -> None:
+        with self._condition:
+            self._active -= 1
+            self._fire_if_ready()
+
+    def request(self, slot: int, x: float) -> float:
+        """Submit one tail point and block until its round is served."""
+        with self._condition:
+            if self._failure is not None:
+                raise _LockstepAborted()
+            self._pending[slot] = x
+            self._fire_if_ready()
+            while slot not in self._served:
+                if self._failure is not None:
+                    raise _LockstepAborted()
+                self._condition.wait()
+            return self._served.pop(slot)
+
+    def _fire_if_ready(self) -> None:
+        # A round fires once every active worker has a pending request;
+        # workers that finished (deregistered) no longer hold it back.
+        if not self._pending or len(self._pending) < self._active:
+            return
+        slots = sorted(self._pending)
+        xs = np.asarray([self._pending[slot] for slot in slots], dtype=float)
+        self._pending.clear()
+        try:
+            values = self._evaluate(np.asarray(slots, dtype=np.intp), xs)
+        except BaseException as exc:  # propagate to every waiting worker
+            self._failure = exc
+            self._condition.notify_all()
+            return
+        for slot, value in zip(slots, values):
+            self._served[slot] = float(value)
+        self._condition.notify_all()
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        return self._failure
+
+
+def quantiles_from_mgfs(
+    mgfs: Sequence[Callable[[complex], complex]],
+    probability: float,
+    scale_hints: Union[float, Sequence[float]],
+    atoms_at_zero: Optional[Sequence[Optional[float]]] = None,
+    tolerance: float = 1e-10,
+    *,
+    stack_eval: Optional[StackEval] = None,
+    max_workers: int = 64,
+) -> List[float]:
+    """Quantiles of many transforms through the stacked lockstep search.
+
+    Runs one :func:`quantile_from_mgf`-identical search per transform,
+    but synchronizes them so that every round of outstanding tail
+    evaluations (one point per still-active search) is served by a
+    single ``stack_eval`` array evaluation instead of one array call per
+    transform.  The search body, the tail memoization and the stacked
+    tail arithmetic are all shared with the scalar API, so the returned
+    floats are identical to per-transform :func:`quantile_from_mgf`
+    calls — the lockstep is an optimisation, not an approximation.
+
+    With ``stack_eval=None`` this simply delegates to the sequential
+    :func:`quantiles_from_mgf`.  Batches larger than ``max_workers``
+    are processed in independent lockstep chunks (per-transform results
+    do not depend on which other transforms share their rounds).
+    """
+    mgfs = list(mgfs)
+    if np.isscalar(scale_hints):
+        hints = [float(scale_hints)] * len(mgfs)
+    else:
+        hints = [float(h) for h in scale_hints]
+    if atoms_at_zero is None:
+        atoms: Sequence[Optional[float]] = [None] * len(mgfs)
+    else:
+        atoms = list(atoms_at_zero)
+    if len(hints) != len(mgfs) or len(atoms) != len(mgfs):
+        raise ParameterError(
+            "scale_hints and atoms_at_zero must match the number of transforms"
+        )
+    if stack_eval is None:
+        return quantiles_from_mgf(
+            mgfs, probability, hints, atoms, tolerance=tolerance
+        )
+    if max_workers < 1:
+        raise ParameterError("max_workers must be at least 1")
+
+    results: List[Optional[float]] = [None] * len(mgfs)
+    errors: List[Optional[BaseException]] = [None] * len(mgfs)
+
+    def run_chunk(chunk: Sequence[int]) -> None:
+        batcher = _LockstepTailBatcher(
+            lambda indices, xs: _stacked_tail_rows(
+                stack_eval, indices, xs, _EULER_A, _EULER_N, _EULER_M
+            )
+        )
+
+        def worker(index: int) -> None:
+            cache: Dict[float, float] = {}
+            mgf = mgfs[index]
+            atom = atoms[index]
+
+            def tail(x: float) -> float:
+                value = cache.get(x)
+                if value is None:
+                    # Mirror tail_from_mgf's special points; only positive
+                    # finite points reach the stacked rounds.
+                    if x < 0.0:
+                        value = 1.0
+                    elif not math.isfinite(x):
+                        value = 0.0
+                    elif x == 0.0:
+                        mass = _atom_limit(mgf) if atom is None else float(atom)
+                        value = min(1.0, max(0.0, 1.0 - mass))
+                    else:
+                        value = batcher.request(index, x)
+                    cache[x] = value
+                return value
+
+            try:
+                results[index] = _quantile_search(
+                    tail, probability, hints[index], tolerance
+                )
+            except BaseException as exc:
+                errors[index] = exc
+            finally:
+                batcher.deregister()
+
+        threads = []
+        for index in chunk:
+            batcher.register()
+            threads.append(threading.Thread(target=worker, args=(index,)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if batcher.failure is not None:
+            raise batcher.failure
+        for index in chunk:
+            error = errors[index]
+            if error is not None:
+                raise error
+
+    order = list(range(len(mgfs)))
+    for start in range(0, len(order), max_workers):
+        run_chunk(order[start : start + max_workers])
+    return [float(value) for value in results]  # type: ignore[arg-type]
+
+
 def quantile_from_mgf(
     mgf: Callable[[complex], complex],
     probability: float,
@@ -410,12 +769,6 @@ def quantile_from_mgf(
         Optional known probability mass at zero, forwarded to
         :func:`tail_from_mgf`.
     """
-    if not 0.0 < probability < 1.0:
-        raise ParameterError("probability must lie in (0, 1)")
-    if scale_hint <= 0.0:
-        raise ParameterError("scale_hint must be positive")
-    target = 1.0 - probability
-
     cache: dict = {}
 
     def tail(x: float) -> float:
@@ -425,6 +778,28 @@ def quantile_from_mgf(
             cache[x] = value
         return value
 
+    return _quantile_search(tail, probability, scale_hint, tolerance)
+
+
+def _quantile_search(
+    tail: Callable[[float], float],
+    probability: float,
+    scale_hint: float,
+    tolerance: float,
+) -> float:
+    """The shared bracketing + ``brentq`` search over a memoized tail.
+
+    This single body backs both the scalar :func:`quantile_from_mgf`
+    and every lockstep worker of :func:`quantiles_from_mgfs`; injecting
+    the tail evaluator is what guarantees the two paths follow the very
+    same probe sequence (and therefore return the very same floats)
+    whenever their tail values agree bitwise.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ParameterError("probability must lie in (0, 1)")
+    if scale_hint <= 0.0:
+        raise ParameterError("scale_hint must be positive")
+    target = 1.0 - probability
     if tail(0.0) <= target:
         return 0.0
     lower = 0.0

@@ -27,7 +27,7 @@ import cmath
 import math
 from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy import optimize
@@ -37,10 +37,12 @@ from ..units import require_non_negative, require_positive
 from .bounds import DeterministicRttBound
 from .downstream import DEKOneQueue, PacketPositionDelay
 from .inversion import (
+    _is_per_transform_grids,
     quantile_from_mgf,
-    quantiles_from_mgf,
+    quantiles_from_mgfs,
     tail_from_mgf,
     tails_from_mgf,
+    tails_from_mgfs,
 )
 from .mgf import ErlangTerm, ErlangTermSum
 from .upstream import MD1Queue
@@ -50,13 +52,41 @@ __all__ = [
     "DEFAULT_QUANTILE",
     "RttBreakdown",
     "QUANTILE_METHODS",
+    "QueueingMgfStack",
     "batch_rtt_quantiles",
+    "batch_queueing_tails",
     "model_build_count",
     "reset_model_build_count",
+    "stacked_eval_count",
+    "reset_stacked_eval_count",
 ]
 
 #: Running count of PingTimeModel constructions (see model_build_count).
 _MODEL_BUILDS = 0
+
+#: Running count of joint (stacked) MGF array evaluations (see
+#: stacked_eval_count).
+_STACKED_EVALS = 0
+
+
+def stacked_eval_count() -> int:
+    """Number of joint :class:`QueueingMgfStack` array evaluations so far.
+
+    One stacked evaluation serves a whole round of tail points across
+    every model of a batch, so this counter is the stacked counterpart
+    of counting per-model MGF array invocations; the Fleet statistics
+    and ``benchmarks/bench_fleet.py`` read it to demonstrate the
+    cross-model batching win.
+    """
+    return _STACKED_EVALS
+
+
+def reset_stacked_eval_count() -> int:
+    """Reset the stacked-evaluation counter, returning the previous value."""
+    global _STACKED_EVALS
+    previous = _STACKED_EVALS
+    _STACKED_EVALS = 0
+    return previous
 
 
 def model_build_count() -> int:
@@ -514,28 +544,160 @@ class PingTimeModel:
         return DeterministicRttBound.from_model(self)
 
 
+class QueueingMgfStack:
+    """Joint evaluator of several models' product transforms.
+
+    The queueing-delay transform of every :class:`PingTimeModel` is the
+    same symbolic object — a product of three Erlang-term sums (upstream
+    M/D/1, downstream D/E_K/1 burst, packet position) — so a whole
+    heterogeneous batch of models can be evaluated on a vstacked
+    abscissa array in **one** numpy pass: the term coefficients, rates
+    and orders of every model are laid out as ``(models, terms)``
+    arrays per factor, each abscissa row is routed to its model's terms
+    with an index take, and the three factor sums are reduced and
+    multiplied exactly like :meth:`ErlangTermSum.mgf` and
+    :meth:`PingTimeModel.queueing_mgf` do per model.
+
+    The only requirement is that the stacked models share a *factor
+    signature* — the per-factor term counts — so the term axis is
+    rectangular and the pairwise reduction over it keeps the exact
+    association (and therefore the exact floats) of the per-model
+    evaluation.  :meth:`group_indices` partitions an arbitrary batch
+    into such groups; in practice a multi-preset batch collapses into
+    one group per Erlang order.
+    """
+
+    def __init__(self, models: Sequence["PingTimeModel"]) -> None:
+        self.models: List[PingTimeModel] = list(models)
+        if not self.models:
+            raise ParameterError("a QueueingMgfStack needs at least one model")
+        signatures = {self.signature(m) for m in self.models}
+        if len(signatures) != 1:
+            raise ParameterError(
+                f"stacked models must share one factor signature; got {sorted(signatures)}"
+            )
+        self._factors = []
+        for name in self._FACTOR_ATTRIBUTES:
+            sums = [getattr(m, name) for m in self.models]
+            coefficients = np.array(
+                [[t.coefficient for t in s.terms] for s in sums], dtype=complex
+            )
+            rates = np.array([[t.rate for t in s.terms] for s in sums], dtype=complex)
+            orders = np.array([[t.order for t in s.terms] for s in sums], dtype=float)
+            atoms = np.array([s.atom for s in sums], dtype=complex)
+            self._factors.append((coefficients, rates, orders, atoms))
+        self.array_calls = 0
+
+    #: The factor order must match PingTimeModel.queueing_mgf's product.
+    _FACTOR_ATTRIBUTES = ("_upstream_terms", "_burst_terms", "_position_terms")
+
+    @classmethod
+    def signature(cls, model: "PingTimeModel") -> tuple:
+        """Per-factor term counts — the stacking compatibility key."""
+        return tuple(
+            len(getattr(model, name).terms) for name in cls._FACTOR_ATTRIBUTES
+        )
+
+    @classmethod
+    def group_indices(cls, models: Sequence["PingTimeModel"]) -> "Dict[tuple, List[int]]":
+        """Partition model indices into stack-compatible groups."""
+        groups: Dict[tuple, List[int]] = {}
+        for index, model in enumerate(models):
+            groups.setdefault(cls.signature(model), []).append(index)
+        return groups
+
+    def __call__(self, s: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Transform values at abscissa rows ``s``, row ``r`` using model
+        ``rows[r]``'s terms; one numpy pass for the whole batch."""
+        global _STACKED_EVALS
+        _STACKED_EVALS += 1
+        self.array_calls += 1
+        value: Optional[np.ndarray] = None
+        for coefficients, rates, orders, atoms in self._factors:
+            if coefficients.shape[1] == 0:
+                factor = np.broadcast_to(atoms[rows][:, None], s.shape)
+            else:
+                c = coefficients[rows][:, None, :]
+                r = rates[rows][:, None, :]
+                o = orders[rows][:, None, :]
+                factor = atoms[rows][:, None] + (c * (r / (r - s[..., None])) ** o).sum(
+                    axis=-1
+                )
+            value = factor if value is None else value * factor
+        return value
+
+    def scale_hints(self) -> List[float]:
+        return [m._inversion_scale_hint for m in self.models]
+
+    def atoms_at_zero(self) -> List[float]:
+        return [m.queueing_atom for m in self.models]
+
+
 def batch_rtt_quantiles(
     models, probability: float = DEFAULT_QUANTILE, method: str = "inversion"
 ) -> list:
-    """RTT quantiles of several models, batched per array call.
+    """RTT quantiles of several models, batched across the whole stack.
 
-    For the default ``"inversion"`` method the product transforms of all
-    models are inverted through
-    :func:`~repro.core.inversion.quantiles_from_mgf`: the Euler weights
-    are shared across the batch and every tail evaluation costs a single
-    vectorized ``queueing_mgf`` call instead of one scalar call per
-    abscissa.  The returned floats are identical to
-    ``model.rtt_quantile(probability, method=method)`` per model (the
-    batch runs the very same memoized search); methods without a batch
-    formulation fall back to the per-model path.
+    For the default ``"inversion"`` method the models are partitioned
+    into stack-compatible groups (see
+    :meth:`QueueingMgfStack.group_indices`) and each group's quantile
+    searches run in lockstep through
+    :func:`~repro.core.inversion.quantiles_from_mgfs`: every round of
+    tail evaluations across *all* models of the group costs a single
+    stacked array evaluation, instead of one ``queueing_mgf`` array
+    call per model (which itself replaced one scalar call per abscissa
+    in the seed).  The returned floats are identical to
+    ``model.rtt_quantile(probability, method=method)`` per model — the
+    stacked rounds reproduce the per-model tail bits, so every search
+    follows its scalar trajectory; methods without a batch formulation
+    fall back to the per-model path.
     """
     models = list(models)
     if method != "inversion":
         return [m.rtt_quantile(probability, method=method) for m in models]
-    queueing = quantiles_from_mgf(
-        [m.queueing_mgf for m in models],
-        probability,
-        scale_hints=[m._inversion_scale_hint for m in models],
-        atoms_at_zero=[m.queueing_atom for m in models],
-    )
-    return [m.deterministic_delay_s + q for m, q in zip(models, queueing)]
+    results: list = [None] * len(models)
+    for indices in QueueingMgfStack.group_indices(models).values():
+        group = [models[i] for i in indices]
+        stack = QueueingMgfStack(group)
+        queueing = quantiles_from_mgfs(
+            [m.queueing_mgf for m in group],
+            probability,
+            scale_hints=stack.scale_hints(),
+            atoms_at_zero=stack.atoms_at_zero(),
+            stack_eval=stack,
+        )
+        for index, model, value in zip(indices, group, queueing):
+            results[index] = model.deterministic_delay_s + value
+    return results
+
+
+def batch_queueing_tails(
+    models: Sequence["PingTimeModel"], delays_s
+) -> List[np.ndarray]:
+    """``P(queueing delay > t)`` for several models, stacked per group.
+
+    The cross-model counterpart of :meth:`PingTimeModel.queueing_tails`:
+    all (model, delay) pairs of a stack-compatible group are inverted
+    with a single joint array evaluation through
+    :func:`~repro.core.inversion.tails_from_mgfs`.  ``delays_s`` is one
+    grid shared by every model or a list/tuple of per-model grids (each
+    entry an array-like; a flat list of scalars is a shared grid); the
+    result is one ndarray per model, bit-identical to the per-model
+    helper.
+    """
+    models = list(models)
+    shared = not _is_per_transform_grids(delays_s, len(models))
+    grids = [delays_s if shared else delays_s[i] for i in range(len(models))]
+    results: List[Optional[np.ndarray]] = [None] * len(models)
+    for indices in QueueingMgfStack.group_indices(models).values():
+        group = [models[i] for i in indices]
+        stack = QueueingMgfStack(group)
+        tails = tails_from_mgfs(
+            [m.queueing_mgf for m in group],
+            [grids[i] for i in indices],
+            atoms_at_zero=stack.atoms_at_zero(),
+            stack_eval=stack,
+        )
+        for index, value in zip(indices, tails):
+            results[index] = value
+    return results  # type: ignore[return-value]

@@ -37,6 +37,7 @@ from .core.rtt import (
     QUANTILE_METHODS,
     PingTimeModel,
     batch_rtt_quantiles,
+    stacked_eval_count,
 )
 from .errors import ParameterError
 from .scenarios.base import Scenario
@@ -53,6 +54,9 @@ class EngineStats:
     model_cache_hits: int = 0
     quantile_evaluations: int = 0
     quantile_cache_hits: int = 0
+    #: Joint array evaluations spent by the stacked batch inverter on
+    #: behalf of this engine (sweep / rtt_quantiles cache misses).
+    stacked_mgf_calls: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -60,6 +64,7 @@ class EngineStats:
             "model_cache_hits": self.model_cache_hits,
             "quantile_evaluations": self.quantile_evaluations,
             "quantile_cache_hits": self.quantile_cache_hits,
+            "stacked_mgf_calls": self.stacked_mgf_calls,
         }
 
 
@@ -202,10 +207,13 @@ class Engine:
     ) -> list:
         """Batch evaluation of :meth:`rtt_quantile` over a load grid.
 
-        Cache misses are evaluated together through
-        :func:`~repro.core.rtt.batch_rtt_quantiles`, which inverts every
-        transform with vectorized (one-array-call) tail evaluations; the
-        floats are identical to per-point :meth:`rtt_quantile` calls.
+        A thin adapter over the stacked batch path: cache misses are
+        evaluated together through
+        :func:`~repro.core.rtt.batch_rtt_quantiles`, whose lockstep
+        searches spend one *joint* array evaluation per round across
+        every missing operating point (see
+        :class:`~repro.core.rtt.QueueingMgfStack`); the floats are
+        identical to per-point :meth:`rtt_quantile` calls.
         """
         probability, method = self._resolve(probability, method)
         models = [self.model_at_load(float(load)) for load in downlink_loads]
@@ -229,9 +237,11 @@ class Engine:
             else:
                 missing[key] = model
         if missing:
+            stacked_before = stacked_eval_count()
             values = batch_rtt_quantiles(
                 list(missing.values()), probability, method=method
             )
+            self.stats.stacked_mgf_calls += stacked_eval_count() - stacked_before
             for key, value in zip(missing, values):
                 self._quantiles[key] = value
                 self.stats.quantile_evaluations += 1
@@ -253,9 +263,10 @@ class Engine:
         distinct operating point is built and inverted exactly once per
         (probability, method), including across repeated ``sweep`` /
         ``dimension`` / ``rtt_quantile`` calls on the same engine.  The
-        cache misses are inverted together through the vectorized batch
-        path (one MGF array call per tail evaluation instead of one
-        scalar call per Euler abscissa).
+        cache misses are inverted together through the stacked batch
+        path (one joint array evaluation per search round across the
+        whole grid, instead of one MGF array call per point — which
+        itself replaced one scalar call per Euler abscissa).
         """
         if loads is None:
             loads = default_load_grid()

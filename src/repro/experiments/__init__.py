@@ -12,6 +12,12 @@ from .dimensioning import (
     format_dimensioning,
     run_dimensioning,
 )
+from .access_comparison import (
+    ACCESS_PRESETS,
+    AccessComparisonResult,
+    format_access_comparison,
+    run_access_comparison,
+)
 from .report import format_kv, format_series, format_table
 
 __all__ = [
@@ -37,6 +43,10 @@ __all__ = [
     "PAPER_DIMENSIONING",
     "format_dimensioning",
     "run_dimensioning",
+    "ACCESS_PRESETS",
+    "AccessComparisonResult",
+    "format_access_comparison",
+    "run_access_comparison",
     "format_kv",
     "format_series",
     "format_table",

@@ -1,0 +1,149 @@
+"""Experiment — RTT vs. load across access technologies, on one Fleet.
+
+The paper dimensions a DSL aggregation network; the registry carries the
+same gaming traffic over cable, FTTH, LTE and LEO-satellite access
+profiles.  This driver sweeps the RTT quantile over the downlink-load
+grid for several presets *at once*: all (preset, load) lookups are
+authored as one request batch and served by a single
+:class:`~repro.fleet.Fleet`, whose stacked cross-model inverter answers
+the whole heterogeneous sweep in a few joint array evaluations — the
+multi-preset counterpart of the Figure 3/4 sweeps.
+
+The summary read off each curve is the paper's Section 4 question per
+technology: the largest load (and gamer count) whose 99.999% RTT stays
+within the 50 ms "excellent game play" budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.rtt import DEFAULT_QUANTILE
+from ..fleet import Fleet, Request
+from ..scenarios import SweepPoint, SweepSeries, default_load_grid, get_scenario
+from .report import format_table
+
+__all__ = [
+    "ACCESS_PRESETS",
+    "AccessComparisonResult",
+    "run_access_comparison",
+    "format_access_comparison",
+]
+
+#: The access-technology presets compared by default.
+ACCESS_PRESETS: Tuple[str, ...] = ("paper-dsl", "cable", "ftth", "lte", "satellite-leo")
+
+#: The paper's "excellent game play" ping budget (Section 4), in ms.
+EXCELLENT_RTT_MS = 50.0
+
+
+@dataclass(frozen=True)
+class AccessComparisonResult:
+    """The regenerated multi-preset comparison."""
+
+    series_by_preset: Dict[str, SweepSeries]
+    probability: float
+    rtt_bound_ms: float
+    max_load_by_preset: Dict[str, float]
+    max_gamers_by_preset: Dict[str, int]
+    fleet_stats: Dict[str, int]
+
+    def series(self, preset: str) -> SweepSeries:
+        return self.series_by_preset[preset]
+
+
+def run_access_comparison(
+    presets: Sequence[str] = ACCESS_PRESETS,
+    loads: Optional[Sequence[float]] = None,
+    probability: float = DEFAULT_QUANTILE,
+    rtt_bound_ms: float = EXCELLENT_RTT_MS,
+    fleet: Optional[Fleet] = None,
+) -> AccessComparisonResult:
+    """Sweep every preset over the load grid through one Fleet batch.
+
+    Passing an existing ``fleet`` reuses (and fills) its shared cache,
+    so repeated comparisons — or comparisons after other request
+    traffic — only evaluate the operating points not yet served.
+    """
+    if loads is None:
+        loads = default_load_grid()
+    loads = [float(load) for load in loads]
+    fleet = fleet if fleet is not None else Fleet()
+
+    requests = [
+        Request(preset, downlink_load=load, probability=probability, tag=preset)
+        for preset in presets
+        for load in loads
+    ]
+    answers = fleet.serve(requests)
+
+    series_by_preset: Dict[str, SweepSeries] = {}
+    position = 0
+    for preset in presets:
+        scenario = get_scenario(preset)
+        series = SweepSeries(
+            label=preset, scenario=scenario, probability=probability
+        )
+        for load in loads:
+            answer = answers[position]
+            position += 1
+            series.points.append(
+                SweepPoint(
+                    downlink_load=load,
+                    uplink_load=answer.uplink_load,
+                    num_gamers=answer.num_gamers,
+                    rtt_quantile_s=answer.rtt_quantile_s,
+                )
+            )
+        series_by_preset[preset] = series
+
+    max_load_by_preset: Dict[str, float] = {}
+    max_gamers_by_preset: Dict[str, int] = {}
+    for preset, series in series_by_preset.items():
+        max_load = series.max_load_for_rtt_ms(rtt_bound_ms)
+        max_load_by_preset[preset] = max_load
+        scenario = series.scenario
+        max_gamers_by_preset[preset] = (
+            int(scenario.gamers_at_load(max_load)) if max_load > 0.0 else 0
+        )
+
+    return AccessComparisonResult(
+        series_by_preset=series_by_preset,
+        probability=probability,
+        rtt_bound_ms=rtt_bound_ms,
+        max_load_by_preset=max_load_by_preset,
+        max_gamers_by_preset=max_gamers_by_preset,
+        fleet_stats=fleet.stats.as_dict(),
+    )
+
+
+def format_access_comparison(result: AccessComparisonResult) -> str:
+    """Tabulate the per-technology dimensioning summary."""
+    headers = [
+        "preset",
+        "aggregation (Mbit/s)",
+        "propagation (ms)",
+        f"max load @ {result.rtt_bound_ms:.0f}ms",
+        "max gamers",
+        "RTT @ 40% load (ms)",
+    ]
+    rows: List[List[object]] = []
+    for preset, series in result.series_by_preset.items():
+        scenario = series.scenario
+        rows.append(
+            [
+                preset,
+                scenario.aggregation_rate_bps / 1e6,
+                1e3 * scenario.propagation_delay_s,
+                result.max_load_by_preset[preset],
+                result.max_gamers_by_preset[preset],
+                series.interpolate_rtt_ms(0.40),
+            ]
+        )
+    title = (
+        f"Access comparison ({100 * result.probability:.3f}% RTT quantile, "
+        f"served by one Fleet: {result.fleet_stats['evaluations']} evaluations, "
+        f"{result.fleet_stats['stacked_mgf_calls']} stacked MGF array calls)"
+    )
+    return f"{title}\n{format_table(headers, rows)}"

@@ -1,0 +1,553 @@
+"""Request-level serving of RTT lookups across many scenarios.
+
+:class:`~repro.engine.Engine` answers questions about *one* scenario;
+the dimensioning question of the paper, asked at production scale, is a
+**stream of requests** spanning many scenarios at once ("the 99.999%
+ping time of preset X at load y", millions of times, across the whole
+preset catalogue).  :class:`Fleet` is the entry point for that workload:
+
+* requests are plain :class:`Request` values (or JSONL dictionaries, see
+  the CLI's ``fleet`` subcommand) naming a scenario — preset name,
+  ``Scenario`` object, parameter mapping or JSON file path — plus an
+  operating point (downlink load or gamer count) and optional
+  per-request quantile level and method;
+* :meth:`Fleet.serve` answers a whole batch in one pass: requests are
+  sharded by :meth:`Scenario.cache_key` onto internally-managed engines,
+  answered from a **shared bounded LRU cache** when possible, and the
+  misses of every (probability, method) group are evaluated together
+  through the stacked cross-model inverter
+  (:class:`~repro.core.rtt.QueueingMgfStack` driving
+  :func:`~repro.core.inversion.quantiles_from_mgfs`), so a heterogeneous
+  multi-scenario batch costs one joint array evaluation per search
+  round instead of one per model — with floats identical to per-point
+  :meth:`Engine.rtt_quantile` answers;
+* the cache has a configurable entry budget; insertions beyond it evict
+  the least-recently-used answers, and every cache event is surfaced in
+  :class:`FleetStats`;
+* :meth:`Fleet.save_cache` / :meth:`Fleet.warm_start` persist and
+  restore the answer cache as JSON keyed by ``Scenario.cache_key()``,
+  so repeated CLI/CI runs start warm (floats round-trip exactly).
+
+Example::
+
+    from repro import Fleet, Request
+
+    fleet = Fleet(max_cache_entries=10_000)
+    answers = fleet.serve([
+        Request("paper-dsl", downlink_load=0.40),
+        Request("ftth", downlink_load=0.40),
+        Request("lte", num_gamers=120.0, probability=0.9999),
+    ])
+    answers[0].rtt_quantile_ms
+    fleet.stats.as_dict()
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from .core.rtt import (
+    DEFAULT_QUANTILE,
+    QUANTILE_METHODS,
+    batch_rtt_quantiles,
+    stacked_eval_count,
+)
+from .engine import Engine
+from .errors import ParameterError
+from .scenarios.base import Scenario
+from .scenarios.registry import scenario_from_spec
+
+__all__ = ["Request", "Answer", "FleetStats", "Fleet"]
+
+#: Any of: a preset name / JSON file path, a Scenario, or a parameter mapping.
+ScenarioSpec = Union[str, Scenario, Mapping[str, Any]]
+
+#: Accepted spellings of the Request JSONL fields (CLI request files).
+_REQUEST_KEYS = {
+    "scenario": "scenario",
+    "load": "downlink_load",
+    "downlink_load": "downlink_load",
+    "gamers": "num_gamers",
+    "num_gamers": "num_gamers",
+    "probability": "probability",
+    "method": "method",
+    "tag": "tag",
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One RTT-quantile lookup: a scenario plus an operating point.
+
+    Exactly one of ``downlink_load`` (on the bottleneck link, in (0, 1))
+    and ``num_gamers`` (>= 1) must be given.  ``probability`` and
+    ``method`` default to the owning :class:`Fleet`'s values; ``tag`` is
+    an opaque caller identifier echoed in the :class:`Answer`.
+    """
+
+    scenario: ScenarioSpec
+    downlink_load: Optional[float] = None
+    num_gamers: Optional[float] = None
+    probability: Optional[float] = None
+    method: Optional[str] = None
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.downlink_load is None) == (self.num_gamers is None):
+            raise ParameterError(
+                "a Request needs exactly one of downlink_load= or num_gamers="
+            )
+        if self.downlink_load is not None and not 0.0 < float(self.downlink_load) < 1.0:
+            raise ParameterError("downlink_load must lie in (0, 1)")
+        if self.num_gamers is not None and float(self.num_gamers) < 1.0:
+            raise ParameterError("num_gamers must be at least 1")
+        if self.probability is not None and not 0.0 < float(self.probability) < 1.0:
+            raise ParameterError("probability must lie in (0, 1)")
+        if self.method is not None and self.method not in QUANTILE_METHODS:
+            raise ParameterError(
+                f"method must be one of {QUANTILE_METHODS}; got {self.method!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Request":
+        """Build a request from a JSONL record.
+
+        ``load``/``gamers`` are accepted as short spellings of
+        ``downlink_load``/``num_gamers``; unknown keys raise so typos in
+        request files do not pass silently.
+        """
+        unknown = sorted(set(data) - set(_REQUEST_KEYS))
+        if unknown:
+            raise ParameterError(
+                f"unknown request field(s) {unknown}; known: {sorted(set(_REQUEST_KEYS))}"
+            )
+        if "scenario" not in data:
+            raise ParameterError("a request record needs a 'scenario' field")
+        kwargs: Dict[str, Any] = {}
+        for key, value in data.items():
+            name = _REQUEST_KEYS[key]
+            if name in kwargs:
+                raise ParameterError(
+                    f"request field {key!r} conflicts with another spelling of {name!r}"
+                )
+            kwargs[name] = value
+        for name in ("downlink_load", "num_gamers", "probability"):
+            if kwargs.get(name) is not None:
+                kwargs[name] = float(kwargs[name])
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-ready dictionary view (omits unset fields)."""
+        scenario = self.scenario
+        if isinstance(scenario, Scenario):
+            scenario = scenario.to_dict()
+        out: Dict[str, Any] = {"scenario": scenario}
+        for name in ("downlink_load", "num_gamers", "probability", "method", "tag"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class Answer:
+    """The served result of one :class:`Request` (all delays in seconds)."""
+
+    scenario_key: str
+    num_gamers: float
+    downlink_load: float
+    uplink_load: float
+    probability: float
+    method: str
+    rtt_quantile_s: float
+    cached: bool
+    tag: Optional[str] = None
+
+    @property
+    def rtt_quantile_ms(self) -> float:
+        return 1e3 * self.rtt_quantile_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-ready dictionary view."""
+        out: Dict[str, Any] = {
+            "scenario_key": self.scenario_key,
+            "num_gamers": self.num_gamers,
+            "downlink_load": self.downlink_load,
+            "uplink_load": self.uplink_load,
+            "probability": self.probability,
+            "method": self.method,
+            "rtt_quantile_s": self.rtt_quantile_s,
+            "rtt_quantile_ms": self.rtt_quantile_ms,
+            "cached": self.cached,
+        }
+        if self.tag is not None:
+            out["tag"] = self.tag
+        return out
+
+
+@dataclass
+class FleetStats:
+    """Cache and evaluation bookkeeping of one :class:`Fleet`."""
+
+    requests: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    evaluations: int = 0
+    stacked_mgf_calls: int = 0
+    engines_built: int = 0
+    engines_evicted: int = 0
+    warm_loaded: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "evaluations": self.evaluations,
+            "stacked_mgf_calls": self.stacked_mgf_calls,
+            "engines_built": self.engines_built,
+            "engines_evicted": self.engines_evicted,
+            "warm_loaded": self.warm_loaded,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered from the cache (0 when idle)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+#: A fully-resolved cache key: (scenario key, gamers key, probability, method).
+_CacheKey = Tuple[str, float, float, str]
+
+#: Magic header of the persisted cache files.
+_CACHE_FORMAT = "repro-fleet-cache"
+_CACHE_VERSION = 1
+
+
+class Fleet:
+    """Multiplexes RTT-quantile requests over engines and a shared cache.
+
+    Parameters
+    ----------
+    max_cache_entries:
+        Entry budget of the shared answer cache; insertions beyond it
+        evict the least-recently-used entries (``stats.evictions``).
+    max_engines:
+        Budget of internally-managed :class:`Engine` instances (one per
+        distinct scenario); the least-recently-used engine — with its
+        memoized models — is dropped beyond it.  Evicting an engine
+        never evicts served answers: recomputing after any eviction
+        returns bit-identical floats.
+    probability / method:
+        Defaults applied to requests that do not carry their own.
+    """
+
+    def __init__(
+        self,
+        max_cache_entries: int = 100_000,
+        *,
+        max_engines: int = 64,
+        probability: float = DEFAULT_QUANTILE,
+        method: str = "inversion",
+    ) -> None:
+        if int(max_cache_entries) < 1:
+            raise ParameterError("max_cache_entries must be at least 1")
+        if int(max_engines) < 1:
+            raise ParameterError("max_engines must be at least 1")
+        if not 0.0 < probability < 1.0:
+            raise ParameterError("probability must lie in (0, 1)")
+        if method not in QUANTILE_METHODS:
+            raise ParameterError(
+                f"method must be one of {QUANTILE_METHODS}; got {method!r}"
+            )
+        self.max_cache_entries = int(max_cache_entries)
+        self.max_engines = int(max_engines)
+        self.probability = float(probability)
+        self.method = method
+        self.stats = FleetStats()
+        self._cache: "OrderedDict[_CacheKey, float]" = OrderedDict()
+        self._engines: "OrderedDict[str, Engine]" = OrderedDict()
+        #: scenario key -> Scenario; outlives engine eviction (needed to
+        #: persist cache entries and to rebuild engines on demand).
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fleet(max_cache_entries={self.max_cache_entries}, "
+            f"engines={len(self._engines)}, cached={len(self._cache)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Scenario and engine management
+    # ------------------------------------------------------------------
+    @staticmethod
+    def resolve_scenario(spec: ScenarioSpec) -> Scenario:
+        """Resolve a request's scenario spec to a :class:`Scenario`."""
+        if isinstance(spec, Scenario):
+            return spec
+        if isinstance(spec, Mapping):
+            return Scenario.from_dict(spec)
+        return scenario_from_spec(spec)
+
+    def engine(self, spec: ScenarioSpec) -> Engine:
+        """The internally-managed engine for a scenario (LRU-touched)."""
+        scenario = self.resolve_scenario(spec)
+        return self._engine_for(scenario, scenario.cache_key())
+
+    def _engine_for(self, scenario: Scenario, key: str) -> Engine:
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = Engine(scenario, probability=self.probability, method=self.method)
+            self._engines[key] = engine
+            self._scenarios[key] = scenario
+            self.stats.engines_built += 1
+            while len(self._engines) > self.max_engines:
+                self._engines.popitem(last=False)
+                self.stats.engines_evicted += 1
+        else:
+            self._engines.move_to_end(key)
+        return engine
+
+    # ------------------------------------------------------------------
+    # The shared bounded cache
+    # ------------------------------------------------------------------
+    def cache_size(self) -> int:
+        """Number of answers currently held by the shared cache."""
+        return len(self._cache)
+
+    def cached_keys(self) -> List[_CacheKey]:
+        """The cache keys in LRU order (least recently used first)."""
+        return list(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every cached answer, engine and scenario (stats are kept)."""
+        self._cache.clear()
+        self._engines.clear()
+        self._scenarios.clear()
+
+    def _prune_scenarios(self) -> None:
+        """Drop scenarios no longer referenced by an engine or a cache entry.
+
+        The scenario map exists so :meth:`save_cache` can persist the
+        parameters behind every cached answer; once both the engine and
+        the last answer of a scenario have been evicted, keeping it
+        would be an unbounded leak under a many-scenario request stream.
+        """
+        if len(self._scenarios) <= len(self._engines):
+            return
+        referenced = set(self._engines)
+        referenced.update(key[0] for key in self._cache)
+        for scenario_key in [k for k in self._scenarios if k not in referenced]:
+            del self._scenarios[scenario_key]
+
+    def _store(self, key: _CacheKey, value: float) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_cache_entries:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, requests: Iterable[Union[Request, Mapping[str, Any]]]) -> List[Answer]:
+        """Answer a batch of requests in one pass, in request order.
+
+        Requests are resolved and sharded by scenario key, probed
+        against the shared cache, and the distinct misses of each
+        (probability, method) group are evaluated together through the
+        stacked cross-model inverter.  Duplicate operating points within
+        the batch are evaluated once; every answer carries ``cached``
+        telling whether it was served without any evaluation.
+        """
+        batch = [
+            r if isinstance(r, Request) else Request.from_dict(r) for r in requests
+        ]
+        self.stats.batches += 1
+        self.stats.requests += len(batch)
+
+        resolved = []
+        for request in batch:
+            scenario = self.resolve_scenario(request.scenario)
+            scenario_key = scenario.cache_key()
+            engine = self._engine_for(scenario, scenario_key)
+            if request.num_gamers is not None:
+                num_gamers = float(request.num_gamers)
+            else:
+                num_gamers = scenario.gamers_at_load(float(request.downlink_load))
+                if num_gamers < 1.0:
+                    raise ParameterError(
+                        f"load {float(request.downlink_load):.3f} corresponds to "
+                        "fewer than one gamer"
+                    )
+            probability = (
+                self.probability if request.probability is None else float(request.probability)
+            )
+            method = self.method if request.method is None else request.method
+            key: _CacheKey = (
+                scenario_key,
+                Engine._gamers_key(num_gamers),
+                probability,
+                method,
+            )
+            resolved.append((request, scenario, engine, num_gamers, key))
+
+        # Probe the cache; collect the distinct misses.
+        values: Dict[_CacheKey, float] = {}
+        cached_flags: List[bool] = []
+        misses: "OrderedDict[_CacheKey, Tuple[Engine, float]]" = OrderedDict()
+        for request, scenario, engine, num_gamers, key in resolved:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                values[key] = self._cache[key]
+                self.stats.cache_hits += 1
+                cached_flags.append(True)
+            else:
+                self.stats.cache_misses += 1
+                cached_flags.append(False)
+                if key not in misses:
+                    misses[key] = (engine, num_gamers)
+
+        # Evaluate the misses, grouped by (probability, method) so each
+        # group runs one stacked multi-scenario inversion.
+        groups: "OrderedDict[Tuple[float, str], List[_CacheKey]]" = OrderedDict()
+        for key in misses:
+            groups.setdefault((key[2], key[3]), []).append(key)
+        stacked_before = stacked_eval_count()
+        for (probability, method), keys in groups.items():
+            models = [misses[key][0].model_for_gamers(misses[key][1]) for key in keys]
+            quantiles = batch_rtt_quantiles(models, probability, method=method)
+            for key, value in zip(keys, quantiles):
+                values[key] = float(value)
+                self._store(key, float(value))
+                self.stats.evaluations += 1
+        self.stats.stacked_mgf_calls += stacked_eval_count() - stacked_before
+
+        answers = []
+        for (request, scenario, engine, num_gamers, key), cached in zip(
+            resolved, cached_flags
+        ):
+            downlink_load = scenario.load_for_gamers(num_gamers)
+            answers.append(
+                Answer(
+                    scenario_key=key[0],
+                    num_gamers=num_gamers,
+                    downlink_load=downlink_load,
+                    uplink_load=scenario.uplink_load_for(downlink_load),
+                    probability=key[2],
+                    method=key[3],
+                    rtt_quantile_s=values[key],
+                    cached=cached,
+                    tag=request.tag,
+                )
+            )
+        self._prune_scenarios()
+        return answers
+
+    def request(
+        self,
+        scenario: ScenarioSpec,
+        *,
+        downlink_load: Optional[float] = None,
+        num_gamers: Optional[float] = None,
+        probability: Optional[float] = None,
+        method: Optional[str] = None,
+        tag: Optional[str] = None,
+    ) -> Answer:
+        """Serve a single request (convenience wrapper over :meth:`serve`)."""
+        return self.serve(
+            [
+                Request(
+                    scenario,
+                    downlink_load=downlink_load,
+                    num_gamers=num_gamers,
+                    probability=probability,
+                    method=method,
+                    tag=tag,
+                )
+            ]
+        )[0]
+
+    # ------------------------------------------------------------------
+    # Cache persistence
+    # ------------------------------------------------------------------
+    def save_cache(self, path: Union[str, Path]) -> int:
+        """Write the answer cache to ``path`` as JSON; returns the entry count.
+
+        Entries are written in LRU order (least recently used first) so
+        a later :meth:`warm_start` restores both the floats — exactly,
+        JSON round-trips every double — and the eviction order.
+        """
+        scenarios = {}
+        entries = []
+        for (scenario_key, gamers, probability, method), value in self._cache.items():
+            scenario = self._scenarios.get(scenario_key)
+            if scenario is None:  # pragma: no cover - defensive
+                continue
+            scenarios.setdefault(scenario_key, scenario.to_dict())
+            entries.append(
+                {
+                    "scenario": scenario_key,
+                    "num_gamers": gamers,
+                    "probability": probability,
+                    "method": method,
+                    "rtt_quantile_s": value,
+                }
+            )
+        payload = {
+            "format": _CACHE_FORMAT,
+            "version": _CACHE_VERSION,
+            "scenarios": scenarios,
+            "entries": entries,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return len(entries)
+
+    def warm_start(self, path: Union[str, Path]) -> int:
+        """Load a cache previously written with :meth:`save_cache`.
+
+        Scenario keys are recomputed from the persisted parameter
+        dictionaries (the file's keys are cross-checked), so a cache
+        file remains valid even if the key derivation changes between
+        versions.  Returns the number of entries loaded; loading more
+        than ``max_cache_entries`` keeps the most recently used ones.
+        """
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("format") != _CACHE_FORMAT:
+            raise ParameterError(f"{path!s} is not a fleet cache file")
+        if data.get("version") != _CACHE_VERSION:
+            raise ParameterError(
+                f"unsupported fleet cache version {data.get('version')!r}"
+            )
+        keys: Dict[str, str] = {}
+        for stored_key, parameters in data.get("scenarios", {}).items():
+            scenario = Scenario.from_dict(parameters)
+            key = scenario.cache_key()
+            keys[stored_key] = key
+            self._scenarios[key] = scenario
+        loaded = 0
+        for entry in data.get("entries", []):
+            stored_key = entry["scenario"]
+            if stored_key not in keys:
+                raise ParameterError(
+                    f"cache entry references unknown scenario {stored_key!r}"
+                )
+            key: _CacheKey = (
+                keys[stored_key],
+                float(entry["num_gamers"]),
+                float(entry["probability"]),
+                str(entry["method"]),
+            )
+            self._store(key, float(entry["rtt_quantile_s"]))
+            loaded += 1
+        self.stats.warm_loaded += loaded
+        return loaded

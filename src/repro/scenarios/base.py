@@ -27,6 +27,7 @@ Cached/batched evaluation on top of a scenario lives in
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, fields
 from pathlib import Path
@@ -126,6 +127,28 @@ class Scenario:
         if not isinstance(data, dict):
             raise ParameterError("a scenario JSON document must be an object")
         return cls.from_dict(data)
+
+    def canonical_json(self) -> str:
+        """Deterministic single-line JSON rendering (sorted keys).
+
+        The serialization backing :meth:`cache_key`: two scenarios have
+        the same canonical JSON exactly when they are equal, and the
+        rendering is stable across processes and sessions (``repr``
+        round-trips every float exactly).
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self) -> str:
+        """Canonical sharding/cache key of the scenario.
+
+        A short hex digest of :meth:`canonical_json`, stable across
+        processes, used by :class:`repro.fleet.Fleet` to shard requests
+        onto engines and to key persisted caches.  Equal scenarios —
+        however they were constructed — share the key; any parameter
+        change produces a different one.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:16]
 
     def save(self, path: Union[str, Path]) -> None:
         """Write the scenario to ``path`` as JSON."""

@@ -4,11 +4,15 @@ The registry maps short names to ready-made :class:`Scenario` values so
 that experiments, the CLI (``--scenario <name>``) and batch jobs can
 refer to a parameter combination without spelling out nine numbers.
 
-Three families are registered by default:
+Four families are registered by default:
 
 * the paper's Section 4 DSL scenario and its tick-interval variant,
-* access-technology profiles beyond DSL (cable, FTTH, LTE-style) that
-  keep the paper's traffic parameters but change the link rates, and
+* access-technology profiles beyond DSL (cable, FTTH, LTE-style, and a
+  LEO-satellite profile whose propagation delay dominates the budget)
+  that keep the paper's traffic parameters but change the link rates,
+* workload variants of the DSL baseline (a mixed-background-traffic
+  profile where non-gaming flows occupy part of the aggregation
+  capacity dedicated to gaming), and
 * per-game traffic presets derived from the published characteristics
   in :mod:`repro.traffic.games` (Tables 1-3 of the paper): the game's
   mean server/client packet sizes and tick interval replace the Section
@@ -99,6 +103,24 @@ SCENARIO_PRESETS: Dict[str, Scenario] = {
         access_downlink_bps=50_000_000.0,
         aggregation_rate_bps=100_000_000.0,
         propagation_delay_s=0.005,
+    ),
+    # LEO-satellite access (Starlink-style): generous link rates, but a
+    # ~25 ms one-way propagation delay (user terminal -> satellite ->
+    # ground station -> PoP) that dwarfs every queueing component and
+    # eats most of the paper's 50 ms "excellent play" budget on its own.
+    "satellite-leo": PAPER_BASELINE.derive(
+        access_uplink_bps=15_000_000.0,
+        access_downlink_bps=150_000_000.0,
+        aggregation_rate_bps=500_000_000.0,
+        propagation_delay_s=0.025,
+    ),
+    # DSL baseline sharing the bottleneck with non-gaming traffic: of
+    # the 5 Mbit/s the paper dedicates to gaming, background flows
+    # (web, streaming) claim 40%, shrinking the capacity C seen by the
+    # gamers.  The per-user access rates are unchanged — only the
+    # aggregation link is contended.
+    "dsl-mixed-background": PAPER_BASELINE.derive(
+        aggregation_rate_bps=3_000_000.0,
     ),
     **_game_presets(),
 }

@@ -167,3 +167,145 @@ class TestJsonOutput:
         assert exit_code == 0
         payload = json.loads(capsys.readouterr().out)
         assert "table1" in payload
+
+
+class TestScenariosCommand:
+    def test_lists_presets_in_text(self, capsys):
+        exit_code = main(["scenarios", "list"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("paper-dsl", "ftth", "satellite-leo", "dsl-mixed-background"):
+            assert name in out
+        assert "cache key" in out
+
+    def test_action_defaults_to_list(self, capsys):
+        assert main(["scenarios"]) == 0
+        assert "paper-dsl" in capsys.readouterr().out
+
+    def test_json_output_is_authoring_ready(self, capsys):
+        exit_code = main(["scenarios", "list", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["satellite-leo"]["propagation_delay_s"] == pytest.approx(0.025)
+        # Every record is a valid scenario parameter set.
+        from repro.scenarios import Scenario
+
+        for name, parameters in payload.items():
+            assert Scenario.from_dict(parameters) is not None, name
+
+
+class TestFleetCommand:
+    @staticmethod
+    def _write_requests(path, records):
+        path.write_text(
+            "\n".join(json.dumps(record) for record in records) + "\n",
+            encoding="utf-8",
+        )
+
+    def test_serves_jsonl_stream(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(
+            requests,
+            [
+                {"scenario": "ftth", "load": 0.4, "tag": "r1"},
+                {"scenario": "lte", "gamers": 1200, "tag": "r2"},
+            ],
+        )
+        exit_code = main(["fleet", "--requests", str(requests)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        answers = [json.loads(line) for line in out.strip().splitlines()]
+        assert [a["tag"] for a in answers] == ["r1", "r2"]
+        assert all(a["rtt_quantile_ms"] > 0 for a in answers)
+
+    def test_answers_match_rtt_subcommand(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(requests, [{"scenario": "ftth", "load": 0.4}])
+        assert main(["fleet", "--requests", str(requests)]) == 0
+        fleet_answer = json.loads(capsys.readouterr().out.strip())
+        assert main(["rtt", "--scenario", "ftth", "--load", "0.4", "--json"]) == 0
+        rtt_answer = json.loads(capsys.readouterr().out)
+        assert fleet_answer["rtt_quantile_s"] == rtt_answer["rtt_quantile_s"]
+
+    def test_output_file_and_stats(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        output = tmp_path / "answers.jsonl"
+        self._write_requests(requests, [{"scenario": "cable", "load": 0.3}])
+        exit_code = main(
+            ["fleet", "--requests", str(requests), "--output", str(output), "--stats"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out == ""
+        stats = json.loads(captured.err)
+        assert stats["requests"] == 1 and stats["evaluations"] == 1
+        answer = json.loads(output.read_text(encoding="utf-8").strip())
+        assert answer["downlink_load"] == pytest.approx(0.3)
+
+    def test_warm_cache_round_trip(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        cache = tmp_path / "cache.json"
+        self._write_requests(requests, [{"scenario": "paper-dsl", "load": 0.4}])
+        args = ["fleet", "--requests", str(requests), "--warm-cache", str(cache),
+                "--stats"]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert cache.exists()
+        assert main(args) == 0
+        second = capsys.readouterr()
+        cold = json.loads(first.out.strip())
+        warm = json.loads(second.out.strip())
+        assert warm["cached"] is True
+        assert warm["rtt_quantile_s"] == cold["rtt_quantile_s"]
+        assert json.loads(second.err)["warm_loaded"] == 1
+
+    def test_batch_alias(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(requests, [{"scenario": "ftth", "load": 0.4}])
+        assert main(["batch", "--requests", str(requests)]) == 0
+        assert json.loads(capsys.readouterr().out.strip())["cached"] is False
+
+    def test_missing_request_file_clean_error(self, capsys):
+        exit_code = main(["fleet", "--requests", "/nonexistent/requests.jsonl"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_request_line_clean_error(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"scenario": "ftth", "laod": 0.4}\n', encoding="utf-8")
+        exit_code = main(["fleet", "--requests", str(requests)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "request line 1" in err
+
+    def test_unknown_preset_clean_error(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"scenario": "no-such", "load": 0.4}\n', encoding="utf-8")
+        exit_code = main(["fleet", "--requests", str(requests)])
+        assert exit_code == 2
+        assert "paper-dsl" in capsys.readouterr().err
+
+
+class TestCompareAccessCommand:
+    def test_text_report(self, capsys):
+        exit_code = main(["compare-access"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Access comparison" in out
+        for name in ("paper-dsl", "cable", "ftth", "lte"):
+            assert name in out
+
+    def test_json_report(self, capsys):
+        exit_code = main(["compare-access", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        series = payload["compare-access"]["series_by_preset"]
+        assert sorted(series) == [
+            "cable",
+            "ftth",
+            "lte",
+            "paper-dsl",
+            "satellite-leo",
+        ]
+        assert len(series["ftth"]["points"]) == 18
+        assert payload["compare-access"]["fleet_stats"]["stacked_mgf_calls"] > 0

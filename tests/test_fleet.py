@@ -1,0 +1,349 @@
+"""Tests for the Fleet request-serving layer.
+
+The serving contract: answers are the very same floats per-point
+:class:`Engine` queries produce (the stacked batch is an optimisation,
+not an approximation), the shared cache honors its entry budget with
+LRU eviction, and evicted-then-recomputed answers are bit-identical to
+warm-cache answers — including across save/warm_start round trips.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import ParameterError
+from repro.fleet import Answer, Fleet, FleetStats, Request
+from repro.scenarios import PAPER_BASELINE, Scenario, get_scenario
+
+TICK40 = Scenario(tick_interval_s=0.040)
+
+PRESETS = ("paper-dsl", "cable", "ftth", "lte")
+
+
+def _mixed_requests(loads=(0.3, 0.5, 0.7)):
+    return [
+        Request(preset, downlink_load=load) for preset in PRESETS for load in loads
+    ]
+
+
+class TestRequest:
+    def test_requires_exactly_one_operating_point(self):
+        with pytest.raises(ParameterError, match="exactly one"):
+            Request("paper-dsl")
+        with pytest.raises(ParameterError, match="exactly one"):
+            Request("paper-dsl", downlink_load=0.4, num_gamers=10.0)
+
+    def test_validates_ranges(self):
+        with pytest.raises(ParameterError):
+            Request("paper-dsl", downlink_load=1.2)
+        with pytest.raises(ParameterError):
+            Request("paper-dsl", num_gamers=0.5)
+        with pytest.raises(ParameterError):
+            Request("paper-dsl", downlink_load=0.4, probability=2.0)
+        with pytest.raises(ParameterError):
+            Request("paper-dsl", downlink_load=0.4, method="magic")
+
+    def test_from_dict_accepts_short_spellings(self):
+        request = Request.from_dict({"scenario": "ftth", "load": 0.4, "tag": "t1"})
+        assert request.downlink_load == 0.4
+        assert request.tag == "t1"
+        by_gamers = Request.from_dict({"scenario": "ftth", "gamers": 40})
+        assert by_gamers.num_gamers == 40.0
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ParameterError, match="unknown request field"):
+            Request.from_dict({"scenario": "ftth", "laod": 0.4})
+
+    def test_from_dict_rejects_conflicting_alias_spellings(self):
+        with pytest.raises(ParameterError, match="conflicts"):
+            Request.from_dict({"scenario": "ftth", "load": 0.4, "downlink_load": 0.8})
+
+    def test_from_dict_requires_scenario(self):
+        with pytest.raises(ParameterError, match="scenario"):
+            Request.from_dict({"load": 0.4})
+
+    def test_round_trips_through_dict(self):
+        request = Request("lte", downlink_load=0.4, probability=0.999, tag="x")
+        assert Request.from_dict(request.to_dict()) == request
+
+    def test_scenario_object_and_mapping_specs(self):
+        assert Request(TICK40, downlink_load=0.4).scenario is TICK40
+        request = Request({"tick_interval_s": 0.040}, downlink_load=0.4)
+        assert Fleet.resolve_scenario(request.scenario) == TICK40
+
+
+class TestConstruction:
+    def test_validates_budgets_and_defaults(self):
+        with pytest.raises(ParameterError):
+            Fleet(max_cache_entries=0)
+        with pytest.raises(ParameterError):
+            Fleet(max_engines=0)
+        with pytest.raises(ParameterError):
+            Fleet(probability=1.5)
+        with pytest.raises(ParameterError):
+            Fleet(method="magic")
+
+    def test_stats_as_dict(self):
+        stats = FleetStats(cache_hits=3, cache_misses=1)
+        assert stats.as_dict()["cache_hits"] == 3
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert FleetStats().hit_rate == 0.0
+
+
+class TestServing:
+    def test_answers_match_per_point_engine_bitwise(self):
+        fleet = Fleet()
+        requests = _mixed_requests()
+        answers = fleet.serve(requests)
+        for request, answer in zip(requests, answers):
+            engine = Engine(get_scenario(request.scenario))
+            assert answer.rtt_quantile_s == engine.rtt_quantile(request.downlink_load)
+            assert answer.rtt_quantile_ms == 1e3 * answer.rtt_quantile_s
+            assert not answer.cached
+
+    def test_accepts_raw_dict_requests(self):
+        fleet = Fleet()
+        [answer] = fleet.serve([{"scenario": "ftth", "load": 0.4}])
+        assert isinstance(answer, Answer)
+        assert answer.rtt_quantile_s == Engine(get_scenario("ftth")).rtt_quantile(0.4)
+
+    def test_gamer_requests_share_entries_with_load_requests(self):
+        fleet = Fleet()
+        gamers = get_scenario("paper-dsl").gamers_at_load(0.4)
+        first = fleet.serve([Request("paper-dsl", downlink_load=0.4)])[0]
+        second = fleet.serve([Request("paper-dsl", num_gamers=gamers)])[0]
+        assert second.cached
+        assert second.rtt_quantile_s == first.rtt_quantile_s
+        assert fleet.stats.evaluations == 1
+
+    def test_duplicate_requests_evaluate_once(self):
+        fleet = Fleet()
+        answers = fleet.serve([Request("paper-dsl", downlink_load=0.4)] * 3)
+        assert fleet.stats.evaluations == 1
+        assert fleet.stats.requests == 3
+        assert len({a.rtt_quantile_s for a in answers}) == 1
+
+    def test_per_request_probability_and_method(self):
+        fleet = Fleet()
+        answers = fleet.serve(
+            [
+                Request("paper-dsl", downlink_load=0.4),
+                Request("paper-dsl", downlink_load=0.4, probability=0.99),
+                Request("paper-dsl", downlink_load=0.4, method="chernoff"),
+            ]
+        )
+        assert answers[0].probability == 0.99999
+        assert answers[1].probability == 0.99
+        assert answers[2].method == "chernoff"
+        engine = Engine(PAPER_BASELINE)
+        assert answers[1].rtt_quantile_s == engine.rtt_quantile(0.4, probability=0.99)
+        assert answers[2].rtt_quantile_s == engine.rtt_quantile(0.4, method="chernoff")
+        # Three distinct cache entries for one operating point.
+        assert fleet.stats.evaluations == 3
+
+    def test_request_convenience_wrapper(self):
+        fleet = Fleet()
+        answer = fleet.request("ftth", downlink_load=0.4, tag="one-off")
+        assert answer.tag == "one-off"
+        assert answer.scenario_key == get_scenario("ftth").cache_key()
+
+    def test_subunit_gamer_load_raises(self):
+        with pytest.raises(ParameterError, match="fewer than one gamer"):
+            Fleet().serve([Request("paper-dsl", downlink_load=1e-4)])
+
+    def test_sharding_by_cache_key_unifies_equivalent_specs(self):
+        fleet = Fleet()
+        fleet.serve(
+            [
+                Request("paper-dsl", downlink_load=0.4),
+                Request(PAPER_BASELINE, downlink_load=0.4),
+                Request(PAPER_BASELINE.to_dict(), downlink_load=0.4),
+            ]
+        )
+        # One engine, one evaluation: all three specs share the key
+        # (in-batch duplicates count as probe-time misses but are
+        # deduplicated before evaluation).
+        assert fleet.stats.engines_built == 1
+        assert fleet.stats.evaluations == 1
+        assert fleet.stats.cache_misses == 3
+
+
+class TestBoundedCache:
+    def test_entry_budget_evicts_lru(self):
+        fleet = Fleet(max_cache_entries=2)
+        fleet.serve(
+            [
+                Request("paper-dsl", downlink_load=0.2),
+                Request("paper-dsl", downlink_load=0.3),
+                Request("paper-dsl", downlink_load=0.4),
+            ]
+        )
+        assert fleet.cache_size() == 2
+        assert fleet.stats.evictions == 1
+        # The 0.2 entry (least recently used) was evicted.
+        remaining_gamers = {key[1] for key in fleet.cached_keys()}
+        scenario = get_scenario("paper-dsl")
+        assert Engine._gamers_key(scenario.gamers_at_load(0.2)) not in remaining_gamers
+
+    def test_hit_refreshes_recency(self):
+        fleet = Fleet(max_cache_entries=2)
+        fleet.serve([Request("paper-dsl", downlink_load=0.2)])
+        fleet.serve([Request("paper-dsl", downlink_load=0.3)])
+        fleet.serve([Request("paper-dsl", downlink_load=0.2)])  # touch 0.2
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])  # evicts 0.3
+        answer = fleet.serve([Request("paper-dsl", downlink_load=0.2)])[0]
+        assert answer.cached
+        assert fleet.stats.evictions == 1
+
+    def test_eviction_stats_count_every_eviction(self):
+        fleet = Fleet(max_cache_entries=1)
+        fleet.serve(_mixed_requests(loads=(0.4,)))
+        assert fleet.stats.evictions == len(PRESETS) - 1
+        assert fleet.cache_size() == 1
+
+    def test_evicted_then_recomputed_is_bit_identical(self):
+        fleet = Fleet(max_cache_entries=1)
+        warm = fleet.serve([Request("paper-dsl", downlink_load=0.4)])[0]
+        fleet.serve([Request("paper-dsl", downlink_load=0.6)])  # evicts 0.4
+        recomputed = fleet.serve([Request("paper-dsl", downlink_load=0.4)])[0]
+        assert not recomputed.cached
+        assert recomputed.rtt_quantile_s == warm.rtt_quantile_s
+
+    def test_engine_eviction_does_not_change_answers(self):
+        fleet = Fleet(max_engines=1, max_cache_entries=1)
+        first = fleet.serve([Request("paper-dsl", downlink_load=0.4)])[0]
+        fleet.serve([Request("ftth", downlink_load=0.4)])  # evicts the engine
+        assert fleet.stats.engines_evicted == 1
+        again = fleet.serve([Request("paper-dsl", downlink_load=0.4)])[0]
+        assert again.rtt_quantile_s == first.rtt_quantile_s
+        assert fleet.stats.engines_built == 3  # paper-dsl engine rebuilt
+
+    def test_stats_counters_are_consistent(self):
+        fleet = Fleet()
+        requests = _mixed_requests()
+        fleet.serve(requests)
+        fleet.serve(requests)
+        stats = fleet.stats
+        assert stats.requests == 2 * len(requests)
+        assert stats.batches == 2
+        assert stats.cache_hits == len(requests)
+        assert stats.cache_misses == len(requests)
+        assert stats.evaluations == len(requests)
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.stacked_mgf_calls > 0
+
+    def test_clear_cache(self):
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        fleet.clear_cache()
+        assert fleet.cache_size() == 0
+        answer = fleet.serve([Request("paper-dsl", downlink_load=0.4)])[0]
+        assert not answer.cached
+
+    def test_unreferenced_scenarios_are_pruned(self):
+        # Scenarios whose engine AND answers were both evicted must not
+        # accumulate (a many-scenario stream would leak otherwise).
+        fleet = Fleet(max_cache_entries=1, max_engines=1)
+        for tick_ms in (40.0, 45.0, 50.0, 55.0):
+            scenario = PAPER_BASELINE.derive(tick_interval_s=tick_ms / 1e3)
+            fleet.serve([Request(scenario, downlink_load=0.4)])
+        referenced = {key[0] for key in fleet.cached_keys()}
+        referenced.update(
+            engine.scenario.cache_key() for engine in fleet._engines.values()
+        )
+        assert set(fleet._scenarios) == referenced
+        assert len(fleet._scenarios) <= 2
+
+
+class TestPersistence:
+    def test_save_and_warm_start_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        requests = _mixed_requests()
+        answers = fleet.serve(requests)
+        assert fleet.save_cache(path) == len(requests)
+
+        warm = Fleet()
+        assert warm.warm_start(path) == len(requests)
+        assert warm.stats.warm_loaded == len(requests)
+        warm_answers = warm.serve(requests)
+        assert all(a.cached for a in warm_answers)
+        assert warm.stats.evaluations == 0
+        assert [a.rtt_quantile_s for a in warm_answers] == [
+            a.rtt_quantile_s for a in answers
+        ]
+
+    def test_warm_start_preserves_lru_order(self, tmp_path):
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=l) for l in (0.2, 0.3, 0.4)])
+        fleet.save_cache(path)
+        warm = Fleet(max_cache_entries=2)
+        warm.warm_start(path)
+        # The budget keeps the most recently used entries (0.3, 0.4).
+        scenario = get_scenario("paper-dsl")
+        kept = {key[1] for key in warm.cached_keys()}
+        assert Engine._gamers_key(scenario.gamers_at_load(0.2)) not in kept
+        assert len(kept) == 2
+
+    def test_warm_start_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}), encoding="utf-8")
+        with pytest.raises(ParameterError, match="not a fleet cache"):
+            Fleet().warm_start(path)
+        path.write_text(
+            json.dumps({"format": "repro-fleet-cache", "version": 99}), encoding="utf-8"
+        )
+        with pytest.raises(ParameterError, match="version"):
+            Fleet().warm_start(path)
+
+    def test_warm_start_rejects_dangling_scenario_references(self, tmp_path):
+        path = tmp_path / "dangling.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-fleet-cache",
+                    "version": 1,
+                    "scenarios": {},
+                    "entries": [
+                        {
+                            "scenario": "deadbeef",
+                            "num_gamers": 10.0,
+                            "probability": 0.99999,
+                            "method": "inversion",
+                            "rtt_quantile_s": 0.05,
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ParameterError, match="unknown scenario"):
+            Fleet().warm_start(path)
+
+    def test_persisted_floats_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        [answer] = fleet.serve([Request("lte", downlink_load=0.47)])
+        fleet.save_cache(path)
+        warm = Fleet()
+        warm.warm_start(path)
+        [restored] = warm.serve([Request("lte", downlink_load=0.47)])
+        assert restored.cached
+        assert restored.rtt_quantile_s == answer.rtt_quantile_s  # bitwise
+
+    def test_experiment_runs_on_a_shared_fleet(self):
+        # The multi-preset comparison experiment piggybacks on a warm fleet.
+        from repro.experiments import run_access_comparison
+
+        fleet = Fleet()
+        first = run_access_comparison(loads=(0.3, 0.5), fleet=fleet)
+        evaluations = fleet.stats.evaluations
+        second = run_access_comparison(loads=(0.3, 0.5), fleet=fleet)
+        assert fleet.stats.evaluations == evaluations  # fully cached
+        for preset in first.series_by_preset:
+            assert (
+                first.series_by_preset[preset].rtt_ms()
+                == second.series_by_preset[preset].rtt_ms()
+            )

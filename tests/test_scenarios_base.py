@@ -150,3 +150,34 @@ class TestModelConstruction:
     def test_model_kwargs_match_to_dict(self):
         assert PAPER_BASELINE.model_kwargs() == PAPER_BASELINE.to_dict()
         assert PAPER_BASELINE.dimensioning_kwargs() == PAPER_BASELINE.to_dict()
+
+
+class TestCacheKey:
+    """Scenario.cache_key(): the Fleet's canonical sharding key."""
+
+    def test_equal_scenarios_share_the_key(self):
+        assert PAPER_BASELINE.cache_key() == Scenario().cache_key()
+        rebuilt = Scenario.from_dict(PAPER_BASELINE.to_dict())
+        assert rebuilt.cache_key() == PAPER_BASELINE.cache_key()
+
+    def test_any_parameter_change_changes_the_key(self):
+        base = PAPER_BASELINE
+        for name, value in [
+            ("tick_interval_s", 0.040),
+            ("erlang_order", 20),
+            ("server_packet_bytes", 200.0),
+            ("aggregation_rate_bps", 6_000_000.0),
+            ("propagation_delay_s", 0.005),
+        ]:
+            assert base.derive(**{name: value}).cache_key() != base.cache_key(), name
+
+    def test_key_is_short_stable_hex(self):
+        key = PAPER_BASELINE.cache_key()
+        assert len(key) == 16
+        int(key, 16)  # hex digest
+        assert key == PAPER_BASELINE.cache_key()  # deterministic
+
+    def test_canonical_json_round_trips(self):
+        restored = Scenario.from_json(PAPER_BASELINE.canonical_json())
+        assert restored == PAPER_BASELINE
+        assert "\n" not in PAPER_BASELINE.canonical_json()

@@ -112,3 +112,47 @@ class TestSpecResolution:
     def test_spec_rejects_unknown(self):
         with pytest.raises(KeyError, match="neither a scenario preset"):
             scenario_from_spec("/nonexistent/path.json")
+
+
+class TestWorkloadPresets:
+    """The satellite/LEO and mixed-background profiles (ISSUE 3)."""
+
+    def test_satellite_leo_propagation_dominates(self):
+        leo = get_scenario("satellite-leo")
+        lte = get_scenario("lte")
+        assert leo.propagation_delay_s > lte.propagation_delay_s
+        # Two-way propagation alone consumes the bulk of the paper's
+        # 50 ms "excellent play" budget.
+        assert 2.0 * leo.propagation_delay_s >= 0.040
+
+    def test_satellite_leo_keeps_paper_traffic(self):
+        leo = get_scenario("satellite-leo")
+        dsl = get_scenario("paper-dsl")
+        assert leo.server_packet_bytes == dsl.server_packet_bytes
+        assert leo.client_packet_bytes == dsl.client_packet_bytes
+        assert leo.tick_interval_s == dsl.tick_interval_s
+
+    def test_mixed_background_shrinks_gaming_capacity(self):
+        mixed = get_scenario("dsl-mixed-background")
+        dsl = get_scenario("paper-dsl")
+        assert mixed.aggregation_rate_bps < dsl.aggregation_rate_bps
+        # Only the contended aggregation link changes.
+        assert mixed.access_uplink_bps == dsl.access_uplink_bps
+        assert mixed.access_downlink_bps == dsl.access_downlink_bps
+
+    def test_mixed_background_carries_fewer_gamers_at_equal_load(self):
+        mixed = get_scenario("dsl-mixed-background")
+        dsl = get_scenario("paper-dsl")
+        assert mixed.gamers_at_load(0.4) < dsl.gamers_at_load(0.4)
+
+    @pytest.mark.parametrize("name", ["satellite-leo", "dsl-mixed-background"])
+    def test_new_presets_round_trip(self, name):
+        preset = get_scenario(name)
+        assert Scenario.from_dict(preset.to_dict()) == preset
+        assert Scenario.from_json(preset.to_json()) == preset
+        assert scenario_from_spec(name) == preset
+
+    @pytest.mark.parametrize("name", ["satellite-leo", "dsl-mixed-background"])
+    def test_new_presets_support_the_model(self, name):
+        preset = get_scenario(name)
+        assert preset.model_at_load(0.3).downlink_load == pytest.approx(0.3)
