@@ -22,9 +22,14 @@ The package is organised as follows:
   evaluation (RTT quantiles, sweeps, dimensioning, simulation) of one
   scenario;
 * :mod:`repro.fleet` -- the :class:`Fleet` serving layer: a stream of
-  :class:`Request` values spanning many scenarios, multiplexed over
-  internally-managed engines behind a shared bounded LRU cache and the
-  stacked cross-model inverter;
+  :class:`Request` values spanning many scenarios, planned into
+  picklable evaluation units, executed on any
+  :mod:`repro.executors` executor (in-process or a process pool; the
+  :class:`AsyncFleet` facade serves asyncio callers) and assembled
+  behind a shared bounded LRU cache;
+* :mod:`repro.executors` -- the execute phase of the serving pipeline:
+  :class:`SerialExecutor` and the process-parallel
+  :class:`ParallelExecutor`, answers bit-identical either way;
 * :mod:`repro.experiments` -- drivers that regenerate every table and
   figure of the paper and compare them against the reported values.
 
@@ -59,8 +64,9 @@ from .core import (
     max_tolerable_load,
 )
 from .engine import Engine, EngineStats
-from .errors import ReproError
-from .fleet import Answer, Fleet, FleetStats, Request
+from .errors import CacheFormatError, ReproError
+from .executors import Executor, ParallelExecutor, SerialExecutor
+from .fleet import Answer, AsyncFleet, Fleet, FleetStats, Request
 from .scenarios import (
     SCENARIO_PRESETS,
     DslScenario,
@@ -75,6 +81,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Answer",
+    "AsyncFleet",
+    "CacheFormatError",
     "DEFAULT_QUANTILE",
     "DEKOneQueue",
     "DeterministicRttBound",
@@ -83,13 +91,16 @@ __all__ = [
     "Engine",
     "EngineStats",
     "ErlangTermSum",
+    "Executor",
     "Fleet",
     "FleetStats",
     "MD1Queue",
     "PacketPositionDelay",
+    "ParallelExecutor",
     "PingTimeModel",
     "ReproError",
     "Request",
+    "SerialExecutor",
     "SCENARIO_PRESETS",
     "Scenario",
     "available_scenarios",

@@ -23,9 +23,11 @@ switches every subcommand to machine-readable output.
 accepted fields) and emits one JSON answer per line, serving the whole
 stream through a shared bounded cache; ``--warm-cache PATH`` restores
 the cache before serving and persists it afterwards, so repeated runs
-start warm.  ``scenarios list`` enumerates the registered presets with
-their key parameters, so request files can be authored without reading
-the source.
+start warm, and ``--workers N`` fans the compiled evaluation plans out
+over ``N`` worker processes (the answers are bit-identical to the
+single-process run).  ``scenarios list`` enumerates the registered
+presets with their key parameters, so request files can be authored
+without reading the source.
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ from . import experiments
 from .core.rtt import QUANTILE_METHODS
 from .engine import Engine
 from .errors import ReproError
+from .executors import ParallelExecutor
 from .fleet import Fleet, Request
 from .netsim import GamingSimulation
 from .scenarios import SCENARIO_PRESETS, Scenario, scenario_from_spec
@@ -153,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(QUANTILE_METHODS),
         default="inversion",
         help="default quantile evaluation method",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the evaluation plans (1 = in-process; "
+        "answers are bit-identical for any worker count)",
     )
     fleet.add_argument(
         "--stats",
@@ -428,6 +438,8 @@ def _read_requests(path: str) -> List[Request]:
 
 
 def _command_fleet(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise ReproError("--workers must be at least 1")
     fleet = Fleet(
         max_cache_entries=args.max_cache_entries,
         probability=args.quantile,
@@ -436,7 +448,11 @@ def _command_fleet(args: argparse.Namespace) -> int:
     if args.warm_cache and os.path.exists(args.warm_cache):
         fleet.warm_start(args.warm_cache)
     requests = _read_requests(args.requests)
-    answers = fleet.serve(requests)
+    if args.workers > 1:
+        with ParallelExecutor(workers=args.workers) as executor:
+            answers = fleet.serve(requests, executor=executor)
+    else:
+        answers = fleet.serve(requests)
     lines = [json.dumps(_jsonable(answer.to_dict()), sort_keys=True) for answer in answers]
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

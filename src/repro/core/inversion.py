@@ -62,6 +62,19 @@ remaining axis — the *transform* index — as well:
   the exact trajectory of its scalar counterpart and the returned
   quantiles are the very same floats.
 
+Two properties of these kernels carry the plan/execute split of the
+serving layer (:func:`repro.core.rtt.execute_plan`,
+:mod:`repro.executors`):
+
+* they are **stateless** — everything a search needs arrives through
+  its arguments, so a picklable :class:`~repro.core.rtt.EvalPlan` can
+  replay the exact same evaluation in any process; and
+* a transform's search trajectory is **independent of its round
+  mates** — which transforms happen to share the stacked rounds (the
+  ``max_workers`` chunking here, or the plan chunking one layer up)
+  cannot change a single returned bit, which is what makes answers
+  identical for every executor and worker count.
+
 Error bounds (Abate & Whitt 1995): the discretization error is bounded
 by ``exp(-A) / (1 - exp(-A))`` (~1e-8 for the default ``A = 18.4``); the
 Euler-averaging truncation error decays geometrically in ``euler_terms``

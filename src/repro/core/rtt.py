@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import cmath
 import math
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, fields, replace
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import optimize
@@ -50,9 +51,14 @@ from .upstream import MD1Queue
 __all__ = [
     "PingTimeModel",
     "DEFAULT_QUANTILE",
+    "DEFAULT_PLAN_CHUNK",
     "RttBreakdown",
     "QUANTILE_METHODS",
     "QueueingMgfStack",
+    "EvalPlan",
+    "PlanResult",
+    "compile_eval_plans",
+    "execute_plan",
     "batch_rtt_quantiles",
     "batch_queueing_tails",
     "model_build_count",
@@ -633,42 +639,234 @@ class QueueingMgfStack:
         return [m.queueing_atom for m in self.models]
 
 
+# ----------------------------------------------------------------------
+# The plan/execute layer: picklable work units for arbitrary executors
+# ----------------------------------------------------------------------
+#: Maximum number of models carried by one :class:`EvalPlan`.  Chunking a
+#: signature group does not change a single float (per-transform searches
+#: are independent of which other transforms share their lockstep rounds,
+#: see the stacked-inversion test-suite); it only bounds plan size so a
+#: process pool has enough units to balance.
+DEFAULT_PLAN_CHUNK = 32
+
+#: One model's parameters as a plain picklable mapping (PingTimeModel
+#: constructor keywords).
+ModelParams = Mapping[str, float]
+
+
+def model_params(model: "PingTimeModel") -> Dict[str, float]:
+    """The constructor keywords of a model, as a plain picklable dict.
+
+    ``PingTimeModel(**model_params(m))`` rebuilds a model equal to ``m``
+    — in any process — whose every derived float is bit-identical (the
+    component transforms are deterministic functions of the fields).
+    """
+    return {f.name: getattr(model, f.name) for f in fields(model)}
+
+
+@dataclass(frozen=True)
+class EvalPlan:
+    """A self-contained, picklable unit of RTT-quantile work.
+
+    A plan carries model *parameters* — never live
+    :class:`~repro.engine.Engine` / :class:`PingTimeModel` references —
+    so any executor (in-process, process pool, asyncio) can run it:
+    the worker rebuilds the models, which recompute their component
+    transforms deterministically, so the answers are bit-identical
+    wherever the plan executes.  All models of one plan share a factor
+    signature (plans are compiled per signature group, see
+    :func:`compile_eval_plans`), which lets the execution drive one
+    stacked lockstep search for the whole plan.
+
+    ``indices`` maps each model back to its position in the batch the
+    plan was compiled from.
+    """
+
+    probability: float
+    method: str
+    indices: Tuple[int, ...]
+    model_params: Tuple[Dict[str, float], ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def build_models(self) -> List["PingTimeModel"]:
+        """Reconstruct the plan's models (deterministic, bit-identical)."""
+        return [PingTimeModel(**params) for params in self.model_params]
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """The outcome of executing one :class:`EvalPlan`.
+
+    Carries its own evaluation counters — ``stacked_mgf_calls`` counts
+    the joint array evaluations spent *in the executing process*, which
+    the serving layer folds into its statistics (the module-global
+    :func:`stacked_eval_count` only sees in-process work) — plus the
+    worker PID so callers can tell remote executions apart.
+    """
+
+    indices: Tuple[int, ...]
+    values: Tuple[float, ...]
+    stacked_mgf_calls: int
+    evaluations: int
+    worker_pid: int
+
+
+def _signature_key(params: ModelParams) -> int:
+    """The stacking compatibility key of a parameter set, without
+    building the model.
+
+    The factor term counts are structural: the M/D/1 one-pole transform
+    always has 1 term, the D/E_K/1 burst transform K, the uniform
+    packet-position mixture K - 1 — so the full signature ``(1, K,
+    K-1)`` is a function of the Erlang order alone.  (Execution still
+    re-groups defensively through :meth:`QueueingMgfStack.group_indices`,
+    which reads the built transforms.)
+    """
+    return int(params["erlang_order"])
+
+
+def compile_eval_plans(
+    models: Sequence[Union["PingTimeModel", ModelParams]],
+    probability: float = DEFAULT_QUANTILE,
+    method: str = "inversion",
+    chunk_size: int = DEFAULT_PLAN_CHUNK,
+) -> List[EvalPlan]:
+    """Compile a batch of models into executable :class:`EvalPlan` units.
+
+    ``models`` may hold :class:`PingTimeModel` instances or plain
+    parameter mappings — compilation never builds a model or a
+    transform, so the planning phase stays cheap and the expensive work
+    (root finding, lockstep searches) lands in whatever process executes
+    the plan.  For the ``"inversion"`` method the batch is partitioned
+    into stack-compatible signature groups (first-appearance order) and
+    each group is cut into chunks of at most ``chunk_size`` models;
+    other methods are evaluated per model, so they are chunked in batch
+    order.  Executing the plans in any order, on any executor, yields
+    floats identical to ``model.rtt_quantile(probability, method=...)``
+    per model.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ParameterError("probability must lie in (0, 1)")
+    if method not in QUANTILE_METHODS:
+        raise ParameterError(
+            f"method must be one of {QUANTILE_METHODS}; got {method!r}"
+        )
+    if int(chunk_size) < 1:
+        raise ParameterError("chunk_size must be at least 1")
+    chunk_size = int(chunk_size)
+    params_list = [
+        model_params(m) if isinstance(m, PingTimeModel) else dict(m) for m in models
+    ]
+    groups: "Dict[object, List[int]]" = {}
+    if method == "inversion":
+        for index, params in enumerate(params_list):
+            groups.setdefault(_signature_key(params), []).append(index)
+    else:
+        groups[None] = list(range(len(params_list)))
+    plans: List[EvalPlan] = []
+    for indices in groups.values():
+        for start in range(0, len(indices), chunk_size):
+            chunk = indices[start : start + chunk_size]
+            plans.append(
+                EvalPlan(
+                    probability=float(probability),
+                    method=method,
+                    indices=tuple(chunk),
+                    model_params=tuple(params_list[i] for i in chunk),
+                )
+            )
+    return plans
+
+
+def execute_plan(
+    plan: EvalPlan, models: Optional[Sequence["PingTimeModel"]] = None
+) -> PlanResult:
+    """Execute one plan: the stateless kernel run by every executor.
+
+    Rebuilds the plan's models from their parameters and runs one
+    stacked lockstep search per factor-signature group (normally one —
+    plans are compiled per group; the re-grouping is defensive), or the
+    per-model fallback for methods without a batch formulation.  Callers
+    holding the originating live models may pass them via ``models`` to
+    skip the rebuild — an in-process optimisation only: rebuilt models
+    produce the very same floats, which is what makes the plan
+    executor-agnostic.
+    """
+    if models is None:
+        models = plan.build_models()
+    else:
+        models = list(models)
+        if len(models) != len(plan.indices):
+            raise ParameterError(
+                "models must match the plan's model count when provided"
+            )
+    values: List[Optional[float]] = [None] * len(models)
+    stacked_calls = 0
+    if plan.method == "inversion":
+        for indices in QueueingMgfStack.group_indices(models).values():
+            group = [models[i] for i in indices]
+            stack = QueueingMgfStack(group)
+            queueing = quantiles_from_mgfs(
+                [m.queueing_mgf for m in group],
+                plan.probability,
+                scale_hints=stack.scale_hints(),
+                atoms_at_zero=stack.atoms_at_zero(),
+                stack_eval=stack,
+            )
+            for index, model, value in zip(indices, group, queueing):
+                values[index] = model.deterministic_delay_s + value
+            stacked_calls += stack.array_calls
+    else:
+        values = [m.rtt_quantile(plan.probability, method=plan.method) for m in models]
+    return PlanResult(
+        indices=plan.indices,
+        values=tuple(float(v) for v in values),  # type: ignore[arg-type]
+        stacked_mgf_calls=stacked_calls,
+        evaluations=len(models),
+        worker_pid=os.getpid(),
+    )
+
+
 def batch_rtt_quantiles(
-    models, probability: float = DEFAULT_QUANTILE, method: str = "inversion"
+    models,
+    probability: float = DEFAULT_QUANTILE,
+    method: str = "inversion",
+    executor=None,
 ) -> list:
     """RTT quantiles of several models, batched across the whole stack.
 
-    For the default ``"inversion"`` method the models are partitioned
-    into stack-compatible groups (see
-    :meth:`QueueingMgfStack.group_indices`) and each group's quantile
-    searches run in lockstep through
-    :func:`~repro.core.inversion.quantiles_from_mgfs`: every round of
-    tail evaluations across *all* models of the group costs a single
-    stacked array evaluation, instead of one ``queueing_mgf`` array
-    call per model (which itself replaced one scalar call per abscissa
-    in the seed).  The returned floats are identical to
-    ``model.rtt_quantile(probability, method=method)`` per model — the
-    stacked rounds reproduce the per-model tail bits, so every search
-    follows its scalar trajectory; methods without a batch formulation
-    fall back to the per-model path.
+    A thin driver over the plan/execute layer: the batch is compiled
+    into stack-compatible :class:`EvalPlan` chunks (see
+    :func:`compile_eval_plans`) whose lockstep searches spend one
+    stacked array evaluation per round across every model of a chunk,
+    instead of one ``queueing_mgf`` array call per model (which itself
+    replaced one scalar call per abscissa in the seed).  ``executor``
+    accepts any :class:`repro.executors.Executor`; the default executes
+    the plans in-process against the live models (no rebuild).  The
+    returned floats are identical to ``model.rtt_quantile(probability,
+    method=method)`` per model — for every executor and worker count —
+    because the stacked rounds reproduce the per-model tail bits, so
+    every search follows its scalar trajectory; methods without a batch
+    formulation fall back to the per-model path inside the plans.
     """
     models = list(models)
-    if method != "inversion":
-        return [m.rtt_quantile(probability, method=method) for m in models]
-    results: list = [None] * len(models)
-    for indices in QueueingMgfStack.group_indices(models).values():
-        group = [models[i] for i in indices]
-        stack = QueueingMgfStack(group)
-        queueing = quantiles_from_mgfs(
-            [m.queueing_mgf for m in group],
-            probability,
-            scale_hints=stack.scale_hints(),
-            atoms_at_zero=stack.atoms_at_zero(),
-            stack_eval=stack,
-        )
-        for index, model, value in zip(indices, group, queueing):
-            results[index] = model.deterministic_delay_s + value
-    return results
+    if not models:
+        return []
+    plans = compile_eval_plans(models, probability, method=method)
+    if executor is None:
+        results = [
+            execute_plan(plan, models=[models[i] for i in plan.indices])
+            for plan in plans
+        ]
+    else:
+        results = executor.run(plans)
+    out: list = [None] * len(models)
+    for result in results:
+        for index, value in zip(result.indices, result.values):
+            out[index] = value
+    return out
 
 
 def batch_queueing_tails(

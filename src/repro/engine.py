@@ -26,6 +26,7 @@ rounded number of gamers — the only model parameter a load maps to.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -36,8 +37,8 @@ from .core.rtt import (
     DEFAULT_QUANTILE,
     QUANTILE_METHODS,
     PingTimeModel,
-    batch_rtt_quantiles,
-    stacked_eval_count,
+    compile_eval_plans,
+    execute_plan,
 )
 from .errors import ParameterError
 from .scenarios.base import Scenario
@@ -52,16 +53,21 @@ class EngineStats:
 
     model_builds: int = 0
     model_cache_hits: int = 0
+    #: Models dropped by the LRU model-entry budget (``max_models``).
+    model_evictions: int = 0
     quantile_evaluations: int = 0
     quantile_cache_hits: int = 0
     #: Joint array evaluations spent by the stacked batch inverter on
-    #: behalf of this engine (sweep / rtt_quantiles cache misses).
+    #: behalf of this engine (sweep / rtt_quantiles cache misses),
+    #: folded from the executed plans' own counters — so the number is
+    #: right even when the plans ran in worker processes.
     stacked_mgf_calls: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "model_builds": self.model_builds,
             "model_cache_hits": self.model_cache_hits,
+            "model_evictions": self.model_evictions,
             "quantile_evaluations": self.quantile_evaluations,
             "quantile_cache_hits": self.quantile_cache_hits,
             "stacked_mgf_calls": self.stacked_mgf_calls,
@@ -81,6 +87,20 @@ class Engine:
     method:
         Default quantile evaluation method (see
         :data:`~repro.core.rtt.QUANTILE_METHODS`).
+    max_models:
+        Optional entry budget of the memoized model cache (default:
+        unbounded, the historical behavior).  A huge per-scenario grid
+        can otherwise pin one transform set per distinct operating
+        point for the engine's lifetime; beyond the budget the
+        least-recently-used model is dropped
+        (``stats.model_evictions``).  Eviction never touches the
+        quantile cache, and a re-built model produces bit-identical
+        floats, so answers are unaffected.
+    executor:
+        Optional :class:`repro.executors.Executor` used to run the
+        batched cache misses of :meth:`sweep` / :meth:`rtt_quantiles`.
+        The default executes the compiled plans in-process against the
+        live memoized models; any executor returns the same floats.
     """
 
     def __init__(
@@ -89,6 +109,8 @@ class Engine:
         *,
         probability: float = DEFAULT_QUANTILE,
         method: str = "inversion",
+        max_models: Optional[int] = None,
+        executor=None,
     ) -> None:
         if isinstance(scenario, Mapping):
             scenario = Scenario.from_dict(scenario)
@@ -102,11 +124,15 @@ class Engine:
             raise ParameterError(
                 f"method must be one of {QUANTILE_METHODS}; got {method!r}"
             )
+        if max_models is not None and int(max_models) < 1:
+            raise ParameterError("max_models must be at least 1 (or None)")
         self.scenario = scenario
         self.probability = float(probability)
         self.method = method
+        self.max_models = None if max_models is None else int(max_models)
+        self.executor = executor
         self.stats = EngineStats()
-        self._models: Dict[float, PingTimeModel] = {}
+        self._models: "OrderedDict[float, PingTimeModel]" = OrderedDict()
         self._quantiles: Dict[Tuple[float, float, str], float] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -132,14 +158,24 @@ class Engine:
     # Models
     # ------------------------------------------------------------------
     def model_for_gamers(self, num_gamers: float) -> PingTimeModel:
-        """The (memoized) RTT model for an explicit number of gamers."""
+        """The (memoized) RTT model for an explicit number of gamers.
+
+        Hits refresh the entry's LRU position; when ``max_models`` is
+        set, inserting beyond the budget drops the least-recently-used
+        model (a later request simply rebuilds it, bit-identically).
+        """
         key = self._gamers_key(num_gamers)
         model = self._models.get(key)
         if model is None:
             model = self.scenario.model_for_gamers(num_gamers)
             self._models[key] = model
             self.stats.model_builds += 1
+            if self.max_models is not None:
+                while len(self._models) > self.max_models:
+                    self._models.popitem(last=False)
+                    self.stats.model_evictions += 1
         else:
+            self._models.move_to_end(key)
             self.stats.model_cache_hits += 1
         return model
 
@@ -225,7 +261,10 @@ class Engine:
         """Batch-resolve RTT quantiles for already-built models.
 
         Duplicate and previously-seen operating points are cache hits;
-        the remaining points are evaluated in one batch.
+        the remaining points are compiled into :class:`EvalPlan` units
+        and executed through the shared plan layer — in-process against
+        the live models by default, or on ``self.executor`` (e.g. a
+        process pool) with bit-identical floats.
         """
         ordered = []
         missing: Dict[Tuple[float, float, str], PingTimeModel] = {}
@@ -237,11 +276,20 @@ class Engine:
             else:
                 missing[key] = model
         if missing:
-            stacked_before = stacked_eval_count()
-            values = batch_rtt_quantiles(
-                list(missing.values()), probability, method=method
-            )
-            self.stats.stacked_mgf_calls += stacked_eval_count() - stacked_before
+            missing_models = list(missing.values())
+            plans = compile_eval_plans(missing_models, probability, method=method)
+            if self.executor is None:
+                results = [
+                    execute_plan(plan, models=[missing_models[i] for i in plan.indices])
+                    for plan in plans
+                ]
+            else:
+                results = self.executor.run(plans)
+            values: list = [None] * len(missing_models)
+            for result in results:
+                self.stats.stacked_mgf_calls += result.stacked_mgf_calls
+                for index, value in zip(result.indices, result.values):
+                    values[index] = value
             for key, value in zip(missing, values):
                 self._quantiles[key] = value
                 self.stats.quantile_evaluations += 1

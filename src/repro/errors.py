@@ -12,6 +12,7 @@ __all__ = [
     "ReproError",
     "ParameterError",
     "StabilityError",
+    "CacheFormatError",
     "FittingError",
     "TraceFormatError",
     "ConvergenceError",
@@ -37,6 +38,29 @@ class StabilityError(ReproError, ValueError):
                 f"queueing system is unstable: offered load {self.load:.4f} "
                 "is not strictly below 1"
             )
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Exception pickling replays cls(*args); args holds only the
+        # message, whose float() would fail in __init__.  Evaluation
+        # plans cross process boundaries, so keep the error picklable.
+        return (type(self), (self.load, self.args[0] if self.args else None))
+
+
+class CacheFormatError(ParameterError):
+    """A persisted fleet cache file is malformed or inconsistent.
+
+    Raised by :meth:`repro.fleet.Fleet.warm_start` instead of the bare
+    ``json``/``KeyError`` tracebacks a corrupted file used to produce.
+    ``path`` names the offending file and ``key`` the offending entry
+    field or scenario key, when one can be singled out.
+    """
+
+    def __init__(
+        self, message: str, *, path: str | None = None, key: str | None = None
+    ) -> None:
+        self.path = path
+        self.key = key
         super().__init__(message)
 
 

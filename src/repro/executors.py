@@ -1,0 +1,177 @@
+"""Executors that run compiled :class:`~repro.core.rtt.EvalPlan` units.
+
+The serving path is split into three phases — **plan** (compile a
+request batch into picklable, self-contained work units, see
+:func:`repro.core.rtt.compile_eval_plans`), **execute** (this module)
+and **assemble** (merge the partial results back into the caller's
+caches and statistics).  The execute phase is deliberately dumb: an
+executor receives a sequence of plans and returns one
+:class:`~repro.core.rtt.PlanResult` per plan, in order.  Because a plan
+carries only model parameters and the evaluation kernels are stateless,
+*where* a plan runs cannot change a single float:
+
+* :class:`SerialExecutor` runs the plans in-process, in order — the
+  reference implementation and the zero-dependency default;
+* :class:`ParallelExecutor` fans the plans out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`; the stacked groups
+  behind the plans are embarrassingly parallel, so a cold multi-scenario
+  stream scales with the worker count (see
+  ``benchmarks/bench_parallel.py``) while returning answers
+  bit-identical to the serial path.
+
+Both executors also expose :meth:`Executor.run_async` for asyncio
+callers (used by :class:`repro.fleet.AsyncFleet`): the serial executor
+offloads to the event loop's default thread pool, the parallel executor
+wraps its process-pool futures directly, so the event loop stays free
+while plans execute.
+
+Example::
+
+    from repro import Fleet, ParallelExecutor, Request
+
+    fleet = Fleet()
+    with ParallelExecutor(workers=4) as executor:
+        answers = fleet.serve(requests, executor=executor)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .core.rtt import EvalPlan, PlanResult, execute_plan
+from .errors import ParameterError
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor"]
+
+
+class Executor:
+    """Interface shared by every plan executor.
+
+    Subclasses implement :meth:`run`; :meth:`run_async` has a default
+    thread-offload implementation so any executor is usable from
+    asyncio.  Executors are context managers — :meth:`close` releases
+    whatever workers they hold (a no-op for in-process executors).
+    """
+
+    #: Nominal degree of parallelism (1 for in-process executors).
+    workers: int = 1
+
+    def run(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
+        """Execute the plans, returning one result per plan, in order."""
+        raise NotImplementedError
+
+    async def run_async(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
+        """Asyncio variant of :meth:`run` (default: a worker thread).
+
+        The default implementation offloads the whole :meth:`run` call
+        to the event loop's default thread-pool executor, so the loop
+        keeps serving other coroutines while the plans execute.
+        """
+        plans = list(plans)
+        if not plans:
+            return []
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.run, plans)
+
+    def close(self) -> None:
+        """Release the executor's workers (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Runs every plan in-process, in order (the reference executor)."""
+
+    workers = 1
+
+    def run(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
+        return [execute_plan(plan) for plan in plans]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Fans plans out over a process pool; floats identical to serial.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (default: the machine's CPU count).
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name (``"fork"``,
+        ``"spawn"``, ``"forkserver"``) or context object, forwarded to
+        :class:`concurrent.futures.ProcessPoolExecutor`.  The platform
+        default is used when omitted.
+
+    The pool is created lazily on the first :meth:`run` /
+    :meth:`run_async` call and persists across calls (a long-running
+    service pays the spawn cost once); :meth:`close` shuts it down.
+    Because every plan is self-contained and every result carries its
+    own counters, the answers — and the folded statistics — are
+    bit-identical to :class:`SerialExecutor` for any worker count.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        mp_context: Union[str, multiprocessing.context.BaseContext, None] = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if int(workers) < 1:
+            raise ParameterError("workers must be at least 1")
+        self.workers = int(workers)
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self._mp_context = mp_context
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self._pool is None else "running"
+        return f"ParallelExecutor(workers={self.workers}, pool={state})"
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._mp_context
+            )
+        return self._pool
+
+    def _submit(
+        self, plans: Sequence[EvalPlan]
+    ) -> List["concurrent.futures.Future[PlanResult]"]:
+        pool = self._ensure_pool()
+        return [pool.submit(execute_plan, plan) for plan in plans]
+
+    def run(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
+        plans = list(plans)
+        if not plans:
+            return []
+        return [future.result() for future in self._submit(plans)]
+
+    async def run_async(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
+        plans = list(plans)
+        if not plans:
+            return []
+        futures = self._submit(plans)
+        return list(
+            await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    #: Context-manager alias kept explicit for symmetry with the docs.
+    shutdown = close

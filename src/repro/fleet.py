@@ -21,16 +21,31 @@ preset catalogue).  :class:`Fleet` is the entry point for that workload:
   multi-scenario batch costs one joint array evaluation per search
   round instead of one per model — with floats identical to per-point
   :meth:`Engine.rtt_quantile` answers;
+* serving is split into three explicit phases — **plan** (compile the
+  batch's cache misses into picklable, self-contained
+  :class:`~repro.core.rtt.EvalPlan` units, one chunk per
+  factor-signature group), **execute** (run the plans on any
+  :class:`~repro.executors.Executor` — in-process by default, or a
+  :class:`~repro.executors.ParallelExecutor` process pool via
+  ``serve(..., executor=...)``) and **assemble** (merge the partial
+  results back through the shared cache, folding each plan's own
+  counters into :class:`FleetStats`) — with floats bit-identical for
+  every executor and worker count;
 * the cache has a configurable entry budget; insertions beyond it evict
   the least-recently-used answers, and every cache event is surfaced in
   :class:`FleetStats`;
 * :meth:`Fleet.save_cache` / :meth:`Fleet.warm_start` persist and
   restore the answer cache as JSON keyed by ``Scenario.cache_key()``,
-  so repeated CLI/CI runs start warm (floats round-trip exactly).
+  so repeated CLI/CI runs start warm (floats round-trip exactly);
+  corrupted or mismatched cache files raise the typed
+  :class:`~repro.errors.CacheFormatError` naming the offending key;
+* :class:`AsyncFleet` wraps the same pipeline for long-running asyncio
+  services: ``await fleet.serve_async(...)`` keeps the event loop free
+  while the plans execute on a thread or process pool.
 
 Example::
 
-    from repro import Fleet, Request
+    from repro import Fleet, ParallelExecutor, Request
 
     fleet = Fleet(max_cache_entries=10_000)
     answers = fleet.serve([
@@ -39,29 +54,35 @@ Example::
         Request("lte", num_gamers=120.0, probability=0.9999),
     ])
     answers[0].rtt_quantile_ms
+    with ParallelExecutor(workers=4) as executor:   # same floats, N cores
+        fleet.serve(more_requests, executor=executor)
     fleet.stats.as_dict()
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import os
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .core.rtt import (
     DEFAULT_QUANTILE,
     QUANTILE_METHODS,
-    batch_rtt_quantiles,
-    stacked_eval_count,
+    EvalPlan,
+    PlanResult,
+    compile_eval_plans,
+    execute_plan,
 )
 from .engine import Engine
-from .errors import ParameterError
+from .errors import CacheFormatError, ParameterError, ReproError, StabilityError
 from .scenarios.base import Scenario
 from .scenarios.registry import scenario_from_spec
 
-__all__ = ["Request", "Answer", "FleetStats", "Fleet"]
+__all__ = ["Request", "Answer", "FleetStats", "Fleet", "AsyncFleet"]
 
 #: Any of: a preset name / JSON file path, a Scenario, or a parameter mapping.
 ScenarioSpec = Union[str, Scenario, Mapping[str, Any]]
@@ -191,7 +212,13 @@ class Answer:
 
 @dataclass
 class FleetStats:
-    """Cache and evaluation bookkeeping of one :class:`Fleet`."""
+    """Cache and evaluation bookkeeping of one :class:`Fleet`.
+
+    ``evaluations`` and ``stacked_mgf_calls`` are folded from the
+    executed plans' own :class:`~repro.core.rtt.PlanResult` counters, so
+    they are exact whether the plans ran in-process or on a process
+    pool; ``plans_executed`` / ``remote_plans`` tell the two apart.
+    """
 
     requests: int = 0
     batches: int = 0
@@ -200,6 +227,10 @@ class FleetStats:
     evictions: int = 0
     evaluations: int = 0
     stacked_mgf_calls: int = 0
+    #: Evaluation plans executed on behalf of this fleet, and how many
+    #: of them ran outside the serving process (a worker pool).
+    plans_executed: int = 0
+    remote_plans: int = 0
     engines_built: int = 0
     engines_evicted: int = 0
     warm_loaded: int = 0
@@ -213,6 +244,8 @@ class FleetStats:
             "evictions": self.evictions,
             "evaluations": self.evaluations,
             "stacked_mgf_calls": self.stacked_mgf_calls,
+            "plans_executed": self.plans_executed,
+            "remote_plans": self.remote_plans,
             "engines_built": self.engines_built,
             "engines_evicted": self.engines_evicted,
             "warm_loaded": self.warm_loaded,
@@ -231,6 +264,23 @@ _CacheKey = Tuple[str, float, float, str]
 #: Magic header of the persisted cache files.
 _CACHE_FORMAT = "repro-fleet-cache"
 _CACHE_VERSION = 1
+
+
+@dataclass
+class _BatchPlan:
+    """The planned form of one request batch (phase-1 output).
+
+    ``values`` arrives pre-filled with the cache hits; ``eval_plans``
+    holds the compiled work units for the distinct misses and
+    ``plan_keys`` maps each plan's positions back to the cache keys the
+    assembly phase stores the results under.
+    """
+
+    resolved: List[Tuple[Request, Scenario, float, _CacheKey]]
+    cached_flags: List[bool]
+    values: Dict[_CacheKey, float]
+    eval_plans: List[EvalPlan]
+    plan_keys: List[List[_CacheKey]]
 
 
 class Fleet:
@@ -357,18 +407,41 @@ class Fleet:
             self.stats.evictions += 1
 
     # ------------------------------------------------------------------
-    # Serving
+    # Serving: plan -> execute -> assemble
     # ------------------------------------------------------------------
-    def serve(self, requests: Iterable[Union[Request, Mapping[str, Any]]]) -> List[Answer]:
+    def serve(
+        self,
+        requests: Iterable[Union[Request, Mapping[str, Any]]],
+        *,
+        executor=None,
+    ) -> List[Answer]:
         """Answer a batch of requests in one pass, in request order.
 
-        Requests are resolved and sharded by scenario key, probed
-        against the shared cache, and the distinct misses of each
-        (probability, method) group are evaluated together through the
-        stacked cross-model inverter.  Duplicate operating points within
-        the batch are evaluated once; every answer carries ``cached``
-        telling whether it was served without any evaluation.
+        A thin driver over the three serving phases: the batch is
+        **planned** (requests resolved, sharded by scenario key, probed
+        against the shared cache; the distinct misses of each
+        (probability, method) group compiled into picklable
+        :class:`~repro.core.rtt.EvalPlan` units, one chunk per
+        factor-signature group), the plans are **executed** — in-process
+        when ``executor`` is omitted, or on any
+        :class:`~repro.executors.Executor` such as a
+        :class:`~repro.executors.ParallelExecutor` process pool — and
+        the partial results are **assembled** back through the shared
+        cache with each plan's counters folded into :attr:`stats`.
+        Duplicate operating points within the batch are evaluated once;
+        every answer carries ``cached`` telling whether it was served
+        without any evaluation.  The floats are bit-identical for every
+        executor and worker count (and to per-point
+        :meth:`Engine.rtt_quantile` answers).
         """
+        batch_plan = self._plan_batch(requests)
+        results = self._execute_plans(batch_plan.eval_plans, executor)
+        return self._assemble(batch_plan, results)
+
+    def _plan_batch(
+        self, requests: Iterable[Union[Request, Mapping[str, Any]]]
+    ) -> "_BatchPlan":
+        """Phase 1: resolve, probe the cache and compile the miss plans."""
         batch = [
             r if isinstance(r, Request) else Request.from_dict(r) for r in requests
         ]
@@ -379,7 +452,7 @@ class Fleet:
         for request in batch:
             scenario = self.resolve_scenario(request.scenario)
             scenario_key = scenario.cache_key()
-            engine = self._engine_for(scenario, scenario_key)
+            self._engine_for(scenario, scenario_key)
             if request.num_gamers is not None:
                 num_gamers = float(request.num_gamers)
             else:
@@ -399,13 +472,13 @@ class Fleet:
                 probability,
                 method,
             )
-            resolved.append((request, scenario, engine, num_gamers, key))
+            resolved.append((request, scenario, num_gamers, key))
 
         # Probe the cache; collect the distinct misses.
         values: Dict[_CacheKey, float] = {}
         cached_flags: List[bool] = []
-        misses: "OrderedDict[_CacheKey, Tuple[Engine, float]]" = OrderedDict()
-        for request, scenario, engine, num_gamers, key in resolved:
+        misses: "OrderedDict[_CacheKey, Tuple[Scenario, float]]" = OrderedDict()
+        for request, scenario, num_gamers, key in resolved:
             if key in self._cache:
                 self._cache.move_to_end(key)
                 values[key] = self._cache[key]
@@ -415,26 +488,71 @@ class Fleet:
                 self.stats.cache_misses += 1
                 cached_flags.append(False)
                 if key not in misses:
-                    misses[key] = (engine, num_gamers)
+                    misses[key] = (scenario, num_gamers)
 
-        # Evaluate the misses, grouped by (probability, method) so each
-        # group runs one stacked multi-scenario inversion.
+        # Validate stability in the planning phase (the model rebuilt by
+        # the executing worker re-checks, but the error belongs here).
+        for scenario, num_gamers in misses.values():
+            downlink_load = scenario.load_for_gamers(num_gamers)
+            if downlink_load >= 1.0:
+                raise StabilityError(
+                    downlink_load, "downlink load on the aggregation link >= 1"
+                )
+            uplink_load = scenario.uplink_load_for(downlink_load)
+            if uplink_load >= 1.0:
+                raise StabilityError(
+                    uplink_load, "uplink load on the aggregation link >= 1"
+                )
+
+        # Compile the misses of each (probability, method) group into
+        # self-contained plans: parameters only, no live models.
         groups: "OrderedDict[Tuple[float, str], List[_CacheKey]]" = OrderedDict()
         for key in misses:
             groups.setdefault((key[2], key[3]), []).append(key)
-        stacked_before = stacked_eval_count()
+        eval_plans: List[EvalPlan] = []
+        plan_keys: List[List[_CacheKey]] = []
         for (probability, method), keys in groups.items():
-            models = [misses[key][0].model_for_gamers(misses[key][1]) for key in keys]
-            quantiles = batch_rtt_quantiles(models, probability, method=method)
-            for key, value in zip(keys, quantiles):
+            params = [
+                {**misses[key][0].model_kwargs(), "num_gamers": misses[key][1]}
+                for key in keys
+            ]
+            for plan in compile_eval_plans(params, probability, method=method):
+                eval_plans.append(plan)
+                plan_keys.append([keys[i] for i in plan.indices])
+        return _BatchPlan(
+            resolved=resolved,
+            cached_flags=cached_flags,
+            values=values,
+            eval_plans=eval_plans,
+            plan_keys=plan_keys,
+        )
+
+    @staticmethod
+    def _execute_plans(plans: Sequence[EvalPlan], executor=None) -> List[PlanResult]:
+        """Phase 2: run the compiled plans (in-process without an executor)."""
+        if executor is None:
+            return [execute_plan(plan) for plan in plans]
+        return executor.run(plans)
+
+    def _assemble(
+        self, batch_plan: "_BatchPlan", results: Sequence[PlanResult]
+    ) -> List[Answer]:
+        """Phase 3: merge the plan results back through the shared cache."""
+        values = batch_plan.values
+        own_pid = os.getpid()
+        for keys, result in zip(batch_plan.plan_keys, results):
+            self.stats.plans_executed += 1
+            if result.worker_pid != own_pid:
+                self.stats.remote_plans += 1
+            self.stats.evaluations += result.evaluations
+            self.stats.stacked_mgf_calls += result.stacked_mgf_calls
+            for key, value in zip(keys, result.values):
                 values[key] = float(value)
                 self._store(key, float(value))
-                self.stats.evaluations += 1
-        self.stats.stacked_mgf_calls += stacked_eval_count() - stacked_before
 
         answers = []
-        for (request, scenario, engine, num_gamers, key), cached in zip(
-            resolved, cached_flags
+        for (request, scenario, num_gamers, key), cached in zip(
+            batch_plan.resolved, batch_plan.cached_flags
         ):
             downlink_load = scenario.load_for_gamers(num_gamers)
             answers.append(
@@ -520,34 +638,209 @@ class Fleet:
         file remains valid even if the key derivation changes between
         versions.  Returns the number of entries loaded; loading more
         than ``max_cache_entries`` keeps the most recently used ones.
+
+        Corrupted or mismatched files — invalid JSON, a foreign format,
+        malformed scenario parameters, entries with missing or
+        non-numeric fields, unknown quantile methods or dangling
+        scenario references — raise
+        :class:`~repro.errors.CacheFormatError` naming the offending
+        key, instead of the bare ``json``/``KeyError`` tracebacks such
+        files used to produce.  Entries stored before the failing one
+        are kept (the cache stays usable).
         """
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        path_str = str(path)
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise CacheFormatError(
+                f"{path_str} is not valid JSON: {exc}", path=path_str
+            ) from exc
         if not isinstance(data, dict) or data.get("format") != _CACHE_FORMAT:
-            raise ParameterError(f"{path!s} is not a fleet cache file")
+            raise CacheFormatError(
+                f"{path_str} is not a fleet cache file", path=path_str
+            )
         if data.get("version") != _CACHE_VERSION:
-            raise ParameterError(
-                f"unsupported fleet cache version {data.get('version')!r}"
+            raise CacheFormatError(
+                f"unsupported fleet cache version {data.get('version')!r}",
+                path=path_str,
+                key="version",
+            )
+        scenarios = data.get("scenarios", {})
+        entries = data.get("entries", [])
+        if not isinstance(scenarios, dict):
+            raise CacheFormatError(
+                "the 'scenarios' section must be a JSON object",
+                path=path_str,
+                key="scenarios",
+            )
+        if not isinstance(entries, list):
+            raise CacheFormatError(
+                "the 'entries' section must be a JSON array",
+                path=path_str,
+                key="entries",
             )
         keys: Dict[str, str] = {}
-        for stored_key, parameters in data.get("scenarios", {}).items():
-            scenario = Scenario.from_dict(parameters)
-            key = scenario.cache_key()
-            keys[stored_key] = key
-            self._scenarios[key] = scenario
+        restored: Dict[str, Scenario] = {}
+        for stored_key, parameters in scenarios.items():
+            try:
+                scenario = Scenario.from_dict(parameters)
+            except (ReproError, TypeError, ValueError) as exc:
+                raise CacheFormatError(
+                    f"cache scenario {stored_key!r} is malformed: {exc}",
+                    path=path_str,
+                    key=str(stored_key),
+                ) from exc
+            keys[stored_key] = scenario.cache_key()
+            restored[stored_key] = scenario
+        for stored_key, scenario in restored.items():
+            self._scenarios[keys[stored_key]] = scenario
         loaded = 0
-        for entry in data.get("entries", []):
-            stored_key = entry["scenario"]
-            if stored_key not in keys:
-                raise ParameterError(
-                    f"cache entry references unknown scenario {stored_key!r}"
+        for number, entry in enumerate(entries):
+            if not isinstance(entry, Mapping):
+                raise CacheFormatError(
+                    f"cache entry {number} is not a JSON object",
+                    path=path_str,
+                    key=str(number),
                 )
-            key: _CacheKey = (
-                keys[stored_key],
-                float(entry["num_gamers"]),
-                float(entry["probability"]),
-                str(entry["method"]),
-            )
-            self._store(key, float(entry["rtt_quantile_s"]))
+            try:
+                stored_key = entry["scenario"]
+                num_gamers = float(entry["num_gamers"])
+                probability = float(entry["probability"])
+                method = str(entry["method"])
+                value = float(entry["rtt_quantile_s"])
+            except KeyError as exc:
+                raise CacheFormatError(
+                    f"cache entry {number} is missing field {exc.args[0]!r}",
+                    path=path_str,
+                    key=str(exc.args[0]),
+                ) from exc
+            except (TypeError, ValueError) as exc:
+                raise CacheFormatError(
+                    f"cache entry {number} holds a non-numeric value: {exc}",
+                    path=path_str,
+                    key=str(number),
+                ) from exc
+            if not isinstance(stored_key, str):
+                raise CacheFormatError(
+                    f"cache entry {number} has a non-string scenario reference",
+                    path=path_str,
+                    key=str(number),
+                )
+            if stored_key not in keys:
+                raise CacheFormatError(
+                    f"cache entry references unknown scenario {stored_key!r}",
+                    path=path_str,
+                    key=str(stored_key),
+                )
+            if method not in QUANTILE_METHODS:
+                raise CacheFormatError(
+                    f"cache entry {number} names unknown method {method!r}",
+                    path=path_str,
+                    key=method,
+                )
+            key: _CacheKey = (keys[stored_key], num_gamers, probability, method)
+            self._store(key, value)
             loaded += 1
         self.stats.warm_loaded += loaded
         return loaded
+
+
+class AsyncFleet:
+    """Asyncio facade over a :class:`Fleet` for long-running services.
+
+    The synchronous phases — planning and assembly — are cheap cache
+    and dictionary work and run inline on the event loop (each is
+    atomic: no ``await`` interleaves inside them); the expensive
+    execute phase is awaited on an executor, so the loop keeps serving
+    other coroutines while the plans run.  Without an executor the
+    plans execute on the loop's default thread pool; pass a
+    :class:`~repro.executors.ParallelExecutor` to fan them out over
+    worker processes.  Answers are bit-identical to :meth:`Fleet.serve`
+    whatever the executor.
+
+    Concurrent ``serve_async`` calls are safe: overlapping batches that
+    miss the same operating point may evaluate it more than once, but
+    every evaluation produces the same float, so whichever result is
+    assembled last wins with no observable difference.
+
+    Example::
+
+        fleet = AsyncFleet(max_cache_entries=10_000)
+        with ParallelExecutor(workers=4) as executor:
+            answers = await fleet.serve_async(requests, executor=executor)
+    """
+
+    def __init__(
+        self,
+        fleet: Optional[Fleet] = None,
+        *,
+        executor=None,
+        **fleet_kwargs: Any,
+    ) -> None:
+        if fleet is not None and fleet_kwargs:
+            raise ParameterError(
+                "pass either an existing Fleet or Fleet keyword arguments, not both"
+            )
+        self.fleet = fleet if fleet is not None else Fleet(**fleet_kwargs)
+        self.executor = executor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AsyncFleet({self.fleet!r}, executor={self.executor!r})"
+
+    @property
+    def stats(self) -> FleetStats:
+        return self.fleet.stats
+
+    async def serve_async(
+        self,
+        requests: Iterable[Union[Request, Mapping[str, Any]]],
+        *,
+        executor=None,
+    ) -> List[Answer]:
+        """Asynchronous :meth:`Fleet.serve`: plan inline, await execute."""
+        executor = self.executor if executor is None else executor
+        batch_plan = self.fleet._plan_batch(requests)
+        if not batch_plan.eval_plans:
+            results: List[PlanResult] = []
+        elif executor is None:
+            loop = asyncio.get_running_loop()
+            results = await loop.run_in_executor(
+                None, Fleet._execute_plans, batch_plan.eval_plans
+            )
+        else:
+            results = await executor.run_async(batch_plan.eval_plans)
+        return self.fleet._assemble(batch_plan, results)
+
+    async def request_async(
+        self,
+        scenario: ScenarioSpec,
+        *,
+        downlink_load: Optional[float] = None,
+        num_gamers: Optional[float] = None,
+        probability: Optional[float] = None,
+        method: Optional[str] = None,
+        tag: Optional[str] = None,
+    ) -> Answer:
+        """Serve one request (convenience wrapper over :meth:`serve_async`)."""
+        answers = await self.serve_async(
+            [
+                Request(
+                    scenario,
+                    downlink_load=downlink_load,
+                    num_gamers=num_gamers,
+                    probability=probability,
+                    method=method,
+                    tag=tag,
+                )
+            ]
+        )
+        return answers[0]
+
+    # Synchronous passthroughs (cache persistence is fast file I/O).
+    def save_cache(self, path: Union[str, Path]) -> int:
+        """See :meth:`Fleet.save_cache`."""
+        return self.fleet.save_cache(path)
+
+    def warm_start(self, path: Union[str, Path]) -> int:
+        """See :meth:`Fleet.warm_start`."""
+        return self.fleet.warm_start(path)

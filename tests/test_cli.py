@@ -265,6 +265,34 @@ class TestFleetCommand:
         assert main(["batch", "--requests", str(requests)]) == 0
         assert json.loads(capsys.readouterr().out.strip())["cached"] is False
 
+    def test_workers_flag_returns_identical_answers(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(
+            requests,
+            [
+                {"scenario": "ftth", "load": 0.4},
+                {"scenario": "cloud-gaming", "load": 0.5},
+            ],
+        )
+        assert main(["fleet", "--requests", str(requests)]) == 0
+        serial = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert main(["fleet", "--requests", str(requests), "--workers", "2"]) == 0
+        parallel = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert [a["rtt_quantile_s"] for a in parallel] == [
+            a["rtt_quantile_s"] for a in serial
+        ]
+
+    def test_workers_flag_rejects_non_positive(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(requests, [{"scenario": "ftth", "load": 0.4}])
+        exit_code = main(["fleet", "--requests", str(requests), "--workers", "0"])
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
     def test_missing_request_file_clean_error(self, capsys):
         exit_code = main(["fleet", "--requests", "/nonexistent/requests.jsonl"])
         assert exit_code == 2

@@ -242,3 +242,66 @@ class TestSimulation:
         engine = Engine(TICK40.derive(server_processing_s=0.010))
         with pytest.raises(ParameterError, match="server_processing_s"):
             engine.make_simulation(num_clients=8)
+
+
+class TestModelCacheBudget:
+    def test_unbounded_by_default(self):
+        engine = Engine(TICK40)
+        for load in (0.2, 0.3, 0.4, 0.5, 0.6):
+            engine.model_at_load(load)
+        assert len(engine._models) == 5
+        assert engine.stats.model_evictions == 0
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ParameterError):
+            Engine(TICK40, max_models=0)
+
+    def test_lru_eviction_counts_and_budget_holds(self):
+        engine = Engine(TICK40, max_models=2)
+        engine.model_at_load(0.2)
+        engine.model_at_load(0.3)
+        engine.model_at_load(0.4)  # evicts the 0.2 model
+        assert len(engine._models) == 2
+        assert engine.stats.model_evictions == 1
+        assert engine.stats.as_dict()["model_evictions"] == 1
+
+    def test_hits_refresh_lru_order(self):
+        engine = Engine(TICK40, max_models=2)
+        engine.model_at_load(0.2)
+        engine.model_at_load(0.3)
+        engine.model_at_load(0.2)  # touch: 0.3 is now least recent
+        engine.model_at_load(0.4)  # evicts 0.3, not 0.2
+        kept = set(engine._models)
+        assert Engine._gamers_key(TICK40.gamers_at_load(0.2)) in kept
+        assert Engine._gamers_key(TICK40.gamers_at_load(0.3)) not in kept
+
+    def test_evicted_model_recomputes_bit_identical(self):
+        unbounded = Engine(TICK40)
+        reference = unbounded.rtt_quantile(0.2)
+        engine = Engine(TICK40, max_models=1)
+        first = engine.rtt_quantile(0.2)
+        engine.model_at_load(0.5)  # evicts the 0.2 model
+        engine._quantiles.clear()  # force re-evaluation through a rebuilt model
+        again = engine.rtt_quantile(0.2)
+        assert first == reference
+        assert again == reference
+        assert engine.stats.model_evictions >= 1
+
+    def test_quantile_cache_survives_model_eviction(self):
+        engine = Engine(TICK40, max_models=1)
+        value = engine.rtt_quantile(0.2)
+        engine.model_at_load(0.5)  # evicts the model behind the answer
+        assert engine.rtt_quantile(0.2) == value
+        assert engine.stats.quantile_cache_hits >= 1
+
+    def test_sweep_respects_budget(self):
+        engine = Engine(TICK40, max_models=3)
+        series = engine.sweep([0.2, 0.3, 0.4, 0.5, 0.6])
+        assert len(series.points) == 5
+        assert len(engine._models) == 3
+        assert engine.stats.model_evictions == 2
+        # The answers match the unbounded engine bit for bit.
+        unbounded = Engine(TICK40).sweep([0.2, 0.3, 0.4, 0.5, 0.6])
+        assert [p.rtt_quantile_s for p in series.points] == [
+            p.rtt_quantile_s for p in unbounded.points
+        ]

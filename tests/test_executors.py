@@ -1,0 +1,312 @@
+"""Tests for the plan/execute layer and the executors that run it.
+
+The contract under test: an :class:`EvalPlan` is picklable and
+self-contained (no live ``Engine``/``PingTimeModel`` references), and
+executing it — in-process, on a rebuilt model set, or in a worker
+process — produces floats bit-identical to per-model
+``rtt_quantile`` calls.
+"""
+
+import asyncio
+import os
+import pickle
+
+import pytest
+
+from repro.core.rtt import (
+    DEFAULT_PLAN_CHUNK,
+    EvalPlan,
+    PingTimeModel,
+    batch_rtt_quantiles,
+    compile_eval_plans,
+    execute_plan,
+    model_params,
+)
+from repro.engine import Engine
+from repro.errors import ParameterError
+from repro.executors import Executor, ParallelExecutor, SerialExecutor
+from repro.fleet import AsyncFleet, Fleet, Request
+from repro.scenarios import get_scenario
+
+PROBABILITY = 0.99999
+
+
+def _models(loads=(0.3, 0.6), presets=("paper-dsl", "ftth")):
+    return [get_scenario(p).model_at_load(l) for p in presets for l in loads]
+
+
+class TestCompileEvalPlans:
+    def test_plans_cover_every_model_exactly_once(self):
+        models = _models()
+        plans = compile_eval_plans(models, PROBABILITY)
+        covered = sorted(i for plan in plans for i in plan.indices)
+        assert covered == list(range(len(models)))
+
+    def test_groups_by_erlang_order(self):
+        models = [
+            get_scenario("paper-dsl").derive(erlang_order=order).model_at_load(0.4)
+            for order in (2, 9, 2, 9)
+        ]
+        plans = compile_eval_plans(models, PROBABILITY)
+        assert len(plans) == 2
+        orders = {
+            plan.model_params[0]["erlang_order"]: set(plan.indices) for plan in plans
+        }
+        assert orders == {2: {0, 2}, 9: {1, 3}}
+
+    def test_chunking_respects_chunk_size(self):
+        models = [get_scenario("paper-dsl").model_at_load(0.1 + 0.02 * i) for i in range(7)]
+        plans = compile_eval_plans(models, PROBABILITY, chunk_size=3)
+        assert [len(plan) for plan in plans] == [3, 3, 1]
+        assert all(len(p) <= DEFAULT_PLAN_CHUNK for p in compile_eval_plans(models, PROBABILITY))
+
+    def test_accepts_parameter_mappings(self):
+        model = get_scenario("cable").model_at_load(0.5)
+        [plan] = compile_eval_plans([model_params(model)], PROBABILITY)
+        assert plan.build_models()[0] == model
+
+    def test_non_inversion_methods_chunk_in_batch_order(self):
+        models = [
+            get_scenario("paper-dsl").derive(erlang_order=order).model_at_load(0.4)
+            for order in (2, 9)
+        ]
+        [plan] = compile_eval_plans(models, PROBABILITY, method="sum-of-quantiles")
+        assert plan.indices == (0, 1)
+
+    def test_validates_arguments(self):
+        models = _models(loads=(0.4,), presets=("paper-dsl",))
+        with pytest.raises(ParameterError):
+            compile_eval_plans(models, 1.5)
+        with pytest.raises(ParameterError):
+            compile_eval_plans(models, PROBABILITY, method="magic")
+        with pytest.raises(ParameterError):
+            compile_eval_plans(models, PROBABILITY, chunk_size=0)
+
+
+class TestExecutePlan:
+    def test_values_match_per_model_quantiles_bitwise(self):
+        models = _models()
+        for plan in compile_eval_plans(models, PROBABILITY):
+            result = execute_plan(plan)
+            expected = [
+                models[i].rtt_quantile(PROBABILITY) for i in plan.indices
+            ]
+            assert list(result.values) == expected
+            assert result.evaluations == len(plan)
+            assert result.stacked_mgf_calls > 0
+            assert result.worker_pid == os.getpid()
+
+    def test_live_models_shortcut_is_bit_identical(self):
+        models = _models()
+        [plan] = compile_eval_plans(models, PROBABILITY, chunk_size=len(models))
+        rebuilt = execute_plan(plan)
+        live = execute_plan(plan, models=[models[i] for i in plan.indices])
+        assert rebuilt.values == live.values
+
+    def test_live_models_length_is_checked(self):
+        models = _models()
+        [plan] = compile_eval_plans(models, PROBABILITY, chunk_size=len(models))
+        with pytest.raises(ParameterError):
+            execute_plan(plan, models=models[:1])
+
+    def test_fallback_methods_run_per_model(self):
+        models = _models(loads=(0.5,))
+        [plan] = compile_eval_plans(models, PROBABILITY, method="sum-of-quantiles")
+        result = execute_plan(plan)
+        assert list(result.values) == [
+            m.rtt_quantile(PROBABILITY, method="sum-of-quantiles") for m in models
+        ]
+        assert result.stacked_mgf_calls == 0
+
+    def test_plan_is_picklable_and_carries_no_live_references(self):
+        models = _models()
+        plans = compile_eval_plans(models, PROBABILITY)
+        restored = pickle.loads(pickle.dumps(plans))
+        for plan, twin in zip(plans, restored):
+            assert execute_plan(twin).values == execute_plan(plan).values
+        # The payload is plain floats, not model or engine objects.
+        for plan in plans:
+            for params in plan.model_params:
+                assert all(isinstance(v, (int, float)) for v in params.values())
+
+    def test_build_models_round_trips_the_parameters(self):
+        model = get_scenario("lte").model_at_load(0.45)
+        [plan] = compile_eval_plans([model], PROBABILITY)
+        assert plan.build_models() == [model]
+
+
+class TestSerialExecutor:
+    def test_matches_direct_execution(self):
+        models = _models()
+        plans = compile_eval_plans(models, PROBABILITY)
+        with SerialExecutor() as executor:
+            results = executor.run(plans)
+        assert [r.values for r in results] == [execute_plan(p).values for p in plans]
+
+    def test_run_async_offloads_to_a_thread(self):
+        models = _models(loads=(0.4,))
+        plans = compile_eval_plans(models, PROBABILITY)
+
+        async def main():
+            return await SerialExecutor().run_async(plans)
+
+        results = asyncio.run(main())
+        assert [r.values for r in results] == [execute_plan(p).values for p in plans]
+
+    def test_base_executor_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Executor().run([])
+
+
+class TestParallelExecutor:
+    def test_workers_validation(self):
+        with pytest.raises(ParameterError):
+            ParallelExecutor(workers=0)
+        assert ParallelExecutor().workers >= 1
+
+    def test_empty_plan_list_needs_no_pool(self):
+        executor = ParallelExecutor(workers=2)
+        assert executor.run([]) == []
+        assert executor._pool is None
+        executor.close()
+
+    def test_results_bit_identical_to_serial_and_remote(self):
+        models = _models()
+        plans = compile_eval_plans(models, PROBABILITY, chunk_size=2)
+        with ParallelExecutor(workers=2) as executor:
+            results = executor.run(plans)
+        serial = [execute_plan(p) for p in plans]
+        assert [r.values for r in results] == [r.values for r in serial]
+        assert [r.indices for r in results] == [r.indices for r in serial]
+        assert [r.stacked_mgf_calls for r in results] == [
+            r.stacked_mgf_calls for r in serial
+        ]
+        assert all(r.worker_pid != os.getpid() for r in results)
+
+    def test_run_async_wraps_pool_futures(self):
+        models = _models(loads=(0.4,))
+        plans = compile_eval_plans(models, PROBABILITY)
+
+        async def main():
+            with ParallelExecutor(workers=2) as executor:
+                return await executor.run_async(plans)
+
+        results = asyncio.run(main())
+        assert [r.values for r in results] == [execute_plan(p).values for p in plans]
+
+    def test_close_is_idempotent_and_pool_restarts(self):
+        models = _models(loads=(0.4,), presets=("paper-dsl",))
+        plans = compile_eval_plans(models, PROBABILITY)
+        executor = ParallelExecutor(workers=1)
+        first = executor.run(plans)
+        executor.close()
+        executor.close()
+        second = executor.run(plans)  # lazily recreates the pool
+        executor.close()
+        assert [r.values for r in first] == [r.values for r in second]
+
+    def test_worker_errors_propagate(self):
+        bad = EvalPlan(
+            probability=PROBABILITY,
+            method="inversion",
+            indices=(0,),
+            model_params=(
+                {**model_params(get_scenario("paper-dsl").model_at_load(0.4)), "num_gamers": -1.0},
+            ),
+        )
+        with ParallelExecutor(workers=1) as executor:
+            with pytest.raises(ParameterError):
+                executor.run([bad])
+
+
+class TestBatchRttQuantilesExecutor:
+    def test_executor_parameter_is_bit_identical(self):
+        models = _models()
+        reference = batch_rtt_quantiles(models, PROBABILITY)
+        with SerialExecutor() as serial:
+            assert batch_rtt_quantiles(models, PROBABILITY, executor=serial) == reference
+        with ParallelExecutor(workers=2) as parallel:
+            assert (
+                batch_rtt_quantiles(models, PROBABILITY, executor=parallel) == reference
+            )
+
+    def test_empty_batch(self):
+        assert batch_rtt_quantiles([], PROBABILITY) == []
+
+
+class TestEngineExecutor:
+    def test_engine_sweep_through_executor_is_bit_identical(self):
+        loads = [0.2, 0.4, 0.6]
+        reference = Engine(get_scenario("paper-dsl")).rtt_quantiles(loads)
+        with ParallelExecutor(workers=2) as executor:
+            engine = Engine(get_scenario("paper-dsl"), executor=executor)
+            assert engine.rtt_quantiles(loads) == reference
+            assert engine.stats.stacked_mgf_calls > 0
+
+
+class TestAsyncFleet:
+    def test_serve_async_matches_sync_serve(self):
+        requests = [
+            Request(preset, downlink_load=load)
+            for preset in ("paper-dsl", "ftth")
+            for load in (0.3, 0.5)
+        ]
+        reference = Fleet().serve(requests)
+
+        async def main():
+            fleet = AsyncFleet(max_cache_entries=100)
+            first = await fleet.serve_async(requests)
+            second = await fleet.serve_async(requests)  # warm pass
+            return fleet, first, second
+
+        fleet, first, second = asyncio.run(main())
+        assert [a.rtt_quantile_s for a in first] == [
+            a.rtt_quantile_s for a in reference
+        ]
+        assert all(a.cached for a in second)
+        assert fleet.stats.cache_hits == len(requests)
+
+    def test_serve_async_with_parallel_executor(self):
+        requests = [Request("paper-dsl", downlink_load=l) for l in (0.3, 0.5)]
+        reference = Fleet().serve(requests)
+
+        async def main():
+            with ParallelExecutor(workers=2) as executor:
+                fleet = AsyncFleet(executor=executor)
+                return fleet, await fleet.serve_async(requests)
+
+        fleet, answers = asyncio.run(main())
+        assert [a.rtt_quantile_s for a in answers] == [
+            a.rtt_quantile_s for a in reference
+        ]
+        assert fleet.stats.remote_plans > 0
+
+    def test_request_async_convenience(self):
+        async def main():
+            fleet = AsyncFleet()
+            return await fleet.request_async("paper-dsl", downlink_load=0.4, tag="t")
+
+        answer = asyncio.run(main())
+        assert answer.tag == "t"
+        assert answer.rtt_quantile_s == Fleet().request(
+            "paper-dsl", downlink_load=0.4
+        ).rtt_quantile_s
+
+    def test_wrapping_an_existing_fleet(self):
+        fleet = Fleet(max_cache_entries=10)
+        facade = AsyncFleet(fleet)
+        assert facade.fleet is fleet
+        with pytest.raises(ParameterError):
+            AsyncFleet(fleet, max_cache_entries=10)
+
+    def test_persistence_passthrough(self, tmp_path):
+        path = tmp_path / "cache.json"
+
+        async def main():
+            fleet = AsyncFleet()
+            await fleet.serve_async([Request("paper-dsl", downlink_load=0.4)])
+            return fleet.save_cache(path)
+
+        assert asyncio.run(main()) == 1
+        warm = AsyncFleet()
+        assert warm.warm_start(path) == 1

@@ -347,3 +347,158 @@ class TestPersistence:
                 first.series_by_preset[preset].rtt_ms()
                 == second.series_by_preset[preset].rtt_ms()
             )
+
+
+class TestWarmStartHardening:
+    """Corrupted or mismatched cache files raise the typed error."""
+
+    def _valid_payload(self):
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        scenario = get_scenario("paper-dsl")
+        return {
+            "format": "repro-fleet-cache",
+            "version": 1,
+            "scenarios": {scenario.cache_key(): scenario.to_dict()},
+            "entries": [
+                {
+                    "scenario": scenario.cache_key(),
+                    "num_gamers": 10.0,
+                    "probability": 0.99999,
+                    "method": "inversion",
+                    "rtt_quantile_s": 0.05,
+                }
+            ],
+        }
+
+    def test_invalid_json_raises_typed_error(self, tmp_path):
+        from repro.errors import CacheFormatError
+
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="not valid JSON") as excinfo:
+            Fleet().warm_start(path)
+        assert excinfo.value.path == str(path)
+
+    def test_cache_format_error_is_a_parameter_error(self):
+        from repro.errors import CacheFormatError, ReproError
+
+        assert issubclass(CacheFormatError, ParameterError)
+        assert issubclass(CacheFormatError, ReproError)
+
+    def test_malformed_scenario_names_the_key(self, tmp_path):
+        from repro.errors import CacheFormatError
+
+        payload = self._valid_payload()
+        key = next(iter(payload["scenarios"]))
+        payload["scenarios"][key] = {"no_such_field": 1.0}
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="malformed") as excinfo:
+            Fleet().warm_start(path)
+        assert excinfo.value.key == key
+
+    def test_entry_missing_field_names_the_key(self, tmp_path):
+        from repro.errors import CacheFormatError
+
+        payload = self._valid_payload()
+        del payload["entries"][0]["num_gamers"]
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="missing field") as excinfo:
+            Fleet().warm_start(path)
+        assert excinfo.value.key == "num_gamers"
+
+    def test_entry_with_non_numeric_value_raises(self, tmp_path):
+        from repro.errors import CacheFormatError
+
+        payload = self._valid_payload()
+        payload["entries"][0]["rtt_quantile_s"] = "fast"
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="non-numeric"):
+            Fleet().warm_start(path)
+
+    def test_entry_with_non_string_scenario_reference_raises(self, tmp_path):
+        from repro.errors import CacheFormatError
+
+        payload = self._valid_payload()
+        payload["entries"][0]["scenario"] = {"nested": 1}
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="non-string scenario"):
+            Fleet().warm_start(path)
+
+    def test_entry_with_unknown_method_raises(self, tmp_path):
+        from repro.errors import CacheFormatError
+
+        payload = self._valid_payload()
+        payload["entries"][0]["method"] = "magic"
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="unknown method") as excinfo:
+            Fleet().warm_start(path)
+        assert excinfo.value.key == "magic"
+
+    def test_sections_must_have_the_right_shape(self, tmp_path):
+        from repro.errors import CacheFormatError
+
+        path = tmp_path / "cache.json"
+        payload = self._valid_payload()
+        payload["scenarios"] = ["not", "a", "dict"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="scenarios"):
+            Fleet().warm_start(path)
+        payload = self._valid_payload()
+        payload["entries"] = {"not": "a list"}
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="entries"):
+            Fleet().warm_start(path)
+        payload = self._valid_payload()
+        payload["entries"] = ["not an object"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CacheFormatError, match="not a JSON object"):
+            Fleet().warm_start(path)
+
+    def test_valid_entries_before_a_corrupt_one_are_kept(self, tmp_path):
+        from repro.errors import CacheFormatError
+
+        payload = self._valid_payload()
+        payload["entries"].append({"scenario": "deadbeef"})
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        fleet = Fleet()
+        with pytest.raises(CacheFormatError):
+            fleet.warm_start(path)
+        assert fleet.cache_size() == 1  # the good entry survived
+
+
+class TestServeExecutor:
+    """serve(executor=...) plugs any executor into the execute phase."""
+
+    def test_parallel_executor_returns_identical_floats(self):
+        from repro.executors import ParallelExecutor
+
+        requests = _mixed_requests(loads=(0.3, 0.6))
+        reference = Fleet().serve(requests)
+        fleet = Fleet()
+        with ParallelExecutor(workers=2) as executor:
+            answers = fleet.serve(requests, executor=executor)
+        assert [a.rtt_quantile_s for a in answers] == [
+            a.rtt_quantile_s for a in reference
+        ]
+        assert fleet.stats.remote_plans > 0
+        assert fleet.stats.plans_executed >= fleet.stats.remote_plans
+
+    def test_warm_pass_skips_the_executor_entirely(self):
+        from repro.executors import ParallelExecutor
+
+        requests = _mixed_requests(loads=(0.4,))
+        fleet = Fleet()
+        fleet.serve(requests)
+        plans_before = fleet.stats.plans_executed
+        with ParallelExecutor(workers=2) as executor:
+            warm = fleet.serve(requests, executor=executor)
+        assert all(a.cached for a in warm)
+        assert fleet.stats.plans_executed == plans_before
+        assert fleet.stats.remote_plans == 0  # the pool never spun up

@@ -156,3 +156,38 @@ class TestWorkloadPresets:
     def test_new_presets_support_the_model(self, name):
         preset = get_scenario(name)
         assert preset.model_at_load(0.3).downlink_load == pytest.approx(0.3)
+
+
+class TestCloudGamingPreset:
+    def test_registered(self):
+        assert "cloud-gaming" in available_scenarios()
+
+    def test_much_larger_server_packets_and_shorter_tick(self):
+        dsl = get_scenario("paper-dsl")
+        cloud = get_scenario("cloud-gaming")
+        assert cloud.server_packet_bytes >= 5 * dsl.server_packet_bytes
+        assert cloud.tick_interval_s <= dsl.tick_interval_s / 5.0
+        # Streaming frames needs fibre-class links to stay stable.
+        assert cloud.aggregation_rate_bps > dsl.aggregation_rate_bps
+        assert cloud.server_processing_s > 0.0
+
+    def test_json_round_trip(self):
+        cloud = get_scenario("cloud-gaming")
+        assert Scenario.from_json(cloud.to_json()) == cloud
+        assert Scenario.from_dict(cloud.to_dict()) == cloud
+
+    def test_derive_keeps_the_profile(self):
+        cloud = get_scenario("cloud-gaming")
+        variant = cloud.derive(erlang_order=12)
+        assert variant.erlang_order == 12
+        assert variant.server_packet_bytes == cloud.server_packet_bytes
+        assert variant.tick_interval_s == cloud.tick_interval_s
+
+    def test_supports_the_analytical_model_across_loads(self):
+        cloud = get_scenario("cloud-gaming")
+        for load in (0.1, 0.5, 0.85):
+            model = cloud.model_at_load(load)
+            assert model.downlink_load == pytest.approx(load)
+            assert model.uplink_load < 1.0
+        # Thousands of concurrent cloud-gaming streams at 40% load.
+        assert cloud.gamers_at_load(0.40) > 500
