@@ -150,10 +150,49 @@ def parallel_quickstart() -> None:
     print()
 
 
+def multi_server_quickstart() -> None:
+    """Multi-server mixes: several game servers on one reserved pipe.
+
+    Section 3.2 of the paper models servers multiplexed over a shared
+    bit pipe as an N*D/G/1 queue, approximated by M/G/1 with a
+    rate-weighted Erlang service mixture.  A :class:`MixScenario`
+    expresses that workload from ordinary per-game presets — here the
+    registry's ``multi-game-dsl``: Counter-Strike, Quake III and
+    Half-Life traffic sharing a 10 Mbit/s pipe — and serves through the
+    very same Fleet/plan/executor machinery as every single-server
+    scenario (mixes work in JSONL request files and ``--warm-cache``
+    persistence too).  ``tagged_variant(i)`` asks for the RTT of game
+    ``i``'s gamers on the same mix; ``fps-ping compare-mix`` tabulates
+    the mix against dedicated per-game capacity slices.
+    """
+    mix = get_scenario("multi-game-dsl")
+    fleet = Fleet()
+    answers = fleet.serve(
+        [
+            Request(mix.tagged_variant(index), downlink_load=0.40, tag=str(index))
+            for index in range(len(mix.components))
+        ]
+    )
+    print("Multi-server mix quickstart (one pipe, three game servers)")
+    total = mix.gamers_at_load(0.40)
+    print(f"  shared pipe              : {mix.aggregation_rate_bps / 1e6:.0f} Mbit/s,"
+          f" {total:.0f} gamers at 40% load")
+    for answer, component in zip(answers, mix.components):
+        print(
+            f"  tick={component.scenario.tick_interval_s * 1e3:3.0f}ms"
+            f" share={component.weight:4.0%}"
+            f"  RTT={answer.rtt_quantile_ms:6.2f} ms"
+        )
+    print(f"  stacked MGF array calls  : {fleet.stats.stacked_mgf_calls}"
+          f" (all tagged views in lockstep)")
+    print()
+
+
 def main() -> None:
     scenario_engine_quickstart()
     fleet_quickstart()
     parallel_quickstart()
+    multi_server_quickstart()
 
     model = PingTimeModel.from_downlink_load(
         0.40,

@@ -16,8 +16,10 @@ The package is organised as follows:
 * :mod:`repro.netsim` -- a discrete-event simulator of the Figure 2
   access architecture used to validate the analytical model;
 * :mod:`repro.scenarios` -- the unified :class:`Scenario` parameter
-  type, the named preset registry (DSL / cable / FTTH / LTE profiles
-  and per-game traffic presets) and parameter sweeps;
+  type, the multi-server :class:`MixScenario` (several per-game flows
+  sharing one reserved pipe, Section 3.2), the named preset registry
+  (DSL / cable / FTTH / LTE profiles, per-game traffic presets and the
+  ``multi-game-dsl`` mix) and parameter sweeps;
 * :mod:`repro.engine` -- the :class:`Engine` facade: memoized, batched
   evaluation (RTT quantiles, sweeps, dimensioning, simulation) of one
   scenario;
@@ -58,18 +60,24 @@ from .core import (
     DimensioningResult,
     ErlangTermSum,
     MD1Queue,
+    MixFlow,
+    MixPingTimeModel,
+    MultiServerBurstQueue,
     PacketPositionDelay,
     PingTimeModel,
+    ServerFlow,
     max_gamers,
     max_tolerable_load,
 )
 from .engine import Engine, EngineStats
-from .errors import CacheFormatError, ReproError
+from .errors import CacheFormatError, ExecutorBrokenError, ReproError
 from .executors import Executor, ParallelExecutor, SerialExecutor
 from .fleet import Answer, AsyncFleet, Fleet, FleetStats, Request
 from .scenarios import (
     SCENARIO_PRESETS,
     DslScenario,
+    MixComponent,
+    MixScenario,
     Scenario,
     available_scenarios,
     get_scenario,
@@ -92,15 +100,22 @@ __all__ = [
     "EngineStats",
     "ErlangTermSum",
     "Executor",
+    "ExecutorBrokenError",
     "Fleet",
     "FleetStats",
     "MD1Queue",
+    "MixComponent",
+    "MixFlow",
+    "MixPingTimeModel",
+    "MixScenario",
+    "MultiServerBurstQueue",
     "PacketPositionDelay",
     "ParallelExecutor",
     "PingTimeModel",
     "ReproError",
     "Request",
     "SerialExecutor",
+    "ServerFlow",
     "SCENARIO_PRESETS",
     "Scenario",
     "available_scenarios",

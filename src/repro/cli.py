@@ -48,7 +48,7 @@ from .errors import ReproError
 from .executors import ParallelExecutor
 from .fleet import Fleet, Request
 from .netsim import GamingSimulation
-from .scenarios import SCENARIO_PRESETS, Scenario, scenario_from_spec
+from .scenarios import MixScenario, SCENARIO_PRESETS, Scenario, scenario_from_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -103,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("figure3", "regenerate Figure 3 (RTT vs load per Erlang order)"),
         ("figure4", "regenerate Figure 4 (RTT vs load per tick interval)"),
         ("compare-access", "RTT vs load across access profiles, on one Fleet"),
+        ("compare-mix", "multi-server mix vs dedicated slices, on one Fleet"),
     ]:
         table_parser = sub.add_parser(name, help=help_text)
         _add_json_argument(table_parser)
@@ -342,6 +343,12 @@ def _command_simulate(args: argparse.Namespace) -> int:
     # The simulate subparser only carries a subset of the scenario flags;
     # _scenario_from_args skips the absent ones and fills defaults.
     scenario = _scenario_from_args(args)
+    if isinstance(scenario, MixScenario):
+        raise ReproError(
+            "the discrete-event simulator does not support multi-server mix "
+            "scenarios yet; validate mixes against the analytical model "
+            "(rtt/fleet) or MultiServerBurstQueue.simulate_waiting_times"
+        )
     simulation = GamingSimulation.from_scenario(
         scenario,
         num_clients=args.clients,
@@ -381,7 +388,12 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
 
 def _command_scenarios(args: argparse.Namespace) -> int:
-    """List the registered presets with their key parameters."""
+    """List the registered presets with their key parameters.
+
+    Multi-server mixes appear with the traffic parameters of their
+    *tagged* component (the game whose gamers' RTT is served) and a
+    ``mix[n]`` marker naming the number of multiplexed servers.
+    """
     if args.json:
         return _emit_json(
             {name: scenario.to_dict() for name, scenario in sorted(SCENARIO_PRESETS.items())}
@@ -398,6 +410,21 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     ]
     rows = []
     for name, scenario in sorted(SCENARIO_PRESETS.items()):
+        if isinstance(scenario, MixScenario):
+            tagged = scenario.tagged_component.scenario
+            rows.append(
+                [
+                    f"{name} mix[{len(scenario.components)}]",
+                    1e3 * tagged.tick_interval_s,
+                    tagged.erlang_order,
+                    tagged.server_packet_bytes,
+                    tagged.client_packet_bytes,
+                    scenario.aggregation_rate_bps / 1e6,
+                    1e3 * tagged.propagation_delay_s,
+                    scenario.cache_key(),
+                ]
+            )
+            continue
         rows.append(
             [
                 name,
@@ -481,6 +508,10 @@ _REPORT_COMMANDS = {
     "compare-access": (
         experiments.run_access_comparison,
         experiments.format_access_comparison,
+    ),
+    "compare-mix": (
+        experiments.run_mix_comparison,
+        experiments.format_mix_comparison,
     ),
 }
 

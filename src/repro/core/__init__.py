@@ -11,7 +11,14 @@ from .downstream import (
     solve_root,
 )
 from .bounds import DeterministicRttBound
-from .rtt import DEFAULT_QUANTILE, PingTimeModel, RttBreakdown
+from .rtt import (
+    DEFAULT_QUANTILE,
+    ComposedRttModel,
+    MixFlow,
+    MixPingTimeModel,
+    PingTimeModel,
+    RttBreakdown,
+)
 from .dimensioning import (
     DimensioningResult,
     gamers_for_load,
@@ -35,6 +42,9 @@ __all__ = [
     "solve_root",
     "DeterministicRttBound",
     "DEFAULT_QUANTILE",
+    "ComposedRttModel",
+    "MixFlow",
+    "MixPingTimeModel",
     "PingTimeModel",
     "RttBreakdown",
     "DimensioningResult",

@@ -439,6 +439,10 @@ class MultiServerBurstQueue:
         """Approximate ``P(W > x)`` from the one-pole transform."""
         return self.waiting_time().tail(x)
 
+    def waiting_time_quantile(self, probability: float) -> float:
+        """Quantile of the one-pole waiting-time approximation."""
+        return self.waiting_time().quantile(probability)
+
     # -- validation --------------------------------------------------------
     def simulate_waiting_times(
         self,

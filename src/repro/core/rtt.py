@@ -36,7 +36,12 @@ from scipy import optimize
 from ..errors import ParameterError, StabilityError
 from ..units import require_non_negative, require_positive
 from .bounds import DeterministicRttBound
-from .downstream import DEKOneQueue, PacketPositionDelay
+from .downstream import (
+    DEKOneQueue,
+    MultiServerBurstQueue,
+    PacketPositionDelay,
+    ServerFlow,
+)
 from .inversion import (
     _is_per_transform_grids,
     quantile_from_mgf,
@@ -46,10 +51,13 @@ from .inversion import (
     tails_from_mgfs,
 )
 from .mgf import ErlangTerm, ErlangTermSum
-from .upstream import MD1Queue
+from .upstream import MD1Queue, MultiClassMG1Queue, TrafficClass
 
 __all__ = [
+    "ComposedRttModel",
     "PingTimeModel",
+    "MixFlow",
+    "MixPingTimeModel",
     "DEFAULT_QUANTILE",
     "DEFAULT_PLAN_CHUNK",
     "RttBreakdown",
@@ -155,154 +163,37 @@ class RttBreakdown:
         }
 
 
-@dataclass(frozen=True)
-class PingTimeModel:
-    """Analytical RTT model for the access architecture of Figure 2.
+class ComposedRttModel:
+    """Shared RTT machinery over three composed queueing-delay factors.
 
-    Parameters
-    ----------
-    num_gamers:
-        Number of active gamers ``N`` sharing the aggregation link (may
-        be fractional when derived from a load sweep).
-    tick_interval_s:
-        Server tick / client update interval ``T`` in seconds (the paper
-        assumes both directions share the same interval).
-    client_packet_bytes:
-        Upstream packet size ``P_C`` in bytes (80 in Section 4).
-    server_packet_bytes:
-        Downstream per-client packet size ``P_S`` in bytes.
-    erlang_order:
-        Erlang order ``K`` of the downstream burst-size distribution.
-    access_uplink_bps / access_downlink_bps:
-        Per-user DSL access rates ``R_up`` / ``R_down`` in bit/s.
-    aggregation_rate_bps:
-        Capacity ``C`` dedicated to gaming on the bottleneck link, bit/s.
-    propagation_delay_s:
-        One-way propagation delay added twice to the RTT (default 0).
-    server_processing_s:
-        Server processing time added once to the RTT (default 0).
+    Every analytical RTT model in the package is the same symbolic
+    object: the product of three Erlang-term-sum transforms — an
+    upstream aggregation waiting time, a downstream burst waiting time
+    and an in-burst packet-position delay — plus deterministic
+    serialization, propagation and processing delays.  Subclasses
+    provide the factors as the cached properties ``_upstream_terms``,
+    ``_burst_terms`` and ``_position_terms`` plus the
+    ``serialization_delay_s`` / ``deterministic_delay_s`` properties;
+    this base turns them into the exact product transform, its tails
+    and every quantile method of Section 3.3.
+
+    Keeping the arithmetic here guarantees the single-server
+    :class:`PingTimeModel` and the multi-server
+    :class:`MixPingTimeModel` follow the exact same evaluation path —
+    and therefore share the stacked plan/execute machinery
+    (:class:`QueueingMgfStack`, :class:`EvalPlan`) with bit-identical
+    floats.
     """
 
-    num_gamers: float
-    tick_interval_s: float
+    # Supplied by the dataclass subclasses: the tagged/served gamer's
+    # packet sizes and access rates plus the deterministic extras.
     client_packet_bytes: float
     server_packet_bytes: float
-    erlang_order: int
     access_uplink_bps: float
     access_downlink_bps: float
     aggregation_rate_bps: float
-    propagation_delay_s: float = 0.0
-    server_processing_s: float = 0.0
-
-    def __post_init__(self) -> None:
-        global _MODEL_BUILDS
-        _MODEL_BUILDS += 1
-        if self.num_gamers < 1.0:
-            raise ParameterError("num_gamers must be at least 1")
-        require_positive(self.tick_interval_s, "tick_interval_s")
-        require_positive(self.client_packet_bytes, "client_packet_bytes")
-        require_positive(self.server_packet_bytes, "server_packet_bytes")
-        if self.erlang_order < 2:
-            raise ParameterError(
-                "erlang_order must be >= 2 (the uniform packet-position delay "
-                "of Section 3.2.2 requires K > 1)"
-            )
-        require_positive(self.access_uplink_bps, "access_uplink_bps")
-        require_positive(self.access_downlink_bps, "access_downlink_bps")
-        require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
-        require_non_negative(self.propagation_delay_s, "propagation_delay_s")
-        require_non_negative(self.server_processing_s, "server_processing_s")
-        if self.downlink_load >= 1.0:
-            raise StabilityError(self.downlink_load, "downlink load on the aggregation link >= 1")
-        if self.uplink_load >= 1.0:
-            raise StabilityError(self.uplink_load, "uplink load on the aggregation link >= 1")
-
-    # ------------------------------------------------------------------
-    # Alternative constructors
-    # ------------------------------------------------------------------
-    @classmethod
-    def from_downlink_load(cls, downlink_load: float, **kwargs) -> "PingTimeModel":
-        """Build a model whose number of gamers realises ``downlink_load``.
-
-        Inverts eq. (37): ``N = rho * T * C / (8 * P_S)``.
-        """
-        if not 0.0 < downlink_load < 1.0:
-            raise ParameterError("downlink_load must lie in (0, 1)")
-        tick = kwargs["tick_interval_s"]
-        server_bytes = kwargs["server_packet_bytes"]
-        rate = kwargs["aggregation_rate_bps"]
-        num_gamers = downlink_load * tick * rate / (8.0 * server_bytes)
-        if num_gamers < 1.0:
-            raise ParameterError(
-                f"load {downlink_load:.3f} corresponds to fewer than one gamer"
-            )
-        return cls(num_gamers=num_gamers, **kwargs)
-
-    def with_gamers(self, num_gamers: float) -> "PingTimeModel":
-        """Copy of this model with a different number of gamers."""
-        return replace(self, num_gamers=num_gamers)
-
-    # ------------------------------------------------------------------
-    # Loads (eq. (37))
-    # ------------------------------------------------------------------
-    @property
-    def downlink_load(self) -> float:
-        """``rho_d = 8 N P_S / (T C)``."""
-        return (
-            8.0 * self.num_gamers * self.server_packet_bytes
-            / (self.tick_interval_s * self.aggregation_rate_bps)
-        )
-
-    @property
-    def uplink_load(self) -> float:
-        """``rho_u = 8 N P_C / (T C)``."""
-        return (
-            8.0 * self.num_gamers * self.client_packet_bytes
-            / (self.tick_interval_s * self.aggregation_rate_bps)
-        )
-
-    @property
-    def mean_burst_service_s(self) -> float:
-        """Mean downstream burst service time ``b = 8 N P_S / C`` (seconds)."""
-        return 8.0 * self.num_gamers * self.server_packet_bytes / self.aggregation_rate_bps
-
-    # ------------------------------------------------------------------
-    # Component models
-    # ------------------------------------------------------------------
-    def upstream_queue(self) -> MD1Queue:
-        """The M/D/1 model of the upstream aggregation queue (Section 3.1)."""
-        return MD1Queue(
-            arrival_rate=self.num_gamers / self.tick_interval_s,
-            packet_bits=8.0 * self.client_packet_bytes,
-            rate_bps=self.aggregation_rate_bps,
-        )
-
-    def downstream_queue(self) -> DEKOneQueue:
-        """The D/E_K/1 model of the downstream burst queue (Section 3.2.1)."""
-        return DEKOneQueue(
-            order=self.erlang_order,
-            mean_service_s=self.mean_burst_service_s,
-            interval_s=self.tick_interval_s,
-        )
-
-    def position_delay(self) -> PacketPositionDelay:
-        """The in-burst packet-position delay model (Section 3.2.2)."""
-        return PacketPositionDelay(
-            order=self.erlang_order, mean_service_s=self.mean_burst_service_s
-        )
-
-    # Cached per-component transforms -----------------------------------
-    @cached_property
-    def _upstream_terms(self) -> ErlangTermSum:
-        return self.upstream_queue().waiting_time()
-
-    @cached_property
-    def _burst_terms(self) -> ErlangTermSum:
-        return self.downstream_queue().waiting_time()
-
-    @cached_property
-    def _position_terms(self) -> ErlangTermSum:
-        return self.position_delay().uniform_position()
+    propagation_delay_s: float
+    server_processing_s: float
 
     # ------------------------------------------------------------------
     # Deterministic delays
@@ -542,12 +433,420 @@ class PingTimeModel:
             rtt_quantile_s=self.deterministic_delay_s + total_queueing,
         )
 
+
+@dataclass(frozen=True)
+class PingTimeModel(ComposedRttModel):
+    """Analytical RTT model for the access architecture of Figure 2.
+
+    Parameters
+    ----------
+    num_gamers:
+        Number of active gamers ``N`` sharing the aggregation link (may
+        be fractional when derived from a load sweep).
+    tick_interval_s:
+        Server tick / client update interval ``T`` in seconds (the paper
+        assumes both directions share the same interval).
+    client_packet_bytes:
+        Upstream packet size ``P_C`` in bytes (80 in Section 4).
+    server_packet_bytes:
+        Downstream per-client packet size ``P_S`` in bytes.
+    erlang_order:
+        Erlang order ``K`` of the downstream burst-size distribution.
+    access_uplink_bps / access_downlink_bps:
+        Per-user DSL access rates ``R_up`` / ``R_down`` in bit/s.
+    aggregation_rate_bps:
+        Capacity ``C`` dedicated to gaming on the bottleneck link, bit/s.
+    propagation_delay_s:
+        One-way propagation delay added twice to the RTT (default 0).
+    server_processing_s:
+        Server processing time added once to the RTT (default 0).
+    """
+
+    num_gamers: float
+    tick_interval_s: float
+    client_packet_bytes: float
+    server_packet_bytes: float
+    erlang_order: int
+    access_uplink_bps: float
+    access_downlink_bps: float
+    aggregation_rate_bps: float
+    propagation_delay_s: float = 0.0
+    server_processing_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        global _MODEL_BUILDS
+        _MODEL_BUILDS += 1
+        if self.num_gamers < 1.0:
+            raise ParameterError("num_gamers must be at least 1")
+        require_positive(self.tick_interval_s, "tick_interval_s")
+        require_positive(self.client_packet_bytes, "client_packet_bytes")
+        require_positive(self.server_packet_bytes, "server_packet_bytes")
+        if self.erlang_order < 2:
+            raise ParameterError(
+                "erlang_order must be >= 2 (the uniform packet-position delay "
+                "of Section 3.2.2 requires K > 1)"
+            )
+        require_positive(self.access_uplink_bps, "access_uplink_bps")
+        require_positive(self.access_downlink_bps, "access_downlink_bps")
+        require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
+        require_non_negative(self.propagation_delay_s, "propagation_delay_s")
+        require_non_negative(self.server_processing_s, "server_processing_s")
+        if self.downlink_load >= 1.0:
+            raise StabilityError(self.downlink_load, "downlink load on the aggregation link >= 1")
+        if self.uplink_load >= 1.0:
+            raise StabilityError(self.uplink_load, "uplink load on the aggregation link >= 1")
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_downlink_load(cls, downlink_load: float, **kwargs) -> "PingTimeModel":
+        """Build a model whose number of gamers realises ``downlink_load``.
+
+        Inverts eq. (37): ``N = rho * T * C / (8 * P_S)``.
+        """
+        if not 0.0 < downlink_load < 1.0:
+            raise ParameterError("downlink_load must lie in (0, 1)")
+        tick = kwargs["tick_interval_s"]
+        server_bytes = kwargs["server_packet_bytes"]
+        rate = kwargs["aggregation_rate_bps"]
+        num_gamers = downlink_load * tick * rate / (8.0 * server_bytes)
+        if num_gamers < 1.0:
+            raise ParameterError(
+                f"load {downlink_load:.3f} corresponds to fewer than one gamer"
+            )
+        return cls(num_gamers=num_gamers, **kwargs)
+
+    def with_gamers(self, num_gamers: float) -> "PingTimeModel":
+        """Copy of this model with a different number of gamers."""
+        return replace(self, num_gamers=num_gamers)
+
+    # ------------------------------------------------------------------
+    # Loads (eq. (37))
+    # ------------------------------------------------------------------
+    @property
+    def downlink_load(self) -> float:
+        """``rho_d = 8 N P_S / (T C)``."""
+        return (
+            8.0 * self.num_gamers * self.server_packet_bytes
+            / (self.tick_interval_s * self.aggregation_rate_bps)
+        )
+
+    @property
+    def uplink_load(self) -> float:
+        """``rho_u = 8 N P_C / (T C)``."""
+        return (
+            8.0 * self.num_gamers * self.client_packet_bytes
+            / (self.tick_interval_s * self.aggregation_rate_bps)
+        )
+
+    @property
+    def mean_burst_service_s(self) -> float:
+        """Mean downstream burst service time ``b = 8 N P_S / C`` (seconds)."""
+        return 8.0 * self.num_gamers * self.server_packet_bytes / self.aggregation_rate_bps
+
+    # ------------------------------------------------------------------
+    # Component models
+    # ------------------------------------------------------------------
+    def upstream_queue(self) -> MD1Queue:
+        """The M/D/1 model of the upstream aggregation queue (Section 3.1)."""
+        return MD1Queue(
+            arrival_rate=self.num_gamers / self.tick_interval_s,
+            packet_bits=8.0 * self.client_packet_bytes,
+            rate_bps=self.aggregation_rate_bps,
+        )
+
+    def downstream_queue(self) -> DEKOneQueue:
+        """The D/E_K/1 model of the downstream burst queue (Section 3.2.1)."""
+        return DEKOneQueue(
+            order=self.erlang_order,
+            mean_service_s=self.mean_burst_service_s,
+            interval_s=self.tick_interval_s,
+        )
+
+    def position_delay(self) -> PacketPositionDelay:
+        """The in-burst packet-position delay model (Section 3.2.2)."""
+        return PacketPositionDelay(
+            order=self.erlang_order, mean_service_s=self.mean_burst_service_s
+        )
+
+    # Cached per-component transforms -----------------------------------
+    @cached_property
+    def _upstream_terms(self) -> ErlangTermSum:
+        return self.upstream_queue().waiting_time()
+
+    @cached_property
+    def _burst_terms(self) -> ErlangTermSum:
+        return self.downstream_queue().waiting_time()
+
+    @cached_property
+    def _position_terms(self) -> ErlangTermSum:
+        return self.position_delay().uniform_position()
+
+    # The queueing transform, tails, quantile methods and deterministic
+    # delays live on :class:`ComposedRttModel` (shared with the
+    # multi-server mix model).
+
     # ------------------------------------------------------------------
     # Baseline: deterministic worst-case bound
     # ------------------------------------------------------------------
     def deterministic_bound(self) -> DeterministicRttBound:
         """The worst-case (network-calculus style) RTT bound baseline."""
         return DeterministicRttBound.from_model(self)
+
+
+@dataclass(frozen=True)
+class MixFlow:
+    """One game server's traffic share within a multi-server mix.
+
+    Parameters
+    ----------
+    tick_interval_s:
+        Server tick / client update interval of this game, in seconds.
+    client_packet_bytes / server_packet_bytes:
+        Upstream / per-client downstream packet sizes of this game.
+    erlang_order:
+        Erlang order of this game's downstream burst-size distribution.
+    weight:
+        Fraction of the mix's total gamer population playing this game.
+    """
+
+    tick_interval_s: float
+    client_packet_bytes: float
+    server_packet_bytes: float
+    erlang_order: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.tick_interval_s, "tick_interval_s")
+        require_positive(self.client_packet_bytes, "client_packet_bytes")
+        require_positive(self.server_packet_bytes, "server_packet_bytes")
+        if self.erlang_order < 1 or int(self.erlang_order) != self.erlang_order:
+            raise ParameterError(
+                f"Erlang order must be a positive integer, got {self.erlang_order!r}"
+            )
+        object.__setattr__(self, "erlang_order", int(self.erlang_order))
+        require_positive(self.weight, "weight")
+
+    @classmethod
+    def coerce(cls, value) -> "MixFlow":
+        """Accept a :class:`MixFlow`, a mapping or a field-order tuple."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls(**value)
+        return cls(*value)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view (JSON- and pickle-ready)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class MixPingTimeModel(ComposedRttModel):
+    """Analytical RTT model for several game servers on one reserved pipe.
+
+    Section 3.2 of the paper: "If traffic stemming from more servers is
+    transported over a reserved bit pipe, the N*D/G/1 queuing model
+    applies [...] which is very well approximated by M/G/1 if the number
+    of servers is high enough."  A tagged gamer playing on
+    ``flows[tagged]`` sees
+
+    * an **upstream** multi-class M/G/1 aggregation queue (eq. (13)):
+      every gamer of every game sends its own client packets over the
+      shared link, approximated by the one-pole transform of eq. (14);
+    * a **downstream** burst waiting time from the
+      :class:`~repro.core.downstream.MultiServerBurstQueue` M/G/1
+      approximation — Poisson burst arrivals at the aggregate rate with
+      the rate-weighted Erlang service mixture — again as the one-pole
+      eq. (14) analogue;
+    * the **packet-position** delay inside the tagged server's own burst
+      (Section 3.2.2), unchanged from the single-server model.
+
+    The queueing transform is therefore — exactly like
+    :class:`PingTimeModel` — a product of three Erlang-term sums, with
+    factor signature ``(1, 1, K_tagged - 1)``, so mix models compile
+    into the same picklable :class:`EvalPlan` units, stack in the same
+    :class:`QueueingMgfStack` lockstep searches and return bit-identical
+    floats on every executor.
+
+    Parameters
+    ----------
+    num_gamers:
+        Total number of active gamers across every server of the mix
+        (split over the flows by their weights; may be fractional when
+        derived from a load sweep).
+    flows:
+        Per-server :class:`MixFlow` descriptions (mappings or
+        field-order tuples are coerced); the weights must sum to one.
+    tagged:
+        Index of the flow whose gamers' RTT is evaluated (its Erlang
+        order must be >= 2 for the Section 3.2.2 position delay).
+    access_uplink_bps / access_downlink_bps:
+        Per-user access rates of the tagged gamer, in bit/s.
+    aggregation_rate_bps:
+        Capacity of the shared reserved bit pipe, in bit/s.
+    propagation_delay_s / server_processing_s:
+        Deterministic extras, as in :class:`PingTimeModel`.
+    """
+
+    num_gamers: float
+    flows: Tuple[MixFlow, ...]
+    tagged: int
+    access_uplink_bps: float
+    access_downlink_bps: float
+    aggregation_rate_bps: float
+    propagation_delay_s: float = 0.0
+    server_processing_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        global _MODEL_BUILDS
+        _MODEL_BUILDS += 1
+        object.__setattr__(
+            self, "flows", tuple(MixFlow.coerce(flow) for flow in self.flows)
+        )
+        if not self.flows:
+            raise ParameterError("a mix needs at least one server flow")
+        if self.num_gamers < 1.0:
+            raise ParameterError("num_gamers must be at least 1")
+        total_weight = math.fsum(flow.weight for flow in self.flows)
+        if abs(total_weight - 1.0) > 1e-9:
+            raise ParameterError(
+                f"mix flow weights must sum to 1, got {total_weight!r}"
+            )
+        if int(self.tagged) != self.tagged or not 0 <= int(self.tagged) < len(self.flows):
+            raise ParameterError(
+                f"tagged must be a flow index in [0, {len(self.flows)}), "
+                f"got {self.tagged!r}"
+            )
+        object.__setattr__(self, "tagged", int(self.tagged))
+        if self.tagged_flow.erlang_order < 2:
+            raise ParameterError(
+                "the tagged flow needs erlang_order >= 2 (the uniform "
+                "packet-position delay of Section 3.2.2 requires K > 1)"
+            )
+        require_positive(self.access_uplink_bps, "access_uplink_bps")
+        require_positive(self.access_downlink_bps, "access_downlink_bps")
+        require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
+        require_non_negative(self.propagation_delay_s, "propagation_delay_s")
+        require_non_negative(self.server_processing_s, "server_processing_s")
+        if self.downlink_load >= 1.0:
+            raise StabilityError(
+                self.downlink_load, "downlink load on the shared pipe >= 1"
+            )
+        if self.uplink_load >= 1.0:
+            raise StabilityError(
+                self.uplink_load, "uplink load on the aggregation link >= 1"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-flow and aggregate parameters
+    # ------------------------------------------------------------------
+    @property
+    def tagged_flow(self) -> MixFlow:
+        """The flow carrying the tagged gamer."""
+        return self.flows[self.tagged]
+
+    def flow_gamers(self) -> Tuple[float, ...]:
+        """Gamer count of each flow (``weight_i * num_gamers``)."""
+        return tuple(flow.weight * self.num_gamers for flow in self.flows)
+
+    def _flow_burst_service_s(self, flow: MixFlow) -> float:
+        """Mean burst service time of one flow: ``8 N_i P_S_i / C``."""
+        return (
+            8.0 * flow.weight * self.num_gamers * flow.server_packet_bytes
+            / self.aggregation_rate_bps
+        )
+
+    @property
+    def downlink_load(self) -> float:
+        """Total downstream load: ``sum_i 8 N_i P_S_i / (T_i C)`` (eq. (37))."""
+        return sum(
+            self._flow_burst_service_s(flow) / flow.tick_interval_s
+            for flow in self.flows
+        )
+
+    @property
+    def uplink_load(self) -> float:
+        """Total upstream load: ``sum_i 8 N_i P_C_i / (T_i C)``."""
+        return sum(
+            8.0 * flow.weight * self.num_gamers * flow.client_packet_bytes
+            / (flow.tick_interval_s * self.aggregation_rate_bps)
+            for flow in self.flows
+        )
+
+    @property
+    def mean_burst_service_s(self) -> float:
+        """Mean burst service time of the tagged server (seconds)."""
+        return self._flow_burst_service_s(self.tagged_flow)
+
+    # ------------------------------------------------------------------
+    # Component models
+    # ------------------------------------------------------------------
+    def upstream_queue(self) -> MultiClassMG1Queue:
+        """The multi-class M/G/1 model of the upstream queue (eq. (13))."""
+        return MultiClassMG1Queue.from_classes(
+            [
+                TrafficClass(
+                    num_sources=flow.weight * self.num_gamers,
+                    interval_s=flow.tick_interval_s,
+                    packet_bits=8.0 * flow.client_packet_bytes,
+                )
+                for flow in self.flows
+            ],
+            rate_bps=self.aggregation_rate_bps,
+        )
+
+    def downstream_queue(self) -> MultiServerBurstQueue:
+        """The multi-server burst queue on the shared pipe (Section 3.2)."""
+        return MultiServerBurstQueue.from_flows(
+            [
+                ServerFlow(
+                    interval_s=flow.tick_interval_s,
+                    mean_service_s=self._flow_burst_service_s(flow),
+                    order=flow.erlang_order,
+                )
+                for flow in self.flows
+            ]
+        )
+
+    def position_delay(self) -> PacketPositionDelay:
+        """The tagged server's in-burst packet-position delay model."""
+        return PacketPositionDelay(
+            order=self.tagged_flow.erlang_order,
+            mean_service_s=self.mean_burst_service_s,
+        )
+
+    # Cached per-component transforms -----------------------------------
+    @cached_property
+    def _upstream_terms(self) -> ErlangTermSum:
+        return self.upstream_queue().waiting_time()
+
+    @cached_property
+    def _burst_terms(self) -> ErlangTermSum:
+        return self.downstream_queue().waiting_time()
+
+    @cached_property
+    def _position_terms(self) -> ErlangTermSum:
+        return self.position_delay().uniform_position()
+
+    # ------------------------------------------------------------------
+    # The tagged gamer's packet sizes (feed the shared deterministic-
+    # delay arithmetic on ComposedRttModel)
+    # ------------------------------------------------------------------
+    @property
+    def client_packet_bytes(self) -> float:
+        """Upstream packet size of the tagged gamer's game."""
+        return self.tagged_flow.client_packet_bytes
+
+    @property
+    def server_packet_bytes(self) -> float:
+        """Per-client downstream packet size of the tagged gamer's game."""
+        return self.tagged_flow.server_packet_bytes
+
+    def with_gamers(self, num_gamers: float) -> "MixPingTimeModel":
+        """Copy of this model with a different total number of gamers."""
+        return replace(self, num_gamers=num_gamers)
 
 
 class QueueingMgfStack:
@@ -654,12 +953,15 @@ DEFAULT_PLAN_CHUNK = 32
 ModelParams = Mapping[str, float]
 
 
-def model_params(model: "PingTimeModel") -> Dict[str, float]:
+def model_params(model: "ComposedRttModel") -> Dict[str, float]:
     """The constructor keywords of a model, as a plain picklable dict.
 
-    ``PingTimeModel(**model_params(m))`` rebuilds a model equal to ``m``
-    — in any process — whose every derived float is bit-identical (the
-    component transforms are deterministic functions of the fields).
+    ``PingTimeModel(**model_params(m))`` — or ``MixPingTimeModel`` for a
+    mix, see :meth:`EvalPlan.build_models` — rebuilds a model equal to
+    ``m`` in any process whose every derived float is bit-identical
+    (the component transforms are deterministic functions of the
+    fields).  Mix parameter dictionaries carry their per-server
+    :class:`MixFlow` tuples, which pickle as plain frozen records.
     """
     return {f.name: getattr(model, f.name) for f in fields(model)}
 
@@ -690,9 +992,17 @@ class EvalPlan:
     def __len__(self) -> int:
         return len(self.indices)
 
-    def build_models(self) -> List["PingTimeModel"]:
-        """Reconstruct the plan's models (deterministic, bit-identical)."""
-        return [PingTimeModel(**params) for params in self.model_params]
+    def build_models(self) -> List["ComposedRttModel"]:
+        """Reconstruct the plan's models (deterministic, bit-identical).
+
+        Parameter sets carrying a ``flows`` key rebuild as
+        :class:`MixPingTimeModel`; everything else as
+        :class:`PingTimeModel`.
+        """
+        return [
+            MixPingTimeModel(**params) if "flows" in params else PingTimeModel(**params)
+            for params in self.model_params
+        ]
 
 
 @dataclass(frozen=True)
@@ -713,17 +1023,26 @@ class PlanResult:
     worker_pid: int
 
 
-def _signature_key(params: ModelParams) -> int:
+def _signature_key(params: ModelParams):
     """The stacking compatibility key of a parameter set, without
     building the model.
 
-    The factor term counts are structural: the M/D/1 one-pole transform
-    always has 1 term, the D/E_K/1 burst transform K, the uniform
-    packet-position mixture K - 1 — so the full signature ``(1, K,
-    K-1)`` is a function of the Erlang order alone.  (Execution still
-    re-groups defensively through :meth:`QueueingMgfStack.group_indices`,
-    which reads the built transforms.)
+    The factor term counts are structural: for a single-server model the
+    M/D/1 one-pole transform always has 1 term, the D/E_K/1 burst
+    transform K, the uniform packet-position mixture K - 1 — so the full
+    signature ``(1, K, K-1)`` is a function of the Erlang order alone.
+    A multi-server mix (a parameter set with a ``flows`` key) composes
+    two one-pole transforms with the tagged server's position mixture,
+    signature ``(1, 1, K_tagged - 1)`` — a function of the tagged
+    Erlang order alone, and never equal to a single-server signature
+    (that would need K = 1, which the models exclude).  (Execution
+    still re-groups defensively through
+    :meth:`QueueingMgfStack.group_indices`, which reads the built
+    transforms.)
     """
+    if "flows" in params:
+        flow = MixFlow.coerce(params["flows"][int(params["tagged"])])
+        return ("mix", flow.erlang_order)
     return int(params["erlang_order"])
 
 
@@ -757,7 +1076,7 @@ def compile_eval_plans(
         raise ParameterError("chunk_size must be at least 1")
     chunk_size = int(chunk_size)
     params_list = [
-        model_params(m) if isinstance(m, PingTimeModel) else dict(m) for m in models
+        dict(m) if isinstance(m, Mapping) else model_params(m) for m in models
     ]
     groups: "Dict[object, List[int]]" = {}
     if method == "inversion":

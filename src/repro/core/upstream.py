@@ -385,15 +385,19 @@ class MD1Queue:
 @dataclass(frozen=True)
 class TrafficClass:
     """One class of gamers: ``num_sources`` users sending ``packet_bits``
-    every ``interval_s`` seconds."""
+    every ``interval_s`` seconds.
 
-    num_sources: int
+    ``num_sources`` may be fractional: in the Poisson limit only the
+    aggregate rate ``num_sources / interval_s`` matters, and load-derived
+    operating points (eq. (37)) produce fractional gamer counts.
+    """
+
+    num_sources: float
     interval_s: float
     packet_bits: float
 
     def __post_init__(self) -> None:
-        if self.num_sources < 1:
-            raise ParameterError("num_sources must be at least 1")
+        require_positive(self.num_sources, "num_sources")
         require_positive(self.interval_s, "interval_s")
         require_positive(self.packet_bits, "packet_bits")
 

@@ -42,6 +42,7 @@ from .core.rtt import (
 )
 from .errors import ParameterError
 from .scenarios.base import Scenario
+from .scenarios.mix import MixScenario
 from .scenarios.sweep import SweepPoint, SweepSeries, default_load_grid
 
 __all__ = ["Engine", "EngineStats"]
@@ -114,9 +115,10 @@ class Engine:
     ) -> None:
         if isinstance(scenario, Mapping):
             scenario = Scenario.from_dict(scenario)
-        if not isinstance(scenario, Scenario):
+        if not isinstance(scenario, (Scenario, MixScenario)):
             raise TypeError(
-                f"expected a Scenario or a parameter mapping, got {type(scenario).__name__}"
+                "expected a Scenario, MixScenario or a parameter mapping, "
+                f"got {type(scenario).__name__}"
             )
         if not 0.0 < probability < 1.0:
             raise ParameterError("probability must lie in (0, 1)")
@@ -321,8 +323,7 @@ class Engine:
         probability, method = self._resolve(probability, method)
         scenario = self.scenario
         series = SweepSeries(
-            label=label
-            or f"K={scenario.erlang_order}, T={scenario.tick_interval_s * 1e3:.0f}ms",
+            label=label or scenario.describe(),
             scenario=scenario,
             probability=probability,
         )
@@ -418,6 +419,12 @@ class Engine:
         """
         from .netsim import GamingSimulation
 
+        if isinstance(self.scenario, MixScenario):
+            raise ParameterError(
+                "the discrete-event simulator does not support multi-server "
+                "mix scenarios yet; validate mixes against "
+                "MultiServerBurstQueue.simulate_waiting_times instead"
+            )
         if (num_clients is None) == (load is None):
             raise ParameterError("pass exactly one of num_clients= or load=")
         if num_clients is None:

@@ -13,6 +13,7 @@ __all__ = [
     "ParameterError",
     "StabilityError",
     "CacheFormatError",
+    "ExecutorBrokenError",
     "FittingError",
     "TraceFormatError",
     "ConvergenceError",
@@ -62,6 +63,18 @@ class CacheFormatError(ParameterError):
         self.path = path
         self.key = key
         super().__init__(message)
+
+
+class ExecutorBrokenError(ReproError, RuntimeError):
+    """A plan executor's worker pool died underneath an execution.
+
+    Raised by :class:`repro.executors.ParallelExecutor` when the
+    process pool reports itself broken (a worker was killed, crashed or
+    ran out of memory).  The executor disposes the dead pool before
+    raising, so the **next** ``run``/``run_async`` call transparently
+    spawns a fresh pool — a long-running service recovers by retrying
+    the batch instead of failing every future call.
+    """
 
 
 class FittingError(ReproError, RuntimeError):

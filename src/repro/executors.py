@@ -43,9 +43,9 @@ import os
 from typing import Iterable, List, Optional, Sequence, Union
 
 from .core.rtt import EvalPlan, PlanResult, execute_plan
-from .errors import ParameterError
+from .errors import ExecutorBrokenError, ParameterError
 
-__all__ = ["Executor", "SerialExecutor", "ParallelExecutor"]
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "ExecutorBrokenError"]
 
 
 class Executor:
@@ -118,6 +118,13 @@ class ParallelExecutor(Executor):
     Because every plan is self-contained and every result carries its
     own counters, the answers — and the folded statistics — are
     bit-identical to :class:`SerialExecutor` for any worker count.
+
+    A killed or crashed worker breaks a
+    :class:`~concurrent.futures.ProcessPoolExecutor` permanently; this
+    executor translates that into a typed
+    :class:`~repro.errors.ExecutorBrokenError` **and disposes the dead
+    pool**, so the next call spawns a fresh one instead of failing
+    forever — the recovery a long-running serving process needs.
     """
 
     def __init__(
@@ -153,20 +160,43 @@ class ParallelExecutor(Executor):
         pool = self._ensure_pool()
         return [pool.submit(execute_plan, plan) for plan in plans]
 
+    def _dispose_broken_pool(
+        self, cause: concurrent.futures.BrokenExecutor
+    ) -> ExecutorBrokenError:
+        """Drop the dead pool and build the typed error to raise.
+
+        After disposal the next :meth:`run` / :meth:`run_async` call
+        lazily spawns a fresh pool, so one dead worker does not poison
+        every later batch of a long-running service.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return ExecutorBrokenError(
+            f"the worker pool died while executing plans ({cause}); the pool "
+            "has been disposed and the next run will spawn a fresh one"
+        )
+
     def run(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
         plans = list(plans)
         if not plans:
             return []
-        return [future.result() for future in self._submit(plans)]
+        try:
+            return [future.result() for future in self._submit(plans)]
+        except concurrent.futures.BrokenExecutor as exc:
+            raise self._dispose_broken_pool(exc) from exc
 
     async def run_async(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
         plans = list(plans)
         if not plans:
             return []
-        futures = self._submit(plans)
-        return list(
-            await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
-        )
+        try:
+            futures = self._submit(plans)
+            return list(
+                await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+            )
+        except concurrent.futures.BrokenExecutor as exc:
+            raise self._dispose_broken_pool(exc) from exc
 
     def close(self) -> None:
         if self._pool is not None:

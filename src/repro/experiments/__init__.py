@@ -18,6 +18,12 @@ from .access_comparison import (
     format_access_comparison,
     run_access_comparison,
 )
+from .mix_comparison import (
+    MixComparisonResult,
+    MixComponentComparison,
+    format_mix_comparison,
+    run_mix_comparison,
+)
 from .report import format_kv, format_series, format_table
 
 __all__ = [
@@ -47,6 +53,10 @@ __all__ = [
     "AccessComparisonResult",
     "format_access_comparison",
     "run_access_comparison",
+    "MixComparisonResult",
+    "MixComponentComparison",
+    "format_mix_comparison",
+    "run_mix_comparison",
     "format_kv",
     "format_series",
     "format_table",

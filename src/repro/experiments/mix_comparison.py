@@ -1,0 +1,248 @@
+"""Experiment — multiplexed mix vs. dedicated per-game slices, on one Fleet.
+
+Section 3.2 of the paper motivates carrying *several* game servers over
+one reserved bit pipe (the N*D/G/1 -> M/G/1 model implemented by
+:class:`~repro.core.downstream.MultiServerBurstQueue`).  The natural
+operator question is whether that multiplexing helps or hurts the
+served ping time compared to the alternative provisioning: cutting the
+same pipe into **dedicated slices**, one per game, sized proportionally
+to each game's downstream bandwidth demand (so every slice carries
+exactly the same load as the shared pipe).
+
+This driver answers it for a registry mix preset (default
+``multi-game-dsl``): for every component game and every load of the
+grid it serves
+
+* the **mix** RTT quantile — the component's :meth:`tagged_variant`
+  of the mix at the total gamer population, and
+* the **dedicated** RTT quantile — the component's own single-server
+  scenario on its bandwidth-proportional slice with its share of the
+  gamers,
+
+all as one request batch on a single :class:`~repro.fleet.Fleet`, so
+the mix models (factor signature ``(1, 1, K-1)``) and the single-server
+models (``(1, K, K-1)``) each collapse into their own stacked lockstep
+groups.  The summary reads off, per game, the largest load whose
+99.999% RTT stays within the 50 ms budget under either provisioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.rtt import DEFAULT_QUANTILE
+from ..errors import ParameterError
+from ..fleet import Fleet, Request
+from ..scenarios import SCENARIO_PRESETS, MixScenario, SweepPoint, SweepSeries, get_scenario
+
+from .report import format_table
+
+__all__ = [
+    "MixComponentComparison",
+    "MixComparisonResult",
+    "run_mix_comparison",
+    "format_mix_comparison",
+]
+
+#: The paper's "excellent game play" ping budget (Section 4), in ms.
+EXCELLENT_RTT_MS = 50.0
+
+#: Default load grid: high enough that every component slice carries at
+#: least one gamer, dense enough to interpolate the 50 ms crossing.
+DEFAULT_MIX_LOADS = tuple(0.15 + 0.07 * i for i in range(11))
+
+
+@dataclass(frozen=True)
+class MixComponentComparison:
+    """One game's curves under the two provisioning schemes."""
+
+    label: str
+    weight: float
+    dedicated_rate_bps: float
+    mix_series: SweepSeries
+    dedicated_series: SweepSeries
+
+    def gain_ms(self, load: float) -> float:
+        """Dedicated-minus-mix RTT (ms) at ``load`` (positive = mix wins)."""
+        return self.dedicated_series.interpolate_rtt_ms(
+            load
+        ) - self.mix_series.interpolate_rtt_ms(load)
+
+
+@dataclass(frozen=True)
+class MixComparisonResult:
+    """The regenerated mix-vs-slices comparison."""
+
+    mix: MixScenario
+    components: Tuple[MixComponentComparison, ...]
+    probability: float
+    rtt_bound_ms: float
+    loads: Tuple[float, ...]
+    fleet_stats: Dict[str, int]
+
+
+def _component_label(index: int, scenario) -> str:
+    """A preset name when the component is one, else a parameter label."""
+    for name, preset in SCENARIO_PRESETS.items():
+        if preset == scenario:
+            return name
+    return (
+        f"component-{index} (T={scenario.tick_interval_s * 1e3:.0f}ms, "
+        f"P_S={scenario.server_packet_bytes:.0f}B)"
+    )
+
+
+def run_mix_comparison(
+    mix: Union[str, MixScenario] = "multi-game-dsl",
+    loads: Optional[Sequence[float]] = None,
+    probability: float = DEFAULT_QUANTILE,
+    rtt_bound_ms: float = EXCELLENT_RTT_MS,
+    fleet: Optional[Fleet] = None,
+) -> MixComparisonResult:
+    """Serve the mix and its dedicated-slice alternative on one Fleet.
+
+    The dedicated slice of component ``i`` gets the capacity share
+    ``w_i * P_S_i / T_i`` of the pipe (its fraction of the aggregate
+    downstream bandwidth demand), which makes the slice's downlink load
+    equal the shared pipe's at every operating point — the comparison
+    isolates the multiplexing effect, not a load difference.  Both
+    provisionings serve the *same* gamer population
+    (``w_i * gamers_at_load(load)`` per game).
+    """
+    if isinstance(mix, str):
+        mix = get_scenario(mix)
+    if not isinstance(mix, MixScenario):
+        raise ParameterError(
+            f"run_mix_comparison needs a MixScenario (or the name of one); "
+            f"got {type(mix).__name__}"
+        )
+    loads = tuple(float(load) for load in (DEFAULT_MIX_LOADS if loads is None else loads))
+    fleet = fleet if fleet is not None else Fleet()
+
+    demand = [
+        c.weight * c.scenario.server_packet_bytes / c.scenario.tick_interval_s
+        for c in mix.components
+    ]
+    total_demand = sum(demand)
+    dedicated = [
+        c.scenario.derive(
+            aggregation_rate_bps=mix.aggregation_rate_bps * share / total_demand
+        )
+        for c, share in zip(mix.components, demand)
+    ]
+
+    variants = [mix.tagged_variant(index) for index in range(len(mix.components))]
+
+    # Tags key by the load's *position* in the grid, so arbitrarily
+    # close (or equal) loads never collide in the answer lookup.
+    requests: List[Request] = []
+    for position, load in enumerate(loads):
+        total_gamers = mix.gamers_at_load(load)
+        for index, component in enumerate(mix.components):
+            gamers = component.weight * total_gamers
+            requests.append(
+                Request(
+                    variants[index],
+                    num_gamers=total_gamers,
+                    probability=probability,
+                    tag=f"mix:{index}:{position}",
+                )
+            )
+            requests.append(
+                Request(
+                    dedicated[index],
+                    num_gamers=gamers,
+                    probability=probability,
+                    tag=f"dedicated:{index}:{position}",
+                )
+            )
+    answers = fleet.serve(requests)
+
+    by_tag = {answer.tag: answer for answer in answers}
+    comparisons = []
+    for index, component in enumerate(mix.components):
+        label = _component_label(index, component.scenario)
+        mix_series = SweepSeries(
+            label=f"{label} (mix)",
+            scenario=variants[index],
+            probability=probability,
+        )
+        dedicated_series = SweepSeries(
+            label=f"{label} (dedicated)",
+            scenario=dedicated[index],
+            probability=probability,
+        )
+        for position, load in enumerate(loads):
+            for series, tag in (
+                (mix_series, f"mix:{index}:{position}"),
+                (dedicated_series, f"dedicated:{index}:{position}"),
+            ):
+                answer = by_tag[tag]
+                series.points.append(
+                    SweepPoint(
+                        downlink_load=load,
+                        uplink_load=answer.uplink_load,
+                        num_gamers=answer.num_gamers,
+                        rtt_quantile_s=answer.rtt_quantile_s,
+                    )
+                )
+        comparisons.append(
+            MixComponentComparison(
+                label=label,
+                weight=component.weight,
+                dedicated_rate_bps=dedicated[index].aggregation_rate_bps,
+                mix_series=mix_series,
+                dedicated_series=dedicated_series,
+            )
+        )
+
+    return MixComparisonResult(
+        mix=mix,
+        components=tuple(comparisons),
+        probability=probability,
+        rtt_bound_ms=rtt_bound_ms,
+        loads=loads,
+        fleet_stats=fleet.stats.as_dict(),
+    )
+
+
+def format_mix_comparison(result: MixComparisonResult) -> str:
+    """Tabulate the per-game multiplexing summary.
+
+    The spot-check column reports the RTT at 40% load when the swept
+    grid covers it, otherwise at the grid's median load — the header
+    always names the load actually used (``np.interp`` would silently
+    clamp an out-of-grid reference to the endpoint).
+    """
+    loads = result.loads
+    reference = 0.40 if loads[0] <= 0.40 <= loads[-1] else loads[len(loads) // 2]
+    headers = [
+        "component",
+        "weight",
+        "slice (Mbit/s)",
+        f"mix RTT @ {reference:.0%} (ms)",
+        f"dedicated RTT @ {reference:.0%} (ms)",
+        f"mix max load @ {result.rtt_bound_ms:.0f}ms",
+        f"dedicated max load @ {result.rtt_bound_ms:.0f}ms",
+    ]
+    rows: List[List[object]] = []
+    for comparison in result.components:
+        rows.append(
+            [
+                comparison.label,
+                comparison.weight,
+                comparison.dedicated_rate_bps / 1e6,
+                comparison.mix_series.interpolate_rtt_ms(reference),
+                comparison.dedicated_series.interpolate_rtt_ms(reference),
+                comparison.mix_series.max_load_for_rtt_ms(result.rtt_bound_ms),
+                comparison.dedicated_series.max_load_for_rtt_ms(result.rtt_bound_ms),
+            ]
+        )
+    title = (
+        f"Mix vs dedicated slices on a {result.mix.aggregation_rate_bps / 1e6:.0f} "
+        f"Mbit/s pipe ({100 * result.probability:.3f}% RTT quantile, one Fleet: "
+        f"{result.fleet_stats['evaluations']} evaluations, "
+        f"{result.fleet_stats['stacked_mgf_calls']} stacked MGF array calls)"
+    )
+    return f"{title}\n{format_table(headers, rows)}"

@@ -62,6 +62,7 @@ Example::
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import os
 from collections import OrderedDict
@@ -80,12 +81,15 @@ from .core.rtt import (
 from .engine import Engine
 from .errors import CacheFormatError, ParameterError, ReproError, StabilityError
 from .scenarios.base import Scenario
+from .scenarios.mix import MixScenario
 from .scenarios.registry import scenario_from_spec
 
 __all__ = ["Request", "Answer", "FleetStats", "Fleet", "AsyncFleet"]
 
-#: Any of: a preset name / JSON file path, a Scenario, or a parameter mapping.
-ScenarioSpec = Union[str, Scenario, Mapping[str, Any]]
+#: Any of: a preset name / JSON file path, a (mix) scenario, or a
+#: parameter mapping (mappings tagged ``"type": "mix"`` resolve to
+#: :class:`~repro.scenarios.mix.MixScenario`).
+ScenarioSpec = Union[str, Scenario, MixScenario, Mapping[str, Any]]
 
 #: Accepted spellings of the Request JSONL fields (CLI request files).
 _REQUEST_KEYS = {
@@ -164,7 +168,7 @@ class Request:
     def to_dict(self) -> Dict[str, Any]:
         """JSONL-ready dictionary view (omits unset fields)."""
         scenario = self.scenario
-        if isinstance(scenario, Scenario):
+        if isinstance(scenario, (Scenario, MixScenario)):
             scenario = scenario.to_dict()
         out: Dict[str, Any] = {"scenario": scenario}
         for name in ("downlink_load", "num_gamers", "probability", "method", "tag"):
@@ -261,6 +265,10 @@ class FleetStats:
 #: A fully-resolved cache key: (scenario key, gamers key, probability, method).
 _CacheKey = Tuple[str, float, float, str]
 
+
+#: Distinguishes concurrent writers' temp cache files (PID + counter).
+_TEMP_COUNTER = itertools.count()
+
 #: Magic header of the persisted cache files.
 _CACHE_FORMAT = "repro-fleet-cache"
 _CACHE_VERSION = 1
@@ -340,9 +348,9 @@ class Fleet:
     # Scenario and engine management
     # ------------------------------------------------------------------
     @staticmethod
-    def resolve_scenario(spec: ScenarioSpec) -> Scenario:
-        """Resolve a request's scenario spec to a :class:`Scenario`."""
-        if isinstance(spec, Scenario):
+    def resolve_scenario(spec: ScenarioSpec):
+        """Resolve a request's scenario spec to a (mix) scenario."""
+        if isinstance(spec, (Scenario, MixScenario)):
             return spec
         if isinstance(spec, Mapping):
             return Scenario.from_dict(spec)
@@ -441,18 +449,26 @@ class Fleet:
     def _plan_batch(
         self, requests: Iterable[Union[Request, Mapping[str, Any]]]
     ) -> "_BatchPlan":
-        """Phase 1: resolve, probe the cache and compile the miss plans."""
+        """Phase 1: resolve, probe the cache and compile the miss plans.
+
+        Every request of the batch is resolved and validated —
+        operating-point range and downlink/uplink stability — *before*
+        any serving state (statistics, engine LRU, cache recency) is
+        touched, so a batch poisoned by one bad request raises without
+        mutating the fleet: counters, cache order and engines are
+        exactly as they were.
+        """
         batch = [
             r if isinstance(r, Request) else Request.from_dict(r) for r in requests
         ]
-        self.stats.batches += 1
-        self.stats.requests += len(batch)
 
+        # Resolve and validate without mutating any serving state.  The
+        # model rebuilt by the executing worker re-checks stability, but
+        # the error belongs here — and must fire before any bookkeeping.
         resolved = []
         for request in batch:
             scenario = self.resolve_scenario(request.scenario)
             scenario_key = scenario.cache_key()
-            self._engine_for(scenario, scenario_key)
             if request.num_gamers is not None:
                 num_gamers = float(request.num_gamers)
             else:
@@ -462,6 +478,16 @@ class Fleet:
                         f"load {float(request.downlink_load):.3f} corresponds to "
                         "fewer than one gamer"
                     )
+            downlink_load = scenario.load_for_gamers(num_gamers)
+            if downlink_load >= 1.0:
+                raise StabilityError(
+                    downlink_load, "downlink load on the aggregation link >= 1"
+                )
+            uplink_load = scenario.uplink_load_for(downlink_load)
+            if uplink_load >= 1.0:
+                raise StabilityError(
+                    uplink_load, "uplink load on the aggregation link >= 1"
+                )
             probability = (
                 self.probability if request.probability is None else float(request.probability)
             )
@@ -473,6 +499,12 @@ class Fleet:
                 method,
             )
             resolved.append((request, scenario, num_gamers, key))
+
+        # The whole batch is valid: account for it and touch the engines.
+        self.stats.batches += 1
+        self.stats.requests += len(batch)
+        for request, scenario, num_gamers, key in resolved:
+            self._engine_for(scenario, key[0])
 
         # Probe the cache; collect the distinct misses.
         values: Dict[_CacheKey, float] = {}
@@ -489,20 +521,6 @@ class Fleet:
                 cached_flags.append(False)
                 if key not in misses:
                     misses[key] = (scenario, num_gamers)
-
-        # Validate stability in the planning phase (the model rebuilt by
-        # the executing worker re-checks, but the error belongs here).
-        for scenario, num_gamers in misses.values():
-            downlink_load = scenario.load_for_gamers(num_gamers)
-            if downlink_load >= 1.0:
-                raise StabilityError(
-                    downlink_load, "downlink load on the aggregation link >= 1"
-                )
-            uplink_load = scenario.uplink_load_for(downlink_load)
-            if uplink_load >= 1.0:
-                raise StabilityError(
-                    uplink_load, "uplink load on the aggregation link >= 1"
-                )
 
         # Compile the misses of each (probability, method) group into
         # self-contained plans: parameters only, no live models.
@@ -604,6 +622,12 @@ class Fleet:
         Entries are written in LRU order (least recently used first) so
         a later :meth:`warm_start` restores both the floats — exactly,
         JSON round-trips every double — and the eviction order.
+
+        The write is **atomic**: the payload goes to a temporary file in
+        the target directory and is moved over ``path`` with
+        :func:`os.replace`, so a crash mid-write or a concurrent
+        :meth:`warm_start` reader never sees a truncated file — either
+        the previous cache or the new one, never garbage.
         """
         scenarios = {}
         entries = []
@@ -627,7 +651,52 @@ class Fleet:
             "scenarios": scenarios,
             "entries": entries,
         }
-        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        text = json.dumps(payload, indent=2) + "\n"
+        # Resolve symlinks first: os.replace would otherwise swap the
+        # link itself for a regular file, leaving the linked-to cache
+        # (e.g. a shared location) stale for every other consumer.
+        target = Path(os.path.realpath(path))
+        temp_name: Optional[str] = None
+        try:
+            # Create the temp file with mode 0666 and O_EXCL: the
+            # kernel applies the process's LIVE umask at creation (no
+            # racy os.umask read), so a fresh cache gets exactly the
+            # permissions a plain open() would have produced.
+            while True:
+                candidate = target.with_name(
+                    f"{target.name}.{os.getpid()}.{next(_TEMP_COUNTER)}.tmp"
+                )
+                try:
+                    descriptor = os.open(
+                        candidate, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666
+                    )
+                except FileExistsError:  # pragma: no cover - stale leftover
+                    continue
+                temp_name = str(candidate)
+                break
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                # Push the payload to disk before the rename becomes
+                # visible: without the fsync a power loss can commit
+                # the rename ahead of the data blocks, leaving exactly
+                # the truncated file this write scheme exists to avoid.
+                handle.flush()
+                os.fsync(handle.fileno())
+            try:
+                # An existing cache keeps its mode: an operator's chmod
+                # (e.g. 0600 on a topology-revealing file) survives the
+                # rewrite, exactly like the write_text this replaced.
+                os.chmod(temp_name, os.stat(target).st_mode & 0o7777)
+            except OSError:
+                pass  # fresh target: keep the umask-derived mode
+            os.replace(temp_name, target)
+        except BaseException:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:  # pragma: no cover - already moved
+                    pass
+            raise
         return len(entries)
 
     def warm_start(self, path: Union[str, Path]) -> int:
@@ -738,7 +807,15 @@ class Fleet:
                     path=path_str,
                     key=method,
                 )
-            key: _CacheKey = (keys[stored_key], num_gamers, probability, method)
+            # Canonicalize the gamers key exactly like serving does —
+            # an externally generated or hand-edited file may carry a
+            # raw float whose entry no lookup would ever hit otherwise.
+            key: _CacheKey = (
+                keys[stored_key],
+                Engine._gamers_key(num_gamers),
+                probability,
+                method,
+            )
             self._store(key, value)
             loaded += 1
         self.stats.warm_loaded += loaded

@@ -8,6 +8,7 @@ from .dsl import (
     PAPER_SERVER_PACKET_SIZES,
     PAPER_TICK_INTERVALS_S,
 )
+from .mix import MixComponent, MixScenario, ScenarioLike
 from .registry import (
     SCENARIO_PRESETS,
     available_scenarios,
@@ -20,6 +21,9 @@ from .sweep import SweepPoint, SweepSeries, default_load_grid, sweep_loads
 __all__ = [
     "Scenario",
     "DslScenario",
+    "MixComponent",
+    "MixScenario",
+    "ScenarioLike",
     "PAPER_BASELINE",
     "PAPER_ERLANG_ORDERS",
     "PAPER_SERVER_PACKET_SIZES",

@@ -38,11 +38,67 @@ from ..core.dimensioning import gamers_for_load, load_for_gamers
 from ..errors import ParameterError
 from ..units import require_non_negative, require_positive
 
-__all__ = ["Scenario"]
+__all__ = ["Scenario", "ScenarioSerializationMixin"]
+
+
+class ScenarioSerializationMixin:
+    """JSON and cache-key plumbing shared by every scenario type.
+
+    Concrete classes (:class:`Scenario`, the multi-server
+    :class:`~repro.scenarios.mix.MixScenario`) provide ``to_dict`` /
+    ``from_dict``; this mixin derives the JSON round-trip, the file
+    persistence and — critically — the canonical cache-key scheme
+    (sorted-key single-line JSON, sha256 prefix) from them, so the key
+    namespace used by :class:`repro.fleet.Fleet` for sharding and cache
+    persistence can never drift between scenario families.
+    """
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering of ``to_dict``."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ParameterError("a scenario JSON document must be an object")
+        return cls.from_dict(data)
+
+    def canonical_json(self) -> str:
+        """Deterministic single-line JSON rendering (sorted keys).
+
+        The serialization backing :meth:`cache_key`: two scenarios have
+        the same canonical JSON exactly when they are equal, and the
+        rendering is stable across processes and sessions (``repr``
+        round-trips every float exactly).
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self) -> str:
+        """Canonical sharding/cache key of the scenario.
+
+        A short hex digest of :meth:`canonical_json`, stable across
+        processes, used by :class:`repro.fleet.Fleet` to shard requests
+        onto engines and to key persisted caches.  Equal scenarios —
+        however they were constructed — share the key; any parameter
+        change produces a different one.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the scenario to ``path`` as JSON."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]):
+        """Read a scenario previously written with :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
 
 @dataclass(frozen=True)
-class Scenario:
+class Scenario(ScenarioSerializationMixin):
     """One access-network parameter combination (defaults: Section 4 DSL).
 
     Parameters
@@ -95,13 +151,22 @@ class Scenario:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+    def from_dict(cls, data: Mapping[str, Any]):
         """Build a scenario from a (possibly partial) parameter mapping.
 
         Missing keys fall back to the class defaults; unknown keys raise
         :class:`~repro.errors.ParameterError` so that typos do not pass
         silently.  Values are coerced to their field types.
+
+        A mapping tagged ``"type": "mix"`` describes a multi-server
+        :class:`~repro.scenarios.mix.MixScenario` and is dispatched
+        there, so persisted caches, JSONL request files and ``load``-ed
+        documents round-trip mixes through the same entry point.
         """
+        if data.get("type") == "mix":
+            from .mix import MixScenario  # local import: mix builds on base
+
+            return MixScenario.from_dict(data)
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
@@ -116,48 +181,12 @@ class Scenario:
                 kwargs[name] = float(value)
         return cls(**kwargs)
 
-    def to_json(self, indent: int = 2) -> str:
-        """JSON rendering of :meth:`to_dict`."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+    # to_json / from_json / canonical_json / cache_key / save / load
+    # come from ScenarioSerializationMixin (shared with MixScenario).
 
-    @classmethod
-    def from_json(cls, text: str) -> "Scenario":
-        """Inverse of :meth:`to_json`."""
-        data = json.loads(text)
-        if not isinstance(data, dict):
-            raise ParameterError("a scenario JSON document must be an object")
-        return cls.from_dict(data)
-
-    def canonical_json(self) -> str:
-        """Deterministic single-line JSON rendering (sorted keys).
-
-        The serialization backing :meth:`cache_key`: two scenarios have
-        the same canonical JSON exactly when they are equal, and the
-        rendering is stable across processes and sessions (``repr``
-        round-trips every float exactly).
-        """
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-
-    def cache_key(self) -> str:
-        """Canonical sharding/cache key of the scenario.
-
-        A short hex digest of :meth:`canonical_json`, stable across
-        processes, used by :class:`repro.fleet.Fleet` to shard requests
-        onto engines and to key persisted caches.  Equal scenarios —
-        however they were constructed — share the key; any parameter
-        change produces a different one.
-        """
-        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
-        return digest.hexdigest()[:16]
-
-    def save(self, path: Union[str, Path]) -> None:
-        """Write the scenario to ``path`` as JSON."""
-        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
-
-    @classmethod
-    def load(cls, path: Union[str, Path]) -> "Scenario":
-        """Read a scenario previously written with :meth:`save`."""
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+    def describe(self) -> str:
+        """Short human-readable label (used by sweep series)."""
+        return f"K={self.erlang_order}, T={self.tick_interval_s * 1e3:.0f}ms"
 
     # ------------------------------------------------------------------
     # Variants

@@ -1,0 +1,379 @@
+"""Multi-server mix scenarios: several game servers on one reserved pipe.
+
+Section 3.2 of the paper notes that traffic from several game servers
+multiplexed over one reserved bit pipe forms an N*D/G/1 queue, well
+approximated by M/G/1 with a rate-weighted Erlang service mixture.
+:class:`MixScenario` is the scenario-layer expression of that workload:
+a tuple of **components** — each an ordinary per-game
+:class:`~repro.scenarios.base.Scenario` (typically a registry preset)
+carrying that game's traffic parameters, plus the fraction of the gamer
+population playing it — sharing one reserved ``aggregation_rate_bps``
+pipe.  The ``tagged`` component names the game whose gamers' RTT is
+served.
+
+Like :class:`Scenario`, a mix is frozen, validated on construction,
+JSON round-trips (``to_dict`` / ``from_dict`` / ``save`` / ``load``;
+the documents carry ``"type": "mix"`` and nest the component parameter
+dictionaries, so :meth:`Scenario.from_dict` dispatches here
+transparently — persisted fleet caches and JSONL request files just
+work), exposes the eq. (37)-style load <-> gamer-count conversions (now
+rate-weighted sums over the components) and a :meth:`cache_key` for
+request sharding and cache persistence.  :meth:`model_for_gamers`
+builds the :class:`~repro.core.rtt.MixPingTimeModel` that compiles into
+the same picklable evaluation plans as every single-server model.
+
+Only the *traffic* parameters (tick interval, packet sizes, Erlang
+order) of the components are aggregated on the shared pipe; the access
+links, propagation delay and server processing time seen by the served
+RTT are the **tagged** component's — each component's own
+``aggregation_rate_bps`` is superseded by the mix-level pipe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.rtt import MixFlow, MixPingTimeModel
+from ..errors import ParameterError
+from ..units import require_positive
+from .base import Scenario, ScenarioSerializationMixin
+
+__all__ = ["MixComponent", "MixScenario", "ScenarioLike"]
+
+#: The ``type`` tag that routes :meth:`Scenario.from_dict` to mixes.
+MIX_TYPE = "mix"
+
+#: Anything the serving layer treats as a scenario: a plain
+#: :class:`Scenario` or a multi-server :class:`MixScenario`.  (They are
+#: distinct dataclasses sharing :class:`ScenarioSerializationMixin`, not
+#: a nominal hierarchy — a mix is not substitutable for a single-server
+#: scenario field-for-field.)
+ScenarioLike = Union[Scenario, "MixScenario"]
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One game server's flow in a :class:`MixScenario`.
+
+    Parameters
+    ----------
+    scenario:
+        The per-game scenario carrying this server's traffic parameters
+        (tick interval, packet sizes, burst Erlang order).  Its own
+        aggregation rate is ignored — the mix's shared pipe replaces it.
+    weight:
+        Fraction of the mix's total gamer population on this server.
+    """
+
+    scenario: Scenario
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scenario, Scenario):
+            raise ParameterError(
+                f"a mix component needs a Scenario, got {type(self.scenario).__name__}"
+            )
+        require_positive(self.weight, "weight")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary view (JSON-ready)."""
+        return {"weight": self.weight, "scenario": self.scenario.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MixComponent":
+        """Inverse of :meth:`to_dict`."""
+        unknown = sorted(set(data) - {"weight", "scenario"})
+        if unknown:
+            raise ParameterError(
+                f"unknown mix component field(s) {unknown}; known: ['scenario', 'weight']"
+            )
+        if "weight" not in data or "scenario" not in data:
+            raise ParameterError("a mix component needs 'weight' and 'scenario'")
+        scenario = data["scenario"]
+        if not isinstance(scenario, Scenario):
+            if not isinstance(scenario, Mapping):
+                raise ParameterError(
+                    "a mix component's 'scenario' must be a parameter mapping"
+                )
+            scenario = Scenario.from_dict(scenario)
+        return cls(scenario=scenario, weight=float(data["weight"]))
+
+
+@dataclass(frozen=True)
+class MixScenario(ScenarioSerializationMixin):
+    """Several per-game server flows sharing one reserved bottleneck pipe.
+
+    Parameters
+    ----------
+    components:
+        The per-game flows (:class:`MixComponent`; ``(scenario, weight)``
+        tuples and mappings are coerced).  Weights must sum to one —
+        use :meth:`from_scenarios` to normalize arbitrary weights.
+    aggregation_rate_bps:
+        Capacity of the shared reserved bit pipe, in bit/s.
+    tagged:
+        Index of the component whose gamers' RTT is served (its Erlang
+        order must be >= 2); :meth:`tagged_variant` derives the other
+        views of the same mix.
+    """
+
+    components: Tuple[MixComponent, ...]
+    aggregation_rate_bps: float
+    tagged: int = 0
+
+    def __post_init__(self) -> None:
+        coerced = []
+        for component in self.components:
+            if isinstance(component, MixComponent):
+                coerced.append(component)
+            elif isinstance(component, Mapping):
+                coerced.append(MixComponent.from_dict(component))
+            else:
+                scenario, weight = component
+                coerced.append(MixComponent(scenario=scenario, weight=float(weight)))
+        object.__setattr__(self, "components", tuple(coerced))
+        if not self.components:
+            raise ParameterError("a mix needs at least one component")
+        total_weight = math.fsum(c.weight for c in self.components)
+        if abs(total_weight - 1.0) > 1e-9:
+            raise ParameterError(
+                f"mix component weights must sum to 1, got {total_weight!r} "
+                "(use MixScenario.from_scenarios to normalize)"
+            )
+        require_positive(self.aggregation_rate_bps, "aggregation_rate_bps")
+        if int(self.tagged) != self.tagged or not 0 <= int(self.tagged) < len(
+            self.components
+        ):
+            raise ParameterError(
+                f"tagged must be a component index in [0, {len(self.components)}), "
+                f"got {self.tagged!r}"
+            )
+        object.__setattr__(self, "tagged", int(self.tagged))
+        if self.tagged_component.scenario.erlang_order < 2:
+            raise ParameterError("the tagged component needs erlang_order >= 2")
+
+    # ------------------------------------------------------------------
+    # Constructors and variants
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenarios(
+        cls,
+        scenarios: Sequence[Scenario],
+        weights: Optional[Sequence[float]] = None,
+        *,
+        aggregation_rate_bps: float,
+        tagged: int = 0,
+    ) -> "MixScenario":
+        """Build a mix from scenarios and (unnormalized) weights.
+
+        ``weights`` defaults to an even split; any positive weights are
+        accepted and normalized to sum to one.
+        """
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ParameterError("a mix needs at least one component")
+        if weights is None:
+            weights = [1.0] * len(scenarios)
+        weights = [float(w) for w in weights]
+        if len(weights) != len(scenarios):
+            raise ParameterError(
+                f"got {len(scenarios)} scenarios but {len(weights)} weights"
+            )
+        if any(w <= 0.0 for w in weights):
+            raise ParameterError("mix weights must be positive")
+        total = math.fsum(weights)
+        components = tuple(
+            MixComponent(scenario=scenario, weight=weight / total)
+            for scenario, weight in zip(scenarios, weights)
+        )
+        return cls(
+            components=components,
+            aggregation_rate_bps=float(aggregation_rate_bps),
+            tagged=tagged,
+        )
+
+    def derive(self, **overrides: Any) -> "MixScenario":
+        """Copy of the mix with the given fields replaced (re-validated).
+
+        Valid fields are ``components``, ``aggregation_rate_bps`` and
+        ``tagged``; per-game traffic parameters belong to the component
+        scenarios.
+        """
+        known = {"components", "aggregation_rate_bps", "tagged"}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ParameterError(
+                f"unknown mix parameter(s) {unknown}; known: {sorted(known)}"
+            )
+        return replace(self, **overrides)
+
+    def tagged_variant(self, tagged: int) -> "MixScenario":
+        """The same mix serving component ``tagged``'s gamers."""
+        return self.derive(tagged=tagged)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tagged_component(self) -> MixComponent:
+        """The component whose gamers' RTT is served."""
+        return self.components[self.tagged]
+
+    def weights(self) -> Tuple[float, ...]:
+        """The component weights (sum to one)."""
+        return tuple(c.weight for c in self.components)
+
+    def describe(self) -> str:
+        """Short human-readable label (used by sweep series)."""
+        tagged = self.tagged_component.scenario
+        return (
+            f"mix[{len(self.components)}] tagged K={tagged.erlang_order}, "
+            f"T={tagged.tick_interval_s * 1e3:.0f}ms"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary view, tagged ``"type": "mix"`` (JSON-ready)."""
+        return {
+            "type": MIX_TYPE,
+            "components": [c.to_dict() for c in self.components],
+            "aggregation_rate_bps": self.aggregation_rate_bps,
+            "tagged": self.tagged,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MixScenario":
+        """Build a mix from a dictionary written by :meth:`to_dict`."""
+        known = {"type", "components", "aggregation_rate_bps", "tagged"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ParameterError(
+                f"unknown mix parameter(s) {unknown}; known: {sorted(known)}"
+            )
+        if data.get("type", MIX_TYPE) != MIX_TYPE:
+            raise ParameterError(
+                f"a mix document needs \"type\": \"{MIX_TYPE}\", got {data.get('type')!r}"
+            )
+        if "components" not in data or "aggregation_rate_bps" not in data:
+            raise ParameterError(
+                "a mix document needs 'components' and 'aggregation_rate_bps'"
+            )
+        components = data["components"]
+        if not isinstance(components, Sequence) or isinstance(components, (str, bytes)):
+            raise ParameterError("the mix 'components' must be an array")
+        # The raw tagged value goes straight to __post_init__, whose
+        # integer-index validation must see e.g. 1.5 (int() here would
+        # silently floor values the constructor rejects).
+        return cls(
+            components=tuple(MixComponent.from_dict(c) for c in components),
+            aggregation_rate_bps=float(data["aggregation_rate_bps"]),
+            tagged=data.get("tagged", 0),
+        )
+
+    # to_json / from_json / canonical_json / cache_key / save / load
+    # come from ScenarioSerializationMixin — the same digest scheme as
+    # Scenario, and the "type": "mix" tag in to_dict keeps mix keys
+    # disjoint from plain scenario keys by construction.
+
+    # ------------------------------------------------------------------
+    # Load / gamer conversions (rate-weighted eq. (37))
+    # ------------------------------------------------------------------
+    @property
+    def _downlink_load_per_gamer(self) -> float:
+        """Downlink load of one (weight-split) gamer on the shared pipe."""
+        return sum(
+            8.0 * c.weight * c.scenario.server_packet_bytes
+            / (c.scenario.tick_interval_s * self.aggregation_rate_bps)
+            for c in self.components
+        )
+
+    @property
+    def _uplink_ratio(self) -> float:
+        """``rho_u / rho_d`` — constant because both scale with the gamers."""
+        up = sum(
+            c.weight * c.scenario.client_packet_bytes / c.scenario.tick_interval_s
+            for c in self.components
+        )
+        down = sum(
+            c.weight * c.scenario.server_packet_bytes / c.scenario.tick_interval_s
+            for c in self.components
+        )
+        return up / down
+
+    def gamers_at_load(self, downlink_load: float) -> float:
+        """Total gamers realising ``downlink_load`` (may be fractional)."""
+        if not 0.0 < downlink_load < 1.0:
+            raise ParameterError("downlink_load must lie in (0, 1)")
+        return downlink_load / self._downlink_load_per_gamer
+
+    def load_for_gamers(self, num_gamers: float) -> float:
+        """Downlink load generated by ``num_gamers`` total players."""
+        return num_gamers * self._downlink_load_per_gamer
+
+    def component_gamers(self, num_gamers: float) -> Tuple[float, ...]:
+        """Per-component gamer counts for a total of ``num_gamers``."""
+        return tuple(c.weight * num_gamers for c in self.components)
+
+    def uplink_load_for(self, downlink_load: float) -> float:
+        """Uplink aggregation load realised at ``downlink_load`` downstream."""
+        if not 0.0 < downlink_load < 1.0:
+            raise ParameterError("downlink_load must lie in (0, 1)")
+        return downlink_load * self._uplink_ratio
+
+    def downlink_load_for(self, uplink_load: float) -> float:
+        """Downlink aggregation load realised at ``uplink_load`` upstream."""
+        if not 0.0 < uplink_load < 1.0:
+            raise ParameterError("uplink_load must lie in (0, 1)")
+        return uplink_load / self._uplink_ratio
+
+    def stable_load_ceiling(self, max_load_ceiling: float = 0.98) -> float:
+        """Largest downlink load keeping both aggregation queues stable."""
+        if not 0.0 < max_load_ceiling < 1.0:
+            raise ParameterError("max_load_ceiling must lie in (0, 1)")
+        return min(max_load_ceiling, max_load_ceiling / self._uplink_ratio)
+
+    # ------------------------------------------------------------------
+    # Model construction
+    # ------------------------------------------------------------------
+    def flows(self) -> Tuple[MixFlow, ...]:
+        """The components as plan-ready :class:`MixFlow` records."""
+        return tuple(
+            MixFlow(
+                tick_interval_s=c.scenario.tick_interval_s,
+                client_packet_bytes=c.scenario.client_packet_bytes,
+                server_packet_bytes=c.scenario.server_packet_bytes,
+                erlang_order=c.scenario.erlang_order,
+                weight=c.weight,
+            )
+            for c in self.components
+        )
+
+    def model_kwargs(self) -> Dict[str, Any]:
+        """The mix as :class:`MixPingTimeModel` keyword arguments."""
+        tagged = self.tagged_component.scenario
+        return {
+            "flows": self.flows(),
+            "tagged": self.tagged,
+            "access_uplink_bps": tagged.access_uplink_bps,
+            "access_downlink_bps": tagged.access_downlink_bps,
+            "aggregation_rate_bps": self.aggregation_rate_bps,
+            "propagation_delay_s": tagged.propagation_delay_s,
+            "server_processing_s": tagged.server_processing_s,
+        }
+
+    def model_for_gamers(self, num_gamers: float) -> MixPingTimeModel:
+        """RTT model for an explicit total number of gamers."""
+        return MixPingTimeModel(num_gamers=num_gamers, **self.model_kwargs())
+
+    def model_at_load(self, downlink_load: float) -> MixPingTimeModel:
+        """RTT model at the given downlink load on the shared pipe."""
+        num_gamers = self.gamers_at_load(downlink_load)
+        if num_gamers < 1.0:
+            raise ParameterError(
+                f"load {downlink_load:.3f} corresponds to fewer than one gamer"
+            )
+        return self.model_for_gamers(num_gamers)

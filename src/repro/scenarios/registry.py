@@ -17,10 +17,15 @@ Four families are registered by default:
 * per-game traffic presets derived from the published characteristics
   in :mod:`repro.traffic.games` (Tables 1-3 of the paper): the game's
   mean server/client packet sizes and tick interval replace the Section
-  4 placeholders, the access network staying the DSL baseline.
+  4 placeholders, the access network staying the DSL baseline, and
+* the ``multi-game-dsl`` multi-server mix: three of those game presets
+  multiplexed on one reserved 10 Mbit/s pipe (a
+  :class:`~repro.scenarios.mix.MixScenario`, the Section 3.2 N*D/G/1
+  workload).
 
 ``scenario_from_spec`` additionally resolves a path to a JSON file
-written with :meth:`Scenario.save`, which is what the CLI accepts.
+written with :meth:`Scenario.save` or :meth:`MixScenario.save`, which
+is what the CLI accepts.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from typing import Dict, List, Union
 from ..traffic.games import counter_strike, half_life, halo, quake3, unreal_tournament
 from .base import Scenario
 from .dsl import PAPER_BASELINE
+from .mix import MixScenario, ScenarioLike
 
 __all__ = [
     "SCENARIO_PRESETS",
@@ -84,9 +90,13 @@ def _game_presets() -> Dict[str, Scenario]:
     }
 
 
+#: The per-game traffic presets, shared by the flat registry below and
+#: the multi-server mix preset that multiplexes three of them.
+_GAME_PRESETS = _game_presets()
+
 #: The built-in presets.  Access profiles: the DSL baseline of the paper,
 #: plus cable / FTTH / LTE-style rate sets with the same gaming traffic.
-SCENARIO_PRESETS: Dict[str, Scenario] = {
+SCENARIO_PRESETS: Dict[str, ScenarioLike] = {
     "paper-dsl": PAPER_BASELINE,
     "paper-dsl-tick40": PAPER_BASELINE.derive(tick_interval_s=0.040),
     "cable": PAPER_BASELINE.derive(
@@ -138,20 +148,42 @@ SCENARIO_PRESETS: Dict[str, Scenario] = {
         aggregation_rate_bps=2_000_000_000.0,
         server_processing_s=0.004,
     ),
-    **_game_presets(),
+    **_GAME_PRESETS,
+    # Three heterogeneous game servers (Counter-Strike, Quake III and
+    # Half-Life traffic, all on DSL access) multiplexed on one 10 Mbit/s
+    # reserved pipe — the Section 3.2 N*D/G/1 -> M/G/1 workload.  Half
+    # the gamers play Counter-Strike (the tagged, served component);
+    # tagged_variant(i) serves the other games' gamers on the same mix.
+    "multi-game-dsl": MixScenario.from_scenarios(
+        [
+            _GAME_PRESETS["counter-strike"],
+            _GAME_PRESETS["quake3"],
+            _GAME_PRESETS["half-life"],
+        ],
+        weights=(0.5, 0.3, 0.2),
+        aggregation_rate_bps=10_000_000.0,
+    ),
 }
 
 
-def register_scenario(name: str, scenario: Scenario, *, overwrite: bool = False) -> None:
-    """Add (or replace, with ``overwrite=True``) a named preset."""
-    if not isinstance(scenario, Scenario):
-        raise TypeError(f"expected a Scenario, got {type(scenario).__name__}")
+def register_scenario(
+    name: str, scenario: ScenarioLike, *, overwrite: bool = False
+) -> None:
+    """Add (or replace, with ``overwrite=True``) a named preset.
+
+    Both plain :class:`Scenario` values and multi-server
+    :class:`MixScenario` values are accepted.
+    """
+    if not isinstance(scenario, (Scenario, MixScenario)):
+        raise TypeError(
+            f"expected a Scenario or MixScenario, got {type(scenario).__name__}"
+        )
     if name in SCENARIO_PRESETS and not overwrite:
         raise KeyError(f"scenario preset {name!r} already registered")
     SCENARIO_PRESETS[name] = scenario
 
 
-def get_scenario(name: str) -> Scenario:
+def get_scenario(name: str) -> ScenarioLike:
     """Look up a preset by name."""
     try:
         return SCENARIO_PRESETS[name]
@@ -166,7 +198,7 @@ def available_scenarios() -> List[str]:
     return sorted(SCENARIO_PRESETS)
 
 
-def scenario_from_spec(spec: Union[str, "os.PathLike[str]"]) -> Scenario:
+def scenario_from_spec(spec: Union[str, "os.PathLike[str]"]) -> ScenarioLike:
     """Resolve a preset name or a JSON file path to a :class:`Scenario`.
 
     A spec that names a registered preset wins; otherwise it is treated

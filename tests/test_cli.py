@@ -174,8 +174,15 @@ class TestScenariosCommand:
         exit_code = main(["scenarios", "list"])
         out = capsys.readouterr().out
         assert exit_code == 0
-        for name in ("paper-dsl", "ftth", "satellite-leo", "dsl-mixed-background"):
+        for name in (
+            "paper-dsl",
+            "ftth",
+            "satellite-leo",
+            "dsl-mixed-background",
+            "multi-game-dsl",
+        ):
             assert name in out
+        assert "mix[3]" in out  # the multi-server preset is marked
         assert "cache key" in out
 
     def test_action_defaults_to_list(self, capsys):
@@ -258,6 +265,47 @@ class TestFleetCommand:
         assert warm["cached"] is True
         assert warm["rtt_quantile_s"] == cold["rtt_quantile_s"]
         assert json.loads(second.err)["warm_loaded"] == 1
+
+    def test_simulate_rejects_mix_scenarios_with_one_line_error(self, capsys):
+        exit_code = main(
+            ["simulate", "--scenario", "multi-game-dsl", "--clients", "5",
+             "--duration", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error: the discrete-event simulator does not support" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_serves_multi_server_mix_requests(self, capsys, tmp_path):
+        # The ISSUE 5 acceptance path: a registry mix preset served
+        # end-to-end through the CLI with cache persistence.
+        from repro.engine import Engine
+        from repro.scenarios import get_scenario
+
+        requests = tmp_path / "requests.jsonl"
+        cache = tmp_path / "cache.json"
+        self._write_requests(
+            requests,
+            [
+                {"scenario": "multi-game-dsl", "load": 0.4, "tag": "mix"},
+                {"scenario": "paper-dsl", "load": 0.4, "tag": "single"},
+            ],
+        )
+        args = ["fleet", "--requests", str(requests), "--warm-cache", str(cache)]
+        assert main(args) == 0
+        cold = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert cold[0]["tag"] == "mix"
+        expected = Engine(get_scenario("multi-game-dsl")).rtt_quantile(0.4)
+        assert cold[0]["rtt_quantile_s"] == expected
+        # The persisted cache round-trips the mix scenario document.
+        assert main(args) == 0
+        warm = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert all(a["cached"] for a in warm)
+        assert warm[0]["rtt_quantile_s"] == cold[0]["rtt_quantile_s"]
 
     def test_batch_alias(self, capsys, tmp_path):
         requests = tmp_path / "requests.jsonl"

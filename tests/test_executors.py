@@ -205,6 +205,57 @@ class TestParallelExecutor:
         executor.close()
         assert [r.values for r in first] == [r.values for r in second]
 
+    def test_broken_pool_raises_typed_error_and_respawns(self):
+        # ISSUE 5: a dead worker used to poison the executor forever —
+        # every later run hit the same BrokenProcessPool.  Now the pool
+        # is disposed with a typed error and the next run respawns it.
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.errors import ExecutorBrokenError, ReproError
+
+        models = _models(loads=(0.4,), presets=("paper-dsl",))
+        plans = compile_eval_plans(models, PROBABILITY)
+        executor = ParallelExecutor(workers=1)
+        try:
+            first = executor.run(plans)
+            # Kill the worker mid-life: os._exit bypasses all cleanup,
+            # exactly like the OOM-killer or a crash would.
+            killer = executor._pool.submit(os._exit, 1)
+            with pytest.raises(BrokenProcessPool):
+                killer.result()
+            with pytest.raises(ExecutorBrokenError):
+                executor.run(plans)
+            assert executor._pool is None  # the dead pool was disposed
+            second = executor.run(plans)  # a fresh pool spawns lazily
+            assert [r.values for r in second] == [r.values for r in first]
+        finally:
+            executor.close()
+        assert issubclass(ExecutorBrokenError, ReproError)
+
+    def test_broken_pool_recovery_in_run_async(self):
+        from repro.errors import ExecutorBrokenError
+
+        models = _models(loads=(0.4,), presets=("paper-dsl",))
+        plans = compile_eval_plans(models, PROBABILITY)
+
+        async def main():
+            executor = ParallelExecutor(workers=1)
+            try:
+                first = await executor.run_async(plans)
+                killer = executor._pool.submit(os._exit, 1)
+                with pytest.raises(Exception):
+                    killer.result()  # wait until the pool notices the death
+                with pytest.raises(ExecutorBrokenError):
+                    await executor.run_async(plans)
+                assert executor._pool is None
+                second = await executor.run_async(plans)
+                return first, second
+            finally:
+                executor.close()
+
+        first, second = asyncio.run(main())
+        assert [r.values for r in second] == [r.values for r in first]
+
     def test_worker_errors_propagate(self):
         bad = EvalPlan(
             probability=PROBABILITY,

@@ -12,7 +12,7 @@ import json
 import pytest
 
 from repro.engine import Engine
-from repro.errors import ParameterError
+from repro.errors import ParameterError, StabilityError
 from repro.fleet import Answer, Fleet, FleetStats, Request
 from repro.scenarios import PAPER_BASELINE, Scenario, get_scenario
 
@@ -471,6 +471,188 @@ class TestWarmStartHardening:
         with pytest.raises(CacheFormatError):
             fleet.warm_start(path)
         assert fleet.cache_size() == 1  # the good entry survived
+
+
+class TestAtomicSaveCache:
+    """save_cache must never leave a truncated file behind (ISSUE 5)."""
+
+    def test_failed_write_preserves_the_previous_cache(self, tmp_path, monkeypatch):
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        fleet.save_cache(path)
+        before = path.read_text(encoding="utf-8")
+
+        fleet.serve([Request("ftth", downlink_load=0.4)])
+        monkeypatch.setattr(
+            "repro.fleet.os.replace",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError, match="disk full"):
+            fleet.save_cache(path)
+        # The previous cache file is untouched and still loads cleanly.
+        assert path.read_text(encoding="utf-8") == before
+        warm = Fleet()
+        assert warm.warm_start(path) == 1
+        # No orphaned temporary files pollute the directory.
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+    def test_successful_save_replaces_atomically(self, tmp_path):
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        assert fleet.save_cache(path) == 1
+        fleet.serve([Request("ftth", downlink_load=0.4)])
+        assert fleet.save_cache(path) == 2
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+        warm = Fleet()
+        assert warm.warm_start(path) == 2
+
+    def test_saved_file_keeps_ordinary_permissions(self, tmp_path):
+        # mkstemp creates 0600 temp files; a fresh cache must get the
+        # umask-derived mode a plain open() would have, so sibling
+        # readers (monitoring jobs, other services) keep access.
+        import os as _os
+        import stat
+
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        fleet.save_cache(path)
+        umask = _os.umask(0o022)
+        _os.umask(umask)
+        mode = stat.S_IMODE(path.stat().st_mode)
+        assert mode == 0o666 & ~umask
+
+    def test_save_writes_through_a_symlinked_path(self, tmp_path):
+        # Regression: the atomic replace must land on the symlink's
+        # TARGET (like write_text did), not swap the link for a file.
+        import os as _os
+
+        shared = tmp_path / "shared" / "fleet-cache.json"
+        shared.parent.mkdir()
+        link = tmp_path / "cache.json"
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        fleet.save_cache(shared)
+        link.symlink_to(shared)
+
+        fleet.serve([Request("ftth", downlink_load=0.4)])
+        assert fleet.save_cache(link) == 2
+        assert link.is_symlink()  # the link survives
+        warm = Fleet()
+        assert warm.warm_start(shared) == 2  # the shared file was updated
+        assert _os.path.realpath(link) == str(shared)
+
+    def test_resave_preserves_an_operator_restricted_mode(self, tmp_path):
+        # An operator may chmod the cache (it encodes their topology);
+        # rewriting it must keep that mode, exactly like the plain
+        # write_text it replaced did.
+        import stat
+
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        fleet.save_cache(path)
+        path.chmod(0o600)
+        fleet.serve([Request("ftth", downlink_load=0.4)])
+        assert fleet.save_cache(path) == 2
+        assert stat.S_IMODE(path.stat().st_mode) == 0o600
+
+
+class TestWarmStartCanonicalization:
+    """warm_start keys must round through Engine._gamers_key (ISSUE 5)."""
+
+    def test_perturbed_gamers_values_still_hit(self, tmp_path):
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        [answer] = fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        fleet.save_cache(path)
+
+        # Simulate an externally generated file: the gamers value drifts
+        # below the 9-decimal canonical rounding (e.g. a writer that
+        # recomputed it in higher precision).
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        [entry] = payload["entries"]
+        entry["num_gamers"] = entry["num_gamers"] + 1e-11
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+        warm = Fleet()
+        assert warm.warm_start(path) == 1
+        [restored] = warm.serve([Request("paper-dsl", downlink_load=0.4)])
+        assert restored.cached
+        assert restored.rtt_quantile_s == answer.rtt_quantile_s
+
+    def test_loaded_keys_are_canonical(self, tmp_path):
+        path = tmp_path / "cache.json"
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        fleet.save_cache(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["entries"][0]["num_gamers"] += 1e-11
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        warm = Fleet()
+        warm.warm_start(path)
+        for key in warm.cached_keys():
+            assert key[1] == Engine._gamers_key(key[1])
+
+
+class TestBatchValidationAtomicity:
+    """A poisoned batch must not mutate stats, cache order or engines."""
+
+    def _snapshot(self, fleet):
+        return (
+            fleet.stats.as_dict(),
+            fleet.cached_keys(),
+            list(fleet._engines),
+            set(fleet._scenarios),
+        )
+
+    def test_unstable_gamer_request_leaves_state_untouched(self):
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=l) for l in (0.2, 0.4)])
+        fleet.serve([Request("paper-dsl", downlink_load=0.2)])  # 0.2 is MRU
+        before = self._snapshot(fleet)
+        with pytest.raises(StabilityError):
+            fleet.serve(
+                [
+                    Request("ftth", downlink_load=0.3),  # fresh scenario
+                    Request("paper-dsl", downlink_load=0.4),  # would be a hit
+                    Request("paper-dsl", num_gamers=1e9),  # unstable
+                ]
+            )
+        assert self._snapshot(fleet) == before
+
+    def test_unstable_uplink_request_leaves_state_untouched(self):
+        # Client packets larger than server packets: the uplink
+        # saturates while the downlink load still looks fine.
+        heavy_uplink = PAPER_BASELINE.derive(client_packet_bytes=200.0)
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        before = self._snapshot(fleet)
+        with pytest.raises(StabilityError, match="uplink"):
+            fleet.serve([Request(heavy_uplink, downlink_load=0.8)])
+        assert self._snapshot(fleet) == before
+
+    def test_subunit_gamer_request_leaves_state_untouched(self):
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        before = self._snapshot(fleet)
+        with pytest.raises(ParameterError, match="fewer than one gamer"):
+            fleet.serve(
+                [
+                    Request("paper-dsl", downlink_load=0.5),
+                    Request("paper-dsl", downlink_load=1e-4),
+                ]
+            )
+        assert self._snapshot(fleet) == before
+
+    def test_valid_batches_still_account_normally(self):
+        fleet = Fleet()
+        fleet.serve([Request("paper-dsl", downlink_load=0.4)])
+        assert fleet.stats.batches == 1
+        assert fleet.stats.requests == 1
+        assert fleet.stats.cache_misses == 1
 
 
 class TestServeExecutor:

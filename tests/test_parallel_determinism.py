@@ -58,7 +58,9 @@ class TestQuickDeterminism:
 
     REQUESTS = [
         Request(preset, downlink_load=load)
-        for preset in ("paper-dsl", "ftth", "cloud-gaming")
+        # multi-game-dsl exercises the MixPingTimeModel plan path: mix
+        # plans must be bit-identical across executors too (ISSUE 5).
+        for preset in ("paper-dsl", "ftth", "cloud-gaming", "multi-game-dsl")
         for load in LOADS
     ]
 

@@ -1,0 +1,256 @@
+"""Tests for the multi-server mix scenario type (ISSUE 5 tentpole).
+
+The contract: a :class:`MixScenario` is a first-class scenario — frozen,
+validated, JSON round-tripping through the same
+:meth:`Scenario.from_dict` entry point the serving layer uses, with a
+canonical :meth:`cache_key` and rate-weighted eq. (37)-style load
+conversions — built from ordinary per-game :class:`Scenario` components
+sharing one reserved pipe.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.scenarios import (
+    SCENARIO_PRESETS,
+    MixComponent,
+    MixScenario,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_from_spec,
+)
+
+CS = get_scenario("counter-strike")
+Q3 = get_scenario("quake3")
+HL = get_scenario("half-life")
+
+
+def small_mix(tagged=0):
+    return MixScenario.from_scenarios(
+        [CS, Q3], weights=(3.0, 1.0), aggregation_rate_bps=8e6, tagged=tagged
+    )
+
+
+class TestConstruction:
+    def test_from_scenarios_normalizes_weights(self):
+        mix = small_mix()
+        assert mix.weights() == pytest.approx((0.75, 0.25))
+        assert sum(mix.weights()) == pytest.approx(1.0)
+
+    def test_even_split_by_default(self):
+        mix = MixScenario.from_scenarios([CS, Q3, HL], aggregation_rate_bps=1e7)
+        assert mix.weights() == pytest.approx((1 / 3, 1 / 3, 1 / 3))
+
+    def test_requires_components(self):
+        with pytest.raises(ParameterError, match="at least one component"):
+            MixScenario.from_scenarios([], aggregation_rate_bps=1e7)
+        with pytest.raises(ParameterError, match="at least one component"):
+            MixScenario(components=(), aggregation_rate_bps=1e7)
+
+    def test_strict_constructor_rejects_unnormalized_weights(self):
+        with pytest.raises(ParameterError, match="sum to 1"):
+            MixScenario(
+                components=(MixComponent(CS, 0.5), MixComponent(Q3, 0.4)),
+                aggregation_rate_bps=1e7,
+            )
+
+    def test_rejects_bad_weights_and_rates(self):
+        with pytest.raises(ParameterError):
+            MixComponent(CS, 0.0)
+        with pytest.raises(ParameterError):
+            MixScenario.from_scenarios([CS, Q3], weights=(1.0, -1.0), aggregation_rate_bps=1e7)
+        with pytest.raises(ParameterError):
+            MixScenario.from_scenarios([CS], aggregation_rate_bps=0.0)
+        with pytest.raises(ParameterError, match="weights"):
+            MixScenario.from_scenarios([CS], weights=(1.0, 2.0), aggregation_rate_bps=1e7)
+
+    def test_rejects_bad_tagged_index(self):
+        with pytest.raises(ParameterError, match="tagged"):
+            MixScenario.from_scenarios([CS, Q3], aggregation_rate_bps=1e7, tagged=2)
+        with pytest.raises(ParameterError, match="tagged"):
+            MixScenario.from_scenarios([CS, Q3], aggregation_rate_bps=1e7, tagged=-1)
+
+    def test_component_needs_a_scenario(self):
+        with pytest.raises(ParameterError, match="Scenario"):
+            MixComponent({"tick_interval_s": 0.04}, 1.0)
+
+    def test_coerces_tuple_components(self):
+        mix = MixScenario(
+            components=((CS, 0.5), (Q3, 0.5)), aggregation_rate_bps=1e7
+        )
+        assert all(isinstance(c, MixComponent) for c in mix.components)
+
+
+class TestConversions:
+    def test_load_gamer_round_trip(self):
+        mix = small_mix()
+        gamers = mix.gamers_at_load(0.4)
+        assert mix.load_for_gamers(gamers) == pytest.approx(0.4)
+
+    def test_load_is_the_weighted_component_sum(self):
+        mix = small_mix()
+        gamers = mix.gamers_at_load(0.5)
+        per_component = mix.component_gamers(gamers)
+        assert sum(per_component) == pytest.approx(gamers)
+        expected = sum(
+            8.0 * n * c.scenario.server_packet_bytes
+            / (c.scenario.tick_interval_s * mix.aggregation_rate_bps)
+            for n, c in zip(per_component, mix.components)
+        )
+        assert expected == pytest.approx(0.5)
+
+    def test_uplink_downlink_conversions_invert(self):
+        mix = small_mix()
+        uplink = mix.uplink_load_for(0.6)
+        assert 0.0 < uplink < 1.0
+        assert mix.downlink_load_for(uplink) == pytest.approx(0.6)
+
+    def test_stable_load_ceiling_respects_both_directions(self):
+        mix = small_mix()
+        ceiling = mix.stable_load_ceiling(0.98)
+        assert 0.0 < ceiling <= 0.98
+        assert mix.uplink_load_for(ceiling) <= 0.98 + 1e-12
+
+    def test_conversions_validate_ranges(self):
+        mix = small_mix()
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ParameterError):
+                mix.gamers_at_load(bad)
+            with pytest.raises(ParameterError):
+                mix.uplink_load_for(bad)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        mix = small_mix(tagged=1)
+        data = mix.to_dict()
+        assert data["type"] == "mix"
+        assert MixScenario.from_dict(data) == mix
+
+    def test_scenario_from_dict_dispatches_mixes(self):
+        mix = small_mix()
+        restored = Scenario.from_dict(mix.to_dict())
+        assert isinstance(restored, MixScenario)
+        assert restored == mix
+
+    def test_json_round_trip(self):
+        mix = small_mix()
+        assert MixScenario.from_json(mix.to_json()) == mix
+
+    def test_save_load_and_spec_resolution(self, tmp_path):
+        mix = small_mix()
+        path = tmp_path / "mix.json"
+        mix.save(path)
+        assert MixScenario.load(path) == mix
+        assert scenario_from_spec(str(path)) == mix
+
+    def test_unknown_keys_raise(self):
+        data = small_mix().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ParameterError, match="unknown mix parameter"):
+            MixScenario.from_dict(data)
+
+    def test_component_documents_are_validated(self):
+        data = small_mix().to_dict()
+        data["components"][0]["scenario"] = "not-a-mapping"
+        with pytest.raises(ParameterError, match="parameter mapping"):
+            MixScenario.from_dict(data)
+        data = small_mix().to_dict()
+        data["components"][0].pop("weight")
+        with pytest.raises(ParameterError, match="weight"):
+            MixScenario.from_dict(data)
+
+    def test_non_integer_tagged_is_rejected_from_json_too(self):
+        # Regression: from_dict must not int()-floor a fractional tagged
+        # index into validity — the constructor's check must see it.
+        data = small_mix().to_dict()
+        data["tagged"] = 1.5
+        with pytest.raises(ParameterError, match="tagged"):
+            MixScenario.from_dict(data)
+        data["tagged"] = 1.0  # a whole float is a valid JSON spelling
+        assert MixScenario.from_dict(data).tagged == 1
+
+    def test_wrong_type_tag_raises(self):
+        data = small_mix().to_dict()
+        data["type"] = "something-else"
+        with pytest.raises(ParameterError, match="type"):
+            MixScenario.from_dict(data)
+
+    def test_canonical_json_is_deterministic(self):
+        mix = small_mix()
+        assert mix.canonical_json() == small_mix().canonical_json()
+        assert "\n" not in mix.canonical_json()
+        assert json.loads(mix.canonical_json())["type"] == "mix"
+
+
+class TestCacheKey:
+    def test_equal_mixes_share_the_key(self):
+        assert small_mix().cache_key() == small_mix().cache_key()
+
+    def test_any_parameter_change_changes_the_key(self):
+        base = small_mix()
+        assert base.cache_key() != base.tagged_variant(1).cache_key()
+        assert base.cache_key() != base.derive(aggregation_rate_bps=9e6).cache_key()
+        reweighted = MixScenario.from_scenarios(
+            [CS, Q3], weights=(1.0, 1.0), aggregation_rate_bps=8e6
+        )
+        assert base.cache_key() != reweighted.cache_key()
+
+    def test_distinct_from_component_keys(self):
+        mix = small_mix()
+        assert mix.cache_key() not in {CS.cache_key(), Q3.cache_key()}
+
+
+class TestVariants:
+    def test_tagged_variant_changes_only_the_tag(self):
+        mix = small_mix()
+        variant = mix.tagged_variant(1)
+        assert variant.tagged == 1
+        assert variant.components == mix.components
+        assert variant.tagged_component.scenario == Q3
+
+    def test_derive_validates_field_names(self):
+        with pytest.raises(ParameterError, match="unknown mix parameter"):
+            small_mix().derive(tick_interval_s=0.040)
+
+    def test_describe_names_the_tagged_component(self):
+        assert "mix[2]" in small_mix().describe()
+        assert f"K={CS.erlang_order}" in small_mix().describe()
+
+
+class TestRegistryPreset:
+    def test_multi_game_dsl_is_registered(self):
+        mix = get_scenario("multi-game-dsl")
+        assert isinstance(mix, MixScenario)
+        assert len(mix.components) == 3
+        assert sum(mix.weights()) == pytest.approx(1.0)
+
+    def test_components_are_the_game_presets(self):
+        mix = get_scenario("multi-game-dsl")
+        scenarios = [c.scenario for c in mix.components]
+        assert scenarios == [CS, Q3, HL]
+        assert mix.tagged_component.scenario == CS
+
+    def test_preset_round_trips(self):
+        mix = get_scenario("multi-game-dsl")
+        assert Scenario.from_dict(mix.to_dict()) == mix
+
+    def test_preset_is_stable_across_the_sweep_loads(self):
+        # The determinism sweeps serve every preset at these loads; both
+        # directions must stay stable for the mix too.
+        mix = get_scenario("multi-game-dsl")
+        for load in (0.55, 0.72):
+            model = mix.model_at_load(load)
+            assert model.downlink_load == pytest.approx(load)
+            assert model.uplink_load < 1.0
+
+    def test_register_scenario_accepts_mixes(self):
+        custom = small_mix()
+        register_scenario("test-mix", custom)
+        try:
+            assert get_scenario("test-mix") == custom
+        finally:
+            del SCENARIO_PRESETS["test-mix"]

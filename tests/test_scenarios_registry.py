@@ -5,6 +5,7 @@ import pytest
 from repro.scenarios import (
     SCENARIO_PRESETS,
     PAPER_BASELINE,
+    MixScenario,
     Scenario,
     available_scenarios,
     get_scenario,
@@ -33,10 +34,11 @@ class TestLookup:
 
     def test_every_preset_is_a_valid_scenario(self):
         for name, preset in SCENARIO_PRESETS.items():
-            assert isinstance(preset, Scenario), name
+            assert isinstance(preset, (Scenario, MixScenario)), name
 
     def test_every_preset_round_trips_through_dict(self):
-        # The acceptance criterion of the redesign: serialization is lossless.
+        # The acceptance criterion of the redesign: serialization is
+        # lossless — Scenario.from_dict dispatches mixes transparently.
         for name, preset in SCENARIO_PRESETS.items():
             assert Scenario.from_dict(preset.to_dict()) == preset, name
 
