@@ -1,0 +1,201 @@
+"""Benchmark — request coalescing vs. per-request asyncio serving.
+
+PR 6 put a long-running front-end on the serving stack: concurrent
+callers submit single requests, and the :class:`RequestCoalescer`
+gathers everything arriving within a few milliseconds into **one**
+stacked batch with identical in-flight misses single-flighted.  This
+benchmark drives a duplicate-heavy concurrent stream (the shape a game
+operator's dashboard produces: many clients asking about the same few
+operating points at once) three ways and gates the coalescer's value:
+
+* **sequential** — one ``serve_async`` call per request, awaited one
+  after the other: the no-concurrency baseline;
+* **raw concurrent** — ``asyncio.gather`` of per-request
+  ``serve_async`` calls: concurrent, but every overlapping batch plans
+  its own copy of the shared misses (duplicate work);
+* **coalesced** — the same concurrent submissions through a
+  :class:`RequestCoalescer`.
+
+Acceptance criteria asserted here (ISSUE 6):
+
+* coalesced wall-clock beats the sequential per-request baseline;
+* the coalescer executes strictly fewer plans than the raw concurrent
+  path on the duplicate-heavy stream (single-flight + windowing), and
+  no more than one plan per distinct operating point;
+* every answer is bit-identical to a one-shot ``Fleet.serve`` pass;
+* the end-to-end HTTP daemon (in-process, ephemeral port) serves the
+  same stream over ``POST /v1/rtt`` with bit-identical floats and
+  drains cleanly.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.fleet import AsyncFleet, Fleet, Request
+from repro.serve import RequestCoalescer, ServingDaemon
+
+from conftest import print_header
+
+PROBABILITY = 0.99999
+
+#: Fifteen distinct operating points across five access profiles ...
+PRESETS = ("paper-dsl", "cable", "ftth", "lte", "satellite-leo")
+LOADS = (0.25, 0.45, 0.65)
+
+#: ... each asked about REPEATS times concurrently (duplicate-heavy).
+REPEATS = 4
+
+
+def _requests():
+    distinct = [
+        Request(preset, downlink_load=load, probability=PROBABILITY)
+        for preset in PRESETS
+        for load in LOADS
+    ]
+    # Interleave the repeats so duplicates never sit adjacent — the
+    # worst case for naive batching, the common case for real traffic.
+    return [request for _ in range(REPEATS) for request in distinct], len(distinct)
+
+
+async def _serve_sequential(requests):
+    fleet = AsyncFleet()
+    answers = []
+    for request in requests:
+        answers.extend(await fleet.serve_async([request]))
+    return fleet.fleet, answers
+
+
+async def _serve_raw_concurrent(requests):
+    fleet = AsyncFleet()
+    batches = await asyncio.gather(
+        *(fleet.serve_async([request]) for request in requests)
+    )
+    return fleet.fleet, [answer for batch in batches for answer in batch]
+
+
+async def _serve_coalesced(requests):
+    coalescer = RequestCoalescer(Fleet(), max_batch=len(requests), max_delay_ms=5.0)
+    answers = await asyncio.gather(
+        *(coalescer.submit(request) for request in requests)
+    )
+    await coalescer.aclose()
+    return coalescer.fleet, list(answers)
+
+
+async def _serve_over_http(requests):
+    async with ServingDaemon(port=0, coalesce_ms=5.0, max_batch=len(requests)) as daemon:
+        async def one(request):
+            reader, writer = await asyncio.open_connection(daemon.host, daemon.port)
+            try:
+                body = json.dumps(request.to_dict()).encode()
+                writer.write(
+                    b"POST /v1/rtt HTTP/1.1\r\nHost: bench\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                status = int(status_line.split()[1])
+                length = None
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    if name.strip().lower() == "content-length":
+                        length = int(value)
+                payload = json.loads(await reader.readexactly(length))
+                return status, payload
+            finally:
+                writer.close()
+
+        results = await asyncio.gather(*(one(request) for request in requests))
+        return daemon, results
+
+
+@pytest.mark.benchmark(group="serving-daemon")
+def test_coalesced_serving_vs_per_request(benchmark):
+    requests, distinct = _requests()
+    reference = Fleet().serve(requests)
+    reference_quantiles = [a.rtt_quantile_s for a in reference]
+
+    # -- sequential per-request baseline.
+    start = time.perf_counter()
+    sequential_fleet, sequential_answers = asyncio.run(_serve_sequential(requests))
+    sequential_elapsed = time.perf_counter() - start
+
+    # -- raw concurrent: overlapping single-request batches duplicate
+    #    the in-flight misses.
+    raw_fleet, raw_answers = asyncio.run(_serve_raw_concurrent(requests))
+
+    # -- coalesced: the same concurrent submissions, one stacked window.
+    start = time.perf_counter()
+    coalesced_fleet, coalesced_answers = benchmark.pedantic(
+        lambda: asyncio.run(_serve_coalesced(requests)), rounds=1, iterations=1
+    )
+    coalesced_elapsed = time.perf_counter() - start
+
+    stats = coalesced_fleet.stats
+    print_header("Request coalescing vs. per-request asyncio serving")
+    print(f"requests (distinct x repeats)   : {len(requests)} "
+          f"({distinct} x {REPEATS})")
+    print(f"sequential wall time            : {sequential_elapsed * 1e3:.1f} ms")
+    print(f"coalesced wall time             : {coalesced_elapsed * 1e3:.1f} ms")
+    print(f"speedup vs sequential           : "
+          f"{sequential_elapsed / coalesced_elapsed:.2f}x")
+    print(f"plans: sequential / raw / coalesced : "
+          f"{sequential_fleet.stats.plans_executed} / "
+          f"{raw_fleet.stats.plans_executed} / {stats.plans_executed}")
+    print(f"coalesced windows / requests    : {stats.coalesced_batches} / "
+          f"{stats.coalesced_requests}")
+    print(f"single-flighted duplicates      : {stats.deduped_inflight}")
+
+    # Acceptance: every path returns floats bit-identical to Fleet.serve.
+    assert [a.rtt_quantile_s for a in sequential_answers] == reference_quantiles
+    assert [a.rtt_quantile_s for a in raw_answers] == reference_quantiles
+    assert [a.rtt_quantile_s for a in coalesced_answers] == reference_quantiles
+
+    # Acceptance: the raw concurrent path duplicated in-flight misses on
+    # the duplicate-heavy stream; the coalescer strictly reduces the
+    # executed plans and never exceeds one evaluation per distinct point.
+    assert raw_fleet.stats.evaluations > distinct
+    assert stats.plans_executed < raw_fleet.stats.plans_executed
+    assert stats.evaluations <= distinct
+
+    # Acceptance: coalescing beats awaiting the requests one by one.
+    assert coalesced_elapsed < sequential_elapsed
+
+
+@pytest.mark.benchmark(group="serving-daemon")
+def test_daemon_round_trip_over_http(benchmark):
+    requests, distinct = _requests()
+    reference = Fleet().serve(requests)
+    reference_quantiles = [a.rtt_quantile_s for a in reference]
+
+    start = time.perf_counter()
+    daemon, results = benchmark.pedantic(
+        lambda: asyncio.run(_serve_over_http(requests)), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+
+    stats = daemon.fleet.stats
+    print_header("In-process HTTP daemon round trip (POST /v1/rtt)")
+    print(f"concurrent connections          : {len(requests)}")
+    print(f"wall time                       : {elapsed * 1e3:.1f} ms")
+    print(f"coalesced windows               : {stats.coalesced_batches}")
+    print(f"single-flighted duplicates      : {stats.deduped_inflight}")
+    print(f"evaluations (distinct points)   : {stats.evaluations} ({distinct})")
+    print(f"http requests / errors          : {daemon.http_requests} / "
+          f"{daemon.http_errors}")
+
+    assert all(status == 200 for status, _ in results)
+    assert [payload["rtt_quantile_s"] for _, payload in results] == reference_quantiles
+    assert daemon.http_errors == 0
+    assert stats.evaluations <= distinct
+    # The daemon drained on __aexit__: the coalescer is closed and empty.
+    assert daemon.draining is True
+    assert daemon.coalescer.pending == 0
+    assert daemon.coalescer.inflight_windows == 0

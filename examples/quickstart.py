@@ -13,6 +13,7 @@ Run with::
 """
 
 import asyncio
+import json
 
 from repro import (
     AsyncFleet,
@@ -22,6 +23,7 @@ from repro import (
     PingTimeModel,
     Request,
     Scenario,
+    ServingDaemon,
     available_scenarios,
     get_scenario,
 )
@@ -150,6 +152,59 @@ def parallel_quickstart() -> None:
     print()
 
 
+def serving_daemon_quickstart() -> None:
+    """The serving daemon: a long-running HTTP front-end over one fleet.
+
+    ``fps-ping serve`` turns the fleet into a network service — stdlib
+    asyncio only, no HTTP framework.  Concurrent ``POST /v1/rtt``
+    callers landing within the coalescing window are gathered into one
+    stacked batch (identical in-flight misses are evaluated exactly
+    once), ``POST /v1/batch`` streams a JSONL body through bounded
+    windows with the answers chunked back in input order, and SIGTERM
+    drains gracefully, persisting the warm cache atomically::
+
+        $ fps-ping serve --port 8421 --workers 4 --coalesce-ms 2 \\
+              --warm-cache cache.json
+        $ curl -X POST http://127.0.0.1:8421/v1/rtt \\
+              -d '{"scenario": "ftth", "load": 0.4}'
+
+    Embedded in an existing asyncio program the same daemon is an async
+    context manager (``port=0`` binds an ephemeral port) — used below to
+    answer one request over a real socket, in process.
+    """
+
+    async def main():
+        async with ServingDaemon(port=0, coalesce_ms=1.0) as daemon:
+            reader, writer = await asyncio.open_connection(daemon.host, daemon.port)
+            body = b'{"scenario": "ftth", "load": 0.4, "tag": "quickstart"}'
+            writer.write(
+                b"POST /v1/rtt HTTP/1.1\r\nHost: quickstart\r\n"
+                + b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+            )
+            await writer.drain()
+            status = (await reader.readline()).decode().strip()
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":")[1])
+            payload = json.loads(await reader.readexactly(length))
+            writer.close()
+            port = daemon.port
+        # Leaving the context manager drained the daemon gracefully.
+        return port, status, payload, daemon.fleet.stats
+
+    port, status, payload, stats = asyncio.run(main())
+    print("Serving-daemon quickstart (POST /v1/rtt over a real socket)")
+    print(f"  ephemeral port           : {port}")
+    print(f"  response                 : {status}")
+    print(f"  RTT for tag={payload['tag']!r}  : {1e3 * payload['rtt_quantile_s']:6.2f} ms")
+    print(f"  coalesced windows        : {stats.coalesced_batches}")
+    print()
+
+
 def multi_server_quickstart() -> None:
     """Multi-server mixes: several game servers on one reserved pipe.
 
@@ -192,6 +247,7 @@ def main() -> None:
     scenario_engine_quickstart()
     fleet_quickstart()
     parallel_quickstart()
+    serving_daemon_quickstart()
     multi_server_quickstart()
 
     model = PingTimeModel.from_downlink_load(

@@ -32,6 +32,11 @@ The package is organised as follows:
 * :mod:`repro.executors` -- the execute phase of the serving pipeline:
   :class:`SerialExecutor` and the process-parallel
   :class:`ParallelExecutor`, answers bit-identical either way;
+* :mod:`repro.serve` -- the long-running service tier:
+  :class:`RequestCoalescer` (micro-batch windows with single-flight
+  dedup of identical in-flight misses), the bounded JSONL streaming
+  pipeline, and :class:`ServingDaemon`, the asyncio HTTP front-end
+  behind ``fps-ping serve``;
 * :mod:`repro.experiments` -- drivers that regenerate every table and
   figure of the paper and compare them against the reported values.
 
@@ -72,7 +77,8 @@ from .core import (
 from .engine import Engine, EngineStats
 from .errors import CacheFormatError, ExecutorBrokenError, ReproError
 from .executors import Executor, ParallelExecutor, SerialExecutor
-from .fleet import Answer, AsyncFleet, Fleet, FleetStats, Request
+from .fleet import Answer, AsyncFleet, Fleet, FleetStats, Request, ResolvedRequest
+from .serve import RequestCoalescer, ServingDaemon
 from .scenarios import (
     SCENARIO_PRESETS,
     DslScenario,
@@ -114,7 +120,10 @@ __all__ = [
     "PingTimeModel",
     "ReproError",
     "Request",
+    "RequestCoalescer",
+    "ResolvedRequest",
     "SerialExecutor",
+    "ServingDaemon",
     "ServerFlow",
     "SCENARIO_PRESETS",
     "Scenario",

@@ -11,6 +11,7 @@ the RTT calculator and the request-stream serving layer from the shell::
     fps-ping simulate --clients 40 --duration 30
     fps-ping scenarios list
     fps-ping fleet --requests lookups.jsonl --warm-cache fleet-cache.json
+    fps-ping serve --port 8421 --workers 4 --coalesce-ms 2 --max-batch 64
 
 ``--scenario`` accepts a preset name (see
 :func:`repro.scenarios.available_scenarios`) or a path to a JSON file
@@ -20,19 +21,33 @@ switches every subcommand to machine-readable output.
 
 ``fleet`` reads one JSON request per line (``{"scenario": "ftth",
 "load": 0.4}``, see :meth:`repro.fleet.Request.from_dict` for the
-accepted fields) and emits one JSON answer per line, serving the whole
-stream through a shared bounded cache; ``--warm-cache PATH`` restores
-the cache before serving and persists it afterwards, so repeated runs
-start warm, and ``--workers N`` fans the compiled evaluation plans out
-over ``N`` worker processes (the answers are bit-identical to the
-single-process run).  ``scenarios list`` enumerates the registered
-presets with their key parameters, so request files can be authored
-without reading the source.
+accepted fields) and emits one JSON answer per line, **streaming**: the
+input is parsed and served in bounded windows (``--window`` requests
+each, at most ``--max-inflight`` windows in flight) with each answer
+written as soon as its window — and every window before it — has been
+served, so memory stays flat on an arbitrarily long stream;
+``--warm-cache PATH`` restores the cache before serving and persists it
+afterwards, so repeated runs start warm, and ``--workers N`` fans the
+compiled evaluation plans out over ``N`` worker processes (the answers
+are bit-identical to the single-process run).  ``scenarios list``
+enumerates the registered presets with their key parameters, so request
+files can be authored without reading the source.
+
+``serve`` runs the long-running asyncio HTTP daemon
+(:class:`repro.serve.ServingDaemon`): ``POST /v1/rtt`` answers one
+request record, ``POST /v1/batch`` streams a JSONL body through the
+same bounded windows, ``GET /healthz`` / ``GET /stats`` report
+liveness and the fleet/coalescer counters.  Concurrent requests are
+coalesced into stacked micro-batches (``--coalesce-ms`` window,
+``--max-batch`` size) with identical in-flight misses evaluated once;
+SIGTERM/SIGINT drains gracefully and persists ``--warm-cache``.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
 import dataclasses
 import json
 import os
@@ -46,9 +61,16 @@ from .core.rtt import QUANTILE_METHODS
 from .engine import Engine
 from .errors import ReproError
 from .executors import ParallelExecutor
-from .fleet import Fleet, Request
+from .fleet import Fleet
 from .netsim import GamingSimulation
 from .scenarios import MixScenario, SCENARIO_PRESETS, Scenario, scenario_from_spec
+from .serve import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_PORT,
+    ServingDaemon,
+    serve_jsonl,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -169,6 +191,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the fleet cache/evaluation statistics to standard error",
+    )
+    fleet.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_MAX_BATCH,
+        help="requests per serving window (the stream is parsed and "
+        "answered incrementally, window by window)",
+    )
+    fleet.add_argument(
+        "--max-inflight",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT,
+        help="windows allowed in flight at once (bounds memory; the "
+        "producer is back-pressured beyond it)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running asyncio HTTP serving daemon",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help="TCP port (0 binds an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes executing the evaluation plans "
+        "(1 = in-process; answers are bit-identical for any count)",
+    )
+    serve.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=2.0,
+        help="request-coalescing window in milliseconds: concurrent "
+        "requests arriving within it are served as one stacked batch",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=DEFAULT_MAX_BATCH,
+        help="flush a coalescing window once it holds this many requests",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT,
+        help="bound on concurrently-served windows per /v1/batch stream",
+    )
+    serve.add_argument(
+        "--warm-cache",
+        type=str,
+        default=None,
+        help="cache file loaded at startup (if present) and persisted "
+        "atomically on shutdown",
+    )
+    serve.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=100_000,
+        help="entry budget of the shared answer cache",
+    )
+    serve.add_argument(
+        "--quantile", type=float, default=0.99999, help="default quantile level"
+    )
+    serve.add_argument(
+        "--method",
+        choices=list(QUANTILE_METHODS),
+        default="inversion",
+        help="default quantile evaluation method",
     )
 
     sim = sub.add_parser("simulate", help="run the discrete-event simulator")
@@ -441,32 +537,23 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_requests(path: str) -> List[Request]:
-    """Parse a JSONL request file ('-' reads standard input)."""
-    if path == "-":
-        lines = sys.stdin.read().splitlines()
-    else:
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
-    requests = []
-    for number, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        record = json.loads(line)
-        if not isinstance(record, dict):
-            raise ReproError(f"request line {number} is not a JSON object")
-        try:
-            requests.append(Request.from_dict(record))
-        except ReproError as exc:
-            message = exc.args[0] if exc.args else str(exc)
-            raise ReproError(f"request line {number}: {message}") from exc
-    return requests
-
-
 def _command_fleet(args: argparse.Namespace) -> int:
+    """Serve a JSONL request stream incrementally, in bounded windows.
+
+    The input is never slurped: lines are parsed and served window by
+    window through :func:`repro.serve.serve_jsonl` (at most
+    ``--max-inflight`` windows of ``--window`` requests in flight), and
+    each answer is written as soon as its window — and every window
+    before it, preserving input order — has been served.  Memory stays
+    flat on an arbitrarily long stream; the floats are bit-identical to
+    a single whole-stream :meth:`Fleet.serve` pass.
+    """
     if args.workers < 1:
         raise ReproError("--workers must be at least 1")
+    if args.window < 1:
+        raise ReproError("--window must be at least 1")
+    if args.max_inflight < 1:
+        raise ReproError("--max-inflight must be at least 1")
     fleet = Fleet(
         max_cache_entries=args.max_cache_entries,
         probability=args.quantile,
@@ -474,19 +561,33 @@ def _command_fleet(args: argparse.Namespace) -> int:
     )
     if args.warm_cache and os.path.exists(args.warm_cache):
         fleet.warm_start(args.warm_cache)
-    requests = _read_requests(args.requests)
-    if args.workers > 1:
-        with ParallelExecutor(workers=args.workers) as executor:
-            answers = fleet.serve(requests, executor=executor)
-    else:
-        answers = fleet.serve(requests)
-    lines = [json.dumps(_jsonable(answer.to_dict()), sort_keys=True) for answer in answers]
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(lines) + ("\n" if lines else ""))
-    else:
-        for line in lines:
-            print(line)
+
+    with contextlib.ExitStack() as stack:
+        if args.requests == "-":
+            source = sys.stdin
+        else:
+            source = stack.enter_context(
+                open(args.requests, "r", encoding="utf-8")
+            )
+        if args.output:
+            sink = stack.enter_context(open(args.output, "w", encoding="utf-8"))
+        else:
+            sink = sys.stdout
+        executor = None
+        if args.workers > 1:
+            executor = stack.enter_context(ParallelExecutor(workers=args.workers))
+
+        def write(answer) -> None:
+            sink.write(json.dumps(_jsonable(answer.to_dict()), sort_keys=True) + "\n")
+
+        serve_jsonl(
+            fleet,
+            source,
+            write,
+            executor=executor,
+            max_batch=args.window,
+            max_inflight=args.max_inflight,
+        )
     if args.warm_cache:
         fleet.save_cache(args.warm_cache)
     if args.stats:
@@ -494,6 +595,33 @@ def _command_fleet(args: argparse.Namespace) -> int:
             json.dumps(fleet.stats.as_dict(), indent=2, sort_keys=True),
             file=sys.stderr,
         )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio HTTP serving daemon until SIGTERM/SIGINT."""
+    if args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    executor = ParallelExecutor(workers=args.workers) if args.workers > 1 else None
+    daemon = ServingDaemon(
+        host=args.host,
+        port=args.port,
+        executor=executor,
+        max_batch=args.max_batch,
+        coalesce_ms=args.coalesce_ms,
+        max_inflight=args.max_inflight,
+        warm_cache=args.warm_cache,
+        max_cache_entries=args.max_cache_entries,
+        probability=args.quantile,
+        method=args.method,
+    )
+    try:
+        asyncio.run(daemon.run())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    finally:
+        if executor is not None:
+            executor.close()
     return 0
 
 
@@ -531,6 +659,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_scenarios(args)
         if args.command in ("fleet", "batch"):
             return _command_fleet(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command in _REPORT_COMMANDS:
             run, fmt = _REPORT_COMMANDS[args.command]
             result = run()

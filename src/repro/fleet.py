@@ -84,7 +84,14 @@ from .scenarios.base import Scenario
 from .scenarios.mix import MixScenario
 from .scenarios.registry import scenario_from_spec
 
-__all__ = ["Request", "Answer", "FleetStats", "Fleet", "AsyncFleet"]
+__all__ = [
+    "Request",
+    "ResolvedRequest",
+    "Answer",
+    "FleetStats",
+    "Fleet",
+    "AsyncFleet",
+]
 
 #: Any of: a preset name / JSON file path, a (mix) scenario, or a
 #: parameter mapping (mappings tagged ``"type": "mix"`` resolve to
@@ -222,6 +229,15 @@ class FleetStats:
     executed plans' own :class:`~repro.core.rtt.PlanResult` counters, so
     they are exact whether the plans ran in-process or on a process
     pool; ``plans_executed`` / ``remote_plans`` tell the two apart.
+
+    The ``coalesced_*`` / ``deduped_inflight`` counters are incremented
+    by a :class:`~repro.serve.RequestCoalescer` gathering concurrent
+    callers into micro-batches in front of this fleet:
+    ``coalesced_batches`` windows were flushed carrying
+    ``coalesced_requests`` requests in total, and ``deduped_inflight``
+    requests were answered by attaching to an identical operating point
+    already being evaluated by an earlier window (single-flight) instead
+    of evaluating it again.
     """
 
     requests: int = 0
@@ -238,6 +254,10 @@ class FleetStats:
     engines_built: int = 0
     engines_evicted: int = 0
     warm_loaded: int = 0
+    #: Request-coalescing counters (see :class:`repro.serve.RequestCoalescer`).
+    coalesced_batches: int = 0
+    coalesced_requests: int = 0
+    deduped_inflight: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -253,6 +273,9 @@ class FleetStats:
             "engines_built": self.engines_built,
             "engines_evicted": self.engines_evicted,
             "warm_loaded": self.warm_loaded,
+            "coalesced_batches": self.coalesced_batches,
+            "coalesced_requests": self.coalesced_requests,
+            "deduped_inflight": self.deduped_inflight,
         }
 
     @property
@@ -264,6 +287,41 @@ class FleetStats:
 
 #: A fully-resolved cache key: (scenario key, gamers key, probability, method).
 _CacheKey = Tuple[str, float, float, str]
+
+
+@dataclass(frozen=True)
+class ResolvedRequest:
+    """A :class:`Request` resolved against its scenario and fleet defaults.
+
+    Produced by :meth:`Fleet.resolve_request` — the validation step of
+    the plan phase, shared with the request coalescer
+    (:class:`repro.serve.RequestCoalescer`) so both derive the exact
+    same cache key ``(scenario key, gamers key, probability, method)``
+    for a request.  Resolution never mutates fleet state.
+    """
+
+    request: Request
+    scenario: Scenario
+    num_gamers: float
+    downlink_load: float
+    uplink_load: float
+    probability: float
+    method: str
+    key: _CacheKey
+
+    def answer(self, rtt_quantile_s: float, *, cached: bool) -> Answer:
+        """Materialize the :class:`Answer` for a served quantile value."""
+        return Answer(
+            scenario_key=self.key[0],
+            num_gamers=self.num_gamers,
+            downlink_load=self.downlink_load,
+            uplink_load=self.uplink_load,
+            probability=self.probability,
+            method=self.method,
+            rtt_quantile_s=rtt_quantile_s,
+            cached=cached,
+            tag=self.request.tag,
+        )
 
 
 #: Distinguishes concurrent writers' temp cache files (PID + counter).
@@ -284,7 +342,7 @@ class _BatchPlan:
     assembly phase stores the results under.
     """
 
-    resolved: List[Tuple[Request, Scenario, float, _CacheKey]]
+    resolved: List[ResolvedRequest]
     cached_flags: List[bool]
     values: Dict[_CacheKey, float]
     eval_plans: List[EvalPlan]
@@ -360,6 +418,69 @@ class Fleet:
         """The internally-managed engine for a scenario (LRU-touched)."""
         scenario = self.resolve_scenario(spec)
         return self._engine_for(scenario, scenario.cache_key())
+
+    def resolve_request(
+        self, request: Union[Request, Mapping[str, Any]]
+    ) -> ResolvedRequest:
+        """Resolve and validate one request without touching fleet state.
+
+        Applies this fleet's default ``probability``/``method``, derives
+        the operating point (gamers <-> load, eq. 37) and checks
+        downlink and uplink stability, raising
+        :class:`~repro.errors.ParameterError` /
+        :class:`~repro.errors.StabilityError` on a bad request.  The
+        returned :class:`ResolvedRequest` carries the canonical cache
+        key under which the answer is (or will be) stored.
+        """
+        if not isinstance(request, Request):
+            request = Request.from_dict(request)
+        try:
+            scenario = self.resolve_scenario(request.scenario)
+        except KeyError as exc:
+            # An unknown preset name is a bad *request*, not a lookup
+            # programming error — surface it as such so serving layers
+            # can map it to a client error.
+            raise ParameterError(f"unknown scenario: {exc.args[0]}") from exc
+        scenario_key = scenario.cache_key()
+        if request.num_gamers is not None:
+            num_gamers = float(request.num_gamers)
+        else:
+            num_gamers = scenario.gamers_at_load(float(request.downlink_load))
+            if num_gamers < 1.0:
+                raise ParameterError(
+                    f"load {float(request.downlink_load):.3f} corresponds to "
+                    "fewer than one gamer"
+                )
+        downlink_load = scenario.load_for_gamers(num_gamers)
+        if downlink_load >= 1.0:
+            raise StabilityError(
+                downlink_load, "downlink load on the aggregation link >= 1"
+            )
+        uplink_load = scenario.uplink_load_for(downlink_load)
+        if uplink_load >= 1.0:
+            raise StabilityError(
+                uplink_load, "uplink load on the aggregation link >= 1"
+            )
+        probability = (
+            self.probability if request.probability is None else float(request.probability)
+        )
+        method = self.method if request.method is None else request.method
+        key: _CacheKey = (
+            scenario_key,
+            Engine._gamers_key(num_gamers),
+            probability,
+            method,
+        )
+        return ResolvedRequest(
+            request=request,
+            scenario=scenario,
+            num_gamers=num_gamers,
+            downlink_load=downlink_load,
+            uplink_load=uplink_load,
+            probability=probability,
+            method=method,
+            key=key,
+        )
 
     def _engine_for(self, scenario: Scenario, key: str) -> Engine:
         engine = self._engines.get(key)
@@ -458,59 +579,23 @@ class Fleet:
         mutating the fleet: counters, cache order and engines are
         exactly as they were.
         """
-        batch = [
-            r if isinstance(r, Request) else Request.from_dict(r) for r in requests
-        ]
-
         # Resolve and validate without mutating any serving state.  The
         # model rebuilt by the executing worker re-checks stability, but
         # the error belongs here — and must fire before any bookkeeping.
-        resolved = []
-        for request in batch:
-            scenario = self.resolve_scenario(request.scenario)
-            scenario_key = scenario.cache_key()
-            if request.num_gamers is not None:
-                num_gamers = float(request.num_gamers)
-            else:
-                num_gamers = scenario.gamers_at_load(float(request.downlink_load))
-                if num_gamers < 1.0:
-                    raise ParameterError(
-                        f"load {float(request.downlink_load):.3f} corresponds to "
-                        "fewer than one gamer"
-                    )
-            downlink_load = scenario.load_for_gamers(num_gamers)
-            if downlink_load >= 1.0:
-                raise StabilityError(
-                    downlink_load, "downlink load on the aggregation link >= 1"
-                )
-            uplink_load = scenario.uplink_load_for(downlink_load)
-            if uplink_load >= 1.0:
-                raise StabilityError(
-                    uplink_load, "uplink load on the aggregation link >= 1"
-                )
-            probability = (
-                self.probability if request.probability is None else float(request.probability)
-            )
-            method = self.method if request.method is None else request.method
-            key: _CacheKey = (
-                scenario_key,
-                Engine._gamers_key(num_gamers),
-                probability,
-                method,
-            )
-            resolved.append((request, scenario, num_gamers, key))
+        resolved = [self.resolve_request(request) for request in requests]
 
         # The whole batch is valid: account for it and touch the engines.
         self.stats.batches += 1
-        self.stats.requests += len(batch)
-        for request, scenario, num_gamers, key in resolved:
-            self._engine_for(scenario, key[0])
+        self.stats.requests += len(resolved)
+        for item in resolved:
+            self._engine_for(item.scenario, item.key[0])
 
         # Probe the cache; collect the distinct misses.
         values: Dict[_CacheKey, float] = {}
         cached_flags: List[bool] = []
         misses: "OrderedDict[_CacheKey, Tuple[Scenario, float]]" = OrderedDict()
-        for request, scenario, num_gamers, key in resolved:
+        for item in resolved:
+            key = item.key
             if key in self._cache:
                 self._cache.move_to_end(key)
                 values[key] = self._cache[key]
@@ -520,7 +605,7 @@ class Fleet:
                 self.stats.cache_misses += 1
                 cached_flags.append(False)
                 if key not in misses:
-                    misses[key] = (scenario, num_gamers)
+                    misses[key] = (item.scenario, item.num_gamers)
 
         # Compile the misses of each (probability, method) group into
         # self-contained plans: parameters only, no live models.
@@ -568,24 +653,10 @@ class Fleet:
                 values[key] = float(value)
                 self._store(key, float(value))
 
-        answers = []
-        for (request, scenario, num_gamers, key), cached in zip(
-            batch_plan.resolved, batch_plan.cached_flags
-        ):
-            downlink_load = scenario.load_for_gamers(num_gamers)
-            answers.append(
-                Answer(
-                    scenario_key=key[0],
-                    num_gamers=num_gamers,
-                    downlink_load=downlink_load,
-                    uplink_load=scenario.uplink_load_for(downlink_load),
-                    probability=key[2],
-                    method=key[3],
-                    rtt_quantile_s=values[key],
-                    cached=cached,
-                    tag=request.tag,
-                )
-            )
+        answers = [
+            item.answer(values[item.key], cached=cached)
+            for item, cached in zip(batch_plan.resolved, batch_plan.cached_flags)
+        ]
         self._prune_scenarios()
         return answers
 
@@ -838,7 +909,11 @@ class AsyncFleet:
     Concurrent ``serve_async`` calls are safe: overlapping batches that
     miss the same operating point may evaluate it more than once, but
     every evaluation produces the same float, so whichever result is
-    assembled last wins with no observable difference.
+    assembled last wins with no observable difference.  To avoid even
+    that duplicate work, put a :class:`repro.serve.RequestCoalescer` in
+    front: it gathers concurrent callers into micro-batch windows and
+    single-flights identical in-flight misses, so each operating point
+    is evaluated exactly once per window.
 
     Example::
 

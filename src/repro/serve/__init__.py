@@ -1,0 +1,46 @@
+"""The serving subsystem: production front-end over the plan/execute stack.
+
+Three cooperating pieces turn the batch-oriented
+:class:`~repro.fleet.Fleet` into a long-running, heavy-traffic service
+(stdlib-only — asyncio, no HTTP framework):
+
+* :mod:`repro.serve.coalescer` — :class:`RequestCoalescer` gathers
+  concurrent requests into micro-batch windows (flush on size or
+  delay), serves each window as one stacked batch through
+  :meth:`~repro.fleet.AsyncFleet.serve_async`, and single-flights
+  identical in-flight misses so every operating point is evaluated
+  exactly once per window;
+* :mod:`repro.serve.streams` — the bounded in-flight JSONL pipeline
+  (line-numbered parsing, at most a few windows in flight,
+  back-pressure on the producer, in-order incremental emission) shared
+  by the daemon's ``/v1/batch`` handling and the CLI's
+  ``fleet``/``batch`` subcommand;
+* :mod:`repro.serve.daemon` — :class:`ServingDaemon`, the asyncio
+  HTTP/1.1 server behind ``fps-ping serve``: ``POST /v1/rtt``,
+  streaming ``POST /v1/batch``, ``GET /healthz`` / ``GET /stats``,
+  warm-cache load at startup, atomic persist and graceful drain on
+  SIGTERM/SIGINT.
+"""
+
+from .coalescer import RequestCoalescer
+from .daemon import DEFAULT_PORT, ServingDaemon
+from .streams import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_INFLIGHT,
+    iter_request_windows,
+    parse_request_line,
+    serve_jsonl,
+    stream_requests,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_PORT",
+    "RequestCoalescer",
+    "ServingDaemon",
+    "iter_request_windows",
+    "parse_request_line",
+    "serve_jsonl",
+    "stream_requests",
+]

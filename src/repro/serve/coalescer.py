@@ -1,0 +1,271 @@
+"""Request coalescing: many concurrent callers, one stacked batch.
+
+The stacking win of the cross-model inverter *grows* with batch
+heterogeneity — a batch of requests spanning several scenarios costs one
+joint array evaluation per search round instead of one per model.  A
+long-running service therefore wants to gather the independent requests
+arriving within a few milliseconds of each other into **one** batch
+before handing them to the fleet.  :class:`RequestCoalescer` does
+exactly that:
+
+* concurrent :meth:`~RequestCoalescer.submit` calls accumulate in a
+  pending window that is flushed when it reaches ``max_batch`` requests
+  or when ``max_delay_ms`` elapses since the window opened — whichever
+  comes first;
+* each flushed window is served through
+  :meth:`~repro.fleet.AsyncFleet.serve_async` as a single batch, and the
+  per-request answers are routed back to the awaiting callers' futures;
+* identical in-flight misses are **single-flighted**: plain concurrent
+  ``serve_async`` calls that miss the same operating point evaluate it
+  once per overlapping batch, whereas the coalescer keys every request
+  by ``(scenario cache key, gamers key, probability, method)`` and
+  attaches a request whose key is already being evaluated by an earlier
+  window to that evaluation instead of resubmitting it — each point is
+  evaluated exactly once per window;
+* a window that dies with :class:`~repro.errors.ExecutorBrokenError`
+  (a worker-pool process was killed underneath it) is retried once on
+  the freshly respawned pool, so transient worker faults cost latency,
+  not errors.
+
+Bookkeeping lands in the owning fleet's :class:`~repro.fleet.FleetStats`:
+``coalesced_batches`` windows flushed, ``coalesced_requests`` requests
+carried by them, ``deduped_inflight`` requests answered by attaching to
+an in-flight evaluation.
+
+Example::
+
+    fleet = AsyncFleet(max_cache_entries=100_000)
+    coalescer = RequestCoalescer(fleet, max_batch=64, max_delay_ms=2.0)
+    answer = await coalescer.submit(Request("ftth", downlink_load=0.4))
+    await coalescer.aclose()        # flush + wait for in-flight windows
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..errors import ExecutorBrokenError, ReproError
+from ..fleet import Answer, AsyncFleet, Fleet, FleetStats, Request, ResolvedRequest
+
+__all__ = ["RequestCoalescer"]
+
+#: One waiting caller: the resolved request plus its answer future.
+_Waiter = Tuple[ResolvedRequest, "asyncio.Future[Answer]"]
+
+
+def _mark_retrieved(future: "asyncio.Future[Any]") -> None:
+    """Consume a future's exception so an unobserved one never warns."""
+    if not future.cancelled():
+        future.exception()
+
+
+class RequestCoalescer:
+    """Gathers concurrent requests into micro-batches for one fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The :class:`~repro.fleet.AsyncFleet` (or plain
+        :class:`~repro.fleet.Fleet`, which is wrapped) the windows are
+        served on.
+    max_batch:
+        Flush the pending window once it holds this many requests.
+    max_delay_ms:
+        Flush the pending window this many milliseconds after its first
+        request arrived, even if it is not full — the latency bound a
+        lone request pays for the chance of being batched.
+    executor:
+        Optional :class:`~repro.executors.Executor` forwarded to
+        ``serve_async`` (falls back to the async fleet's own).
+
+    The coalescer must be used from a single event loop (the daemon's);
+    it is not thread-safe, exactly like the underlying fleet.
+    """
+
+    def __init__(
+        self,
+        fleet: Union[Fleet, AsyncFleet, None] = None,
+        *,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        executor=None,
+        **fleet_kwargs: Any,
+    ) -> None:
+        if fleet is not None and fleet_kwargs:
+            raise ReproError(
+                "pass either an existing fleet or Fleet keyword arguments, not both"
+            )
+        if fleet is None:
+            fleet = AsyncFleet(**fleet_kwargs)
+        elif isinstance(fleet, Fleet):
+            fleet = AsyncFleet(fleet)
+        if int(max_batch) < 1:
+            raise ReproError("max_batch must be at least 1")
+        if float(max_delay_ms) < 0.0:
+            raise ReproError("max_delay_ms must be non-negative")
+        self.async_fleet = fleet
+        self.fleet: Fleet = fleet.fleet
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_ms) / 1e3
+        self._executor = executor
+        self._pending: List[_Waiter] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        #: cache key -> future resolving to the point's rtt_quantile_s;
+        #: present exactly while a window evaluating that key is in flight.
+        self._inflight: Dict[Tuple[str, float, float, str], "asyncio.Future[float]"] = {}
+        self._windows: "set[asyncio.Task]" = set()
+        self._closed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestCoalescer(max_batch={self.max_batch}, "
+            f"max_delay_ms={1e3 * self.max_delay_s:g}, "
+            f"pending={len(self._pending)}, windows={len(self._windows)})"
+        )
+
+    @property
+    def stats(self) -> FleetStats:
+        """The owning fleet's statistics (coalescer counters included)."""
+        return self.fleet.stats
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting in the not-yet-flushed window."""
+        return len(self._pending)
+
+    @property
+    def inflight_windows(self) -> int:
+        """Windows currently being served."""
+        return len(self._windows)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self, request: Union[Request, Mapping[str, Any]]
+    ) -> Answer:
+        """Queue one request and await its answer.
+
+        Resolution and validation happen immediately — a malformed
+        request raises here, in the caller, and never poisons the window
+        the other callers are riding in.  The answer future resolves
+        when the request's window (or the in-flight evaluation it was
+        attached to) completes.
+        """
+        if self._closed:
+            raise ReproError("the request coalescer is closed")
+        resolved = self.fleet.resolve_request(request)
+        inflight = self._inflight.get(resolved.key)
+        if inflight is not None:
+            # Single-flight: the point is being evaluated right now by
+            # an earlier window; ride that evaluation instead of
+            # scheduling another one.
+            self.stats.deduped_inflight += 1
+            value = await asyncio.shield(inflight)
+            return resolved.answer(value, cached=True)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Answer]" = loop.create_future()
+        self._pending.append((resolved, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_delay_s, self._flush)
+        return await future
+
+    async def submit_many(
+        self, requests: Iterable[Union[Request, Mapping[str, Any]]]
+    ) -> List[Answer]:
+        """Submit several requests at once; answers come in input order.
+
+        The requests land in the same pending window (flushing it every
+        ``max_batch``), so a burst arriving together is stacked together.
+        """
+        return list(
+            await asyncio.gather(*(self.submit(request) for request in requests))
+        )
+
+    # ------------------------------------------------------------------
+    # Window lifecycle
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Flush the pending window into a serving task (synchronous)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        window, self._pending = self._pending, []
+        stats = self.stats
+        stats.coalesced_batches += 1
+        stats.coalesced_requests += len(window)
+        # Register this window's distinct keys as in flight *before* the
+        # first await, so a submit racing with the flush attaches to the
+        # evaluation instead of re-scheduling the point.
+        loop = asyncio.get_event_loop()
+        owned: Dict[Tuple[str, float, float, str], "asyncio.Future[float]"] = {}
+        for resolved, _ in window:
+            if resolved.key not in self._inflight:
+                value_future: "asyncio.Future[float]" = loop.create_future()
+                value_future.add_done_callback(_mark_retrieved)
+                self._inflight[resolved.key] = value_future
+                owned[resolved.key] = value_future
+        task = loop.create_task(self._run_window(window, owned))
+        self._windows.add(task)
+        task.add_done_callback(self._windows.discard)
+
+    async def _run_window(
+        self,
+        window: List[_Waiter],
+        owned: Dict[Tuple[str, float, float, str], "asyncio.Future[float]"],
+    ) -> None:
+        requests = [resolved.request for resolved, _ in window]
+        try:
+            try:
+                answers = await self.async_fleet.serve_async(
+                    requests, executor=self._executor
+                )
+            except ExecutorBrokenError:
+                # The dead pool was disposed by the executor; one retry
+                # runs on a freshly spawned pool (same floats).
+                answers = await self.async_fleet.serve_async(
+                    requests, executor=self._executor
+                )
+        except BaseException as exc:
+            for _, future in window:
+                if not future.done():
+                    future.set_exception(exc)
+            for value_future in owned.values():
+                if not value_future.done():
+                    value_future.set_exception(exc)
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+        else:
+            for (resolved, future), answer in zip(window, answers):
+                if not future.done():
+                    future.set_result(answer)
+                value_future = owned.get(resolved.key)
+                if value_future is not None and not value_future.done():
+                    value_future.set_result(answer.rtt_quantile_s)
+        finally:
+            for key, value_future in owned.items():
+                if self._inflight.get(key) is value_future:
+                    del self._inflight[key]
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Flush the pending window and wait for every in-flight window.
+
+        Errors stay with their waiters (each ``submit`` caller sees its
+        own window's exception); draining itself never raises.
+        """
+        self._flush()
+        while self._windows:
+            await asyncio.gather(*list(self._windows), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Stop accepting submissions, then :meth:`drain` (idempotent)."""
+        self._closed = True
+        await self.drain()

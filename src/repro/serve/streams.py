@@ -1,0 +1,223 @@
+"""Bounded in-flight JSONL streaming shared by the daemon and the CLI.
+
+A million-line request file (or an equally long HTTP body) must not be
+slurped into memory before the first answer comes out.  This module
+provides the sliding-window discipline both entry points share:
+
+* :func:`parse_request_line` turns one JSONL line into a
+  :class:`~repro.fleet.Request`, wrapping **every** parse failure —
+  including invalid JSON, which used to escape as a bare
+  ``json.JSONDecodeError`` traceback — as a typed
+  :class:`~repro.errors.ReproError` carrying the 1-based line number;
+* :func:`iter_request_windows` batches a line stream into serving
+  windows of at most ``max_batch`` requests;
+* :func:`stream_requests` is the pipeline: windows are submitted to an
+  async ``serve`` callable with **at most ``max_inflight`` windows in
+  flight**; the producer is back-pressured (it stops reading lines while
+  the window budget is exhausted) and answers are emitted incrementally,
+  in input order, through an async ``emit`` callable — so memory stays
+  flat however long the stream;
+* :func:`serve_jsonl` wraps the pipeline for synchronous callers (the
+  CLI's ``fleet``/``batch`` subcommand): plain line iterator in,
+  write-callback out, served through an
+  :class:`~repro.fleet.AsyncFleet` on its own event loop.
+
+The emit order is *input* order even though windows complete out of
+order: completed windows are drained strictly in submission order, so a
+slow window holds back the ones behind it (bounded buffering) instead of
+reordering the output.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import (
+    Any,
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
+
+from ..errors import ReproError
+from ..fleet import Answer, AsyncFleet, Fleet, Request
+
+__all__ = [
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_INFLIGHT",
+    "parse_request_line",
+    "iter_request_windows",
+    "stream_requests",
+    "serve_jsonl",
+]
+
+#: Default serving-window size (requests per batch handed to the fleet).
+DEFAULT_MAX_BATCH = 64
+
+#: Default number of windows allowed in flight at once.
+DEFAULT_MAX_INFLIGHT = 4
+
+
+def parse_request_line(number: int, line: str) -> Optional[Request]:
+    """Parse one JSONL request line (``number`` is 1-based).
+
+    Blank lines return ``None``.  Invalid JSON, non-object records and
+    bad request fields all raise :class:`~repro.errors.ReproError` whose
+    message names the offending line, so a typo on line 400 000 of a
+    stream is reported as ``request line 400000: ...`` instead of a
+    traceback.
+    """
+    text = line.strip()
+    if not text:
+        return None
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"request line {number}: invalid JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise ReproError(f"request line {number} is not a JSON object")
+    try:
+        return Request.from_dict(record)
+    except ReproError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise ReproError(f"request line {number}: {message}") from exc
+
+
+async def _aiter_lines(
+    lines: Union[Iterable[str], AsyncIterator[str]]
+) -> AsyncIterator[str]:
+    """Adapt a plain iterable of lines to an async iterator."""
+    if hasattr(lines, "__aiter__"):
+        async for line in lines:  # type: ignore[union-attr]
+            yield line
+        return
+    for line in lines:  # type: ignore[union-attr]
+        yield line
+
+
+async def iter_request_windows(
+    lines: Union[Iterable[str], AsyncIterator[str]],
+    *,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    start_line: int = 1,
+) -> AsyncIterator[List[Request]]:
+    """Batch a JSONL line stream into windows of at most ``max_batch``.
+
+    Lines are parsed lazily — a parse error surfaces only once the
+    stream reaches the bad line, after every earlier window has been
+    yielded (and typically already served).
+    """
+    if int(max_batch) < 1:
+        raise ReproError("max_batch must be at least 1")
+    window: List[Request] = []
+    number = start_line - 1
+    async for line in _aiter_lines(lines):
+        number += 1
+        request = parse_request_line(number, line)
+        if request is None:
+            continue
+        window.append(request)
+        if len(window) >= max_batch:
+            yield window
+            window = []
+    if window:
+        yield window
+
+
+async def stream_requests(
+    lines: Union[Iterable[str], AsyncIterator[str]],
+    serve: Callable[[List[Request]], Awaitable[List[Answer]]],
+    emit: Callable[[Answer], Awaitable[Any]],
+    *,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    start_line: int = 1,
+) -> int:
+    """Pump a JSONL line stream through ``serve`` in bounded windows.
+
+    At most ``max_inflight`` windows are being served at any moment; the
+    producer side stops parsing lines while the budget is exhausted
+    (back-pressure), and answers are awaited window by window **in
+    submission order** and handed to ``emit`` one at a time — ``emit``
+    may itself apply downstream back-pressure (e.g. awaiting a socket
+    drain).  Returns the number of answers emitted.
+
+    A parse or serving error cancels the windows still in flight and
+    propagates; answers of windows fully drained before the error are
+    already emitted (streaming output cannot be un-written).
+    """
+    if int(max_inflight) < 1:
+        raise ReproError("max_inflight must be at least 1")
+    inflight: "asyncio.Queue[Optional[asyncio.Task]]" = asyncio.Queue()
+    emitted = 0
+
+    async def drain_one() -> None:
+        nonlocal emitted
+        task = inflight.get_nowait()
+        assert task is not None
+        for answer in await task:
+            await emit(answer)
+            emitted += 1
+
+    tasks: List[asyncio.Task] = []
+    try:
+        async for window in iter_request_windows(
+            lines, max_batch=max_batch, start_line=start_line
+        ):
+            task = asyncio.ensure_future(serve(window))
+            tasks.append(task)
+            inflight.put_nowait(task)
+            # Back-pressure: block the producer on the oldest window
+            # once the in-flight budget is reached.
+            while inflight.qsize() >= max_inflight:
+                await drain_one()
+        while inflight.qsize():
+            await drain_one()
+    except BaseException:
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        raise
+    return emitted
+
+
+def serve_jsonl(
+    fleet: Union[Fleet, AsyncFleet],
+    lines: Iterable[str],
+    write: Callable[[Answer], Any],
+    *,
+    executor=None,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+) -> int:
+    """Serve a synchronous JSONL line stream with bounded windows.
+
+    The synchronous entry point used by the CLI: ``lines`` is any plain
+    iterator of text lines (an open file, ``sys.stdin``), ``write`` is
+    called once per :class:`~repro.fleet.Answer` in input order, as soon
+    as the answer's window (and every window before it) has been served
+    — so a long stream produces output incrementally while holding at
+    most ``max_inflight * max_batch`` requests in memory.  Answers are
+    bit-identical to a single :meth:`Fleet.serve` pass over the same
+    stream, whatever the window boundaries.  Returns the number of
+    answers written.
+    """
+    async_fleet = fleet if isinstance(fleet, AsyncFleet) else AsyncFleet(fleet)
+
+    async def main() -> int:
+        async def serve(window: List[Request]) -> List[Answer]:
+            return await async_fleet.serve_async(window, executor=executor)
+
+        async def emit(answer: Answer) -> None:
+            write(answer)
+
+        return await stream_requests(
+            lines, serve, emit, max_batch=max_batch, max_inflight=max_inflight
+        )
+
+    return asyncio.run(main())

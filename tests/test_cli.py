@@ -22,6 +22,21 @@ class TestParser:
         args = build_parser().parse_args(["dimension", "--rtt-bound-ms", "80"])
         assert args.rtt_bound_ms == pytest.approx(80.0)
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8421
+        assert args.workers == 1
+        assert args.coalesce_ms == pytest.approx(2.0)
+        assert args.max_batch == 64
+        assert args.max_inflight == 4
+        assert args.warm_cache is None
+
+    def test_fleet_window_defaults(self):
+        args = build_parser().parse_args(["fleet", "--requests", "-"])
+        assert args.window == 64
+        assert args.max_inflight == 4
+
     def test_simulate_arguments(self):
         args = build_parser().parse_args(
             ["simulate", "--clients", "10", "--scheduler", "wfq", "--duration", "5"]
@@ -360,6 +375,59 @@ class TestFleetCommand:
         exit_code = main(["fleet", "--requests", str(requests)])
         assert exit_code == 2
         assert "paper-dsl" in capsys.readouterr().err
+
+    def test_invalid_json_line_clean_error_names_the_line(self, capsys, tmp_path):
+        # Regression: an unparseable line used to escape as a bare
+        # json.JSONDecodeError traceback with no line number.
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"scenario": "ftth", "load": 0.4}\n{"scenario": "ftth", "load":\n',
+            encoding="utf-8",
+        )
+        exit_code = main(["fleet", "--requests", str(requests)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "request line 2" in err
+        assert "invalid JSON" in err
+        assert "Traceback" not in err
+
+    def test_window_flag_rejects_non_positive(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(requests, [{"scenario": "ftth", "load": 0.4}])
+        exit_code = main(["fleet", "--requests", str(requests), "--window", "0"])
+        assert exit_code == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_max_inflight_flag_rejects_non_positive(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(requests, [{"scenario": "ftth", "load": 0.4}])
+        exit_code = main(
+            ["fleet", "--requests", str(requests), "--max-inflight", "0"]
+        )
+        assert exit_code == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
+    def test_small_windows_match_one_shot_serving(self, capsys, tmp_path):
+        records = [
+            {"scenario": "ftth", "load": 0.4, "tag": "a"},
+            {"scenario": "ftth", "load": 0.35, "tag": "b"},
+            {"scenario": "paper-dsl", "load": 0.3, "tag": "c"},
+        ]
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(requests, records)
+        assert main(["fleet", "--requests", str(requests)]) == 0
+        one_shot = [json.loads(line) for line in
+                    capsys.readouterr().out.strip().splitlines()]
+        assert main(
+            ["fleet", "--requests", str(requests), "--window", "1",
+             "--max-inflight", "2"]
+        ) == 0
+        windowed = [json.loads(line) for line in
+                    capsys.readouterr().out.strip().splitlines()]
+        assert [a["tag"] for a in windowed] == ["a", "b", "c"]
+        assert [a["rtt_quantile_s"] for a in windowed] == [
+            a["rtt_quantile_s"] for a in one_shot
+        ]
 
 
 class TestCompareAccessCommand:

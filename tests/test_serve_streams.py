@@ -1,0 +1,233 @@
+"""Tests for the bounded in-flight JSONL streaming pipeline."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fleet import Fleet, Request
+from repro.serve import parse_request_line, serve_jsonl, stream_requests
+
+
+def _request_lines(records):
+    return [json.dumps(record) for record in records]
+
+
+class TestParseRequestLine:
+    def test_parses_a_valid_line(self):
+        request = parse_request_line(1, '{"scenario": "ftth", "load": 0.4}')
+        assert isinstance(request, Request)
+        assert request.downlink_load == pytest.approx(0.4)
+
+    def test_blank_lines_are_skipped(self):
+        assert parse_request_line(1, "") is None
+        assert parse_request_line(2, "   \t ") is None
+
+    def test_invalid_json_names_the_line(self):
+        # Regression: json.loads used to escape as a bare
+        # json.JSONDecodeError traceback without the line number.
+        with pytest.raises(ReproError, match=r"request line 40123: invalid JSON"):
+            parse_request_line(40123, '{"scenario": "ftth", "load": 0.4')
+
+    def test_invalid_json_is_a_typed_repro_error(self):
+        try:
+            parse_request_line(7, "not json at all")
+        except ReproError as exc:
+            assert isinstance(exc.__cause__, json.JSONDecodeError)
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")
+
+    def test_non_object_record_names_the_line(self):
+        with pytest.raises(ReproError, match="request line 3 is not a JSON object"):
+            parse_request_line(3, "[1, 2, 3]")
+
+    def test_bad_request_fields_name_the_line(self):
+        with pytest.raises(ReproError, match="request line 9: unknown request field"):
+            parse_request_line(9, '{"scenario": "ftth", "laod": 0.4}')
+
+
+class _RecordingServe:
+    """A serve callable recording window sizes and concurrency."""
+
+    def __init__(self, delay_s=0.0):
+        self.windows = []
+        self.active = 0
+        self.max_active = 0
+        self.delay_s = delay_s
+
+    async def __call__(self, window):
+        self.windows.append(len(window))
+        self.active += 1
+        self.max_active = max(self.max_active, self.active)
+        try:
+            if self.delay_s:
+                await asyncio.sleep(self.delay_s)
+            return [request.tag for request in window]
+        finally:
+            self.active -= 1
+
+
+class TestStreamRequests:
+    def _lines(self, count):
+        return _request_lines(
+            {"scenario": "ftth", "load": 0.4, "tag": f"r{i}"} for i in range(count)
+        )
+
+    def test_windows_and_input_order(self):
+        serve = _RecordingServe()
+        emitted = []
+
+        async def emit(tag):
+            emitted.append(tag)
+
+        count = asyncio.run(
+            stream_requests(self._lines(10), serve, emit, max_batch=4, max_inflight=2)
+        )
+        assert count == 10
+        assert serve.windows == [4, 4, 2]
+        assert emitted == [f"r{i}" for i in range(10)]
+
+    def test_inflight_budget_is_respected(self):
+        serve = _RecordingServe(delay_s=0.01)
+
+        async def emit(tag):
+            pass
+
+        asyncio.run(
+            stream_requests(self._lines(40), serve, emit, max_batch=2, max_inflight=3)
+        )
+        assert serve.max_active <= 3
+
+    def test_windows_overlap_up_to_the_budget(self):
+        serve = _RecordingServe(delay_s=0.02)
+
+        async def emit(tag):
+            pass
+
+        asyncio.run(
+            stream_requests(self._lines(12), serve, emit, max_batch=2, max_inflight=4)
+        )
+        assert serve.max_active > 1
+
+    def test_blank_lines_do_not_break_windowing(self):
+        serve = _RecordingServe()
+        lines = self._lines(3)
+        lines.insert(1, "")
+        lines.append("   ")
+        emitted = []
+
+        async def emit(tag):
+            emitted.append(tag)
+
+        count = asyncio.run(
+            stream_requests(lines, serve, emit, max_batch=2, max_inflight=2)
+        )
+        assert count == 3
+        assert emitted == ["r0", "r1", "r2"]
+
+    def test_parse_error_propagates_with_line_number(self):
+        serve = _RecordingServe()
+        lines = self._lines(3) + ["{broken"]
+
+        async def emit(tag):
+            pass
+
+        with pytest.raises(ReproError, match="request line 4: invalid JSON"):
+            asyncio.run(
+                stream_requests(lines, serve, emit, max_batch=2, max_inflight=2)
+            )
+
+    def test_serving_error_cancels_the_remaining_windows(self):
+        class FailingServe(_RecordingServe):
+            async def __call__(self, window):
+                if len(self.windows) == 1:
+                    raise ReproError("window exploded")
+                return await super().__call__(window)
+
+        serve = FailingServe(delay_s=0.01)
+
+        async def emit(tag):
+            pass
+
+        with pytest.raises(ReproError, match="window exploded"):
+            asyncio.run(
+                stream_requests(self._lines(20), serve, emit, max_batch=2,
+                                max_inflight=2)
+            )
+
+    def test_rejects_bad_bounds(self):
+        async def emit(tag):
+            pass
+
+        with pytest.raises(ReproError, match="max_batch"):
+            asyncio.run(stream_requests([], _RecordingServe(), emit, max_batch=0))
+        with pytest.raises(ReproError, match="max_inflight"):
+            asyncio.run(stream_requests([], _RecordingServe(), emit, max_inflight=0))
+
+
+class TestServeJsonl:
+    RECORDS = [
+        {"scenario": "ftth", "load": 0.4, "tag": "a"},
+        {"scenario": "paper-dsl", "load": 0.3, "tag": "b"},
+        {"scenario": "ftth", "load": 0.4, "tag": "c"},
+        {"scenario": "lte", "gamers": 900, "tag": "d"},
+        {"scenario": "paper-dsl", "load": 0.3, "tag": "e"},
+    ]
+
+    def test_answers_are_bit_identical_to_one_serve_pass(self):
+        reference = Fleet().serve([Request.from_dict(r) for r in self.RECORDS])
+        answers = []
+        served = serve_jsonl(
+            Fleet(), _request_lines(self.RECORDS), answers.append,
+            max_batch=2, max_inflight=2,
+        )
+        assert served == len(self.RECORDS)
+        assert [a.tag for a in answers] == ["a", "b", "c", "d", "e"]
+        assert [a.rtt_quantile_s for a in answers] == [
+            a.rtt_quantile_s for a in reference
+        ]
+
+    def test_memory_stays_bounded_on_a_long_stream(self):
+        # A generator stream orders of magnitude larger than the window
+        # budget: the pipeline must pull lines lazily (back-pressure),
+        # never materializing the request list.
+        total = 3000
+        pulled = 0
+
+        def lines():
+            nonlocal pulled
+            for i in range(total):
+                pulled += 1
+                yield json.dumps({"scenario": "ftth", "load": 0.4})
+
+        fleet = Fleet()
+        answers = 0
+        high_water = 0
+
+        def write(answer):
+            nonlocal answers, high_water
+            answers += 1
+            # The producer may only run ahead of the writer by the
+            # in-flight window budget.
+            high_water = max(high_water, pulled - answers)
+
+        serve_jsonl(fleet, lines(), write, max_batch=50, max_inflight=2)
+        assert answers == total
+        assert high_water <= 50 * (2 + 1)
+        assert fleet.stats.requests == total
+        # Everything beyond the first few overlapping windows hits the
+        # shared cache; the point under evaluation stays unique.
+        assert fleet.stats.cache_hits >= total - 2 * 50
+        assert fleet.cache_size() == 1
+
+    def test_windows_share_the_fleet_cache(self):
+        fleet = Fleet()
+        answers = []
+        serve_jsonl(
+            fleet, _request_lines(self.RECORDS), answers.append,
+            max_batch=2, max_inflight=1,
+        )
+        # "e" repeats "b" from an earlier, already-assembled window.
+        assert answers[4].cached is True
+        assert fleet.stats.evaluations == 3
