@@ -37,7 +37,7 @@ from repro.executors import ParallelExecutor
 from repro.fleet import Fleet, Request
 from repro.scenarios import get_scenario
 
-from conftest import print_header
+from conftest import print_header, record_result
 
 #: The paper's headline quantile level (Section 4).
 PROBABILITY = 0.99999
@@ -130,6 +130,18 @@ def test_parallel_vs_serial_serving(benchmark):
     print(f"stacked MGF calls (both paths)  : {parallel_fleet.stats.stacked_mgf_calls}")
     print(f"warm-pass plans executed        : "
           f"{parallel_fleet.stats.plans_executed - plans_before}")
+
+    record_result(
+        "parallel",
+        "parallel_vs_serial_serving",
+        requests=len(requests),
+        workers=WORKERS,
+        cpus=cpus,
+        serial_s=serial_elapsed,
+        parallel_s=parallel_elapsed,
+        speedup=speedup,
+        plans_executed=parallel_fleet.stats.plans_executed,
+    )
 
     # Acceptance: bit-identical floats, serial vs. 4 workers.
     assert parallel_quantiles == serial_quantiles

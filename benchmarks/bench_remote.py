@@ -1,0 +1,252 @@
+"""Benchmark — distributed plan execution over out-of-process worker daemons.
+
+ISSUE 7 turns the execute phase into a transport-pluggable tier: a
+:class:`~repro.executors.RemoteExecutor` fans the cold stream's
+:class:`~repro.core.rtt.EvalPlan` units out to worker daemons
+(``fps-ping serve --worker-mode``) over the :mod:`repro.serve.wire`
+protocol.  This benchmark starts two real worker daemons as
+subprocesses (each with a 2-process pool) and measures the distributed
+tier against the in-process alternatives on the same cold 7-preset
+stream.
+
+Acceptance criteria asserted here (ISSUE 7):
+
+* answers through the worker daemons are bit-identical to the serial
+  in-process path — *where* a plan runs cannot change a float;
+* with >= 4 CPUs (the CI runners), sustained throughput over 2 worker
+  daemons is at least the in-process ``ParallelExecutor`` baseline on
+  the cold stream (the distributed fleet has 4 execution processes to
+  the baseline's 2; on smaller hosts the ratio is reported, not gated);
+* a kill-one-worker run — one daemon SIGKILLed, the stream re-served
+  cold through the same two-host fleet — completes via failover with
+  zero dropped requests and the dead host marked down in the per-host
+  statistics.
+
+The peak RSS of this process and its children is reported (and recorded
+in the ``BENCH_remote.json`` artifact) so the throughput numbers are
+comparable at a known memory ceiling across PRs.
+"""
+
+import os
+import re
+import resource
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.rtt import compile_eval_plans
+from repro.executors import ParallelExecutor, RemoteExecutor
+from repro.fleet import Fleet, Request
+from repro.scenarios import get_scenario
+
+from conftest import print_header, record_result
+
+PROBABILITY = 0.99999
+
+PRESETS = (
+    "paper-dsl",
+    "cable",
+    "ftth",
+    "lte",
+    "satellite-leo",
+    "dsl-mixed-background",
+    "cloud-gaming",
+)
+LOADS = np.linspace(0.08, 0.88, 48)
+
+#: The distributed fleet: 2 worker daemons x 2 pool processes each,
+#: driven with 2 connections per host so both pools stay busy.
+WORKER_DAEMONS = 2
+WORKERS_PER_DAEMON = 2
+
+#: The in-process baseline the acceptance gate compares against.
+BASELINE_WORKERS = 2
+
+_BANNER = re.compile(r"listening on http://127\.0\.0\.1:(\d+)")
+
+
+def _spawn_worker():
+    """Start one worker daemon subprocess; return (process, port)."""
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--worker-mode",
+            "--port",
+            "0",
+            "--workers",
+            str(WORKERS_PER_DAEMON),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    for line in proc.stderr:
+        match = _BANNER.search(line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise RuntimeError("worker daemon exited before announcing its port")
+
+
+def _stop(proc):
+    if proc.poll() is None:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck daemon
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+@pytest.mark.benchmark(group="remote-serving")
+def test_remote_workers_vs_in_process(benchmark):
+    requests = [
+        Request(preset, downlink_load=float(load), probability=PROBABILITY)
+        for preset in PRESETS
+        for load in LOADS
+    ]
+
+    # -- serial in-process reference (also the bit-identity oracle).
+    serial_fleet = Fleet()
+    start = time.perf_counter()
+    serial_answers = serial_fleet.serve(requests)
+    serial_elapsed = time.perf_counter() - start
+    reference = [a.rtt_quantile_s for a in serial_answers]
+
+    # -- in-process ParallelExecutor baseline, pool pre-spawned.
+    baseline_pool = ParallelExecutor(workers=BASELINE_WORKERS)
+    warm_models = [
+        get_scenario("paper-dsl").model_at_load(0.10 + 0.01 * i)
+        for i in range(BASELINE_WORKERS)
+    ]
+    baseline_pool.run(compile_eval_plans(warm_models, PROBABILITY, chunk_size=1))
+    baseline_fleet = Fleet()
+    start = time.perf_counter()
+    baseline_answers = baseline_fleet.serve(requests, executor=baseline_pool)
+    baseline_elapsed = time.perf_counter() - start
+    baseline_pool.close()
+
+    workers = [_spawn_worker() for _ in range(WORKER_DAEMONS)]
+    try:
+        hosts = [f"127.0.0.1:{port}" for _proc, port in workers]
+        executor = RemoteExecutor(
+            hosts,
+            connections_per_host=WORKERS_PER_DAEMON,
+            recheck_down_s=600.0,  # a killed worker must stay benched
+        )
+
+        # Pre-warm the daemons' pools (they spawn lazily, like the
+        # baseline's) so the timed region measures steady-state serving.
+        executor.run(
+            compile_eval_plans(
+                [
+                    get_scenario("paper-dsl").model_at_load(0.10 + 0.01 * i)
+                    for i in range(WORKER_DAEMONS * WORKERS_PER_DAEMON)
+                ],
+                PROBABILITY,
+                chunk_size=1,
+            )
+        )
+
+        # -- the distributed run: same cold stream, plans on the wire.
+        remote_fleet = Fleet()
+        start = time.perf_counter()
+        remote_answers = benchmark.pedantic(
+            lambda: remote_fleet.serve(requests, executor=executor),
+            rounds=1,
+            iterations=1,
+        )
+        remote_elapsed = time.perf_counter() - start
+
+        # -- kill one worker; the survivors absorb its share.
+        killed_proc, killed_port = workers[0]
+        killed_proc.send_signal(signal.SIGKILL)
+        killed_proc.wait(timeout=10)
+        failover_fleet = Fleet()
+        start = time.perf_counter()
+        failover_answers = failover_fleet.serve(requests, executor=executor)
+        failover_elapsed = time.perf_counter() - start
+        host_stats = executor.host_stats()
+        executor.close()
+    finally:
+        for proc, _port in workers:
+            _stop(proc)
+
+    cpus = os.cpu_count() or 1
+    baseline_rps = len(requests) / baseline_elapsed
+    remote_rps = len(requests) / remote_elapsed
+    rss_mib = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    ) / 1024.0
+    dead_host = f"127.0.0.1:{killed_port}"
+
+    print_header("Distributed plan execution over worker daemons")
+    print(f"requests (presets x loads)      : {len(requests)} "
+          f"({len(PRESETS)} x {len(LOADS)})")
+    print(f"worker daemons x pool workers   : {WORKER_DAEMONS} x "
+          f"{WORKERS_PER_DAEMON} / CPUs: {cpus}")
+    print(f"serial wall time                : {serial_elapsed * 1e3:.1f} ms")
+    print(f"baseline ({BASELINE_WORKERS}-proc pool)        : "
+          f"{baseline_elapsed * 1e3:.1f} ms ({baseline_rps:.0f} req/s)")
+    print(f"remote (2 daemons)              : {remote_elapsed * 1e3:.1f} ms "
+          f"({remote_rps:.0f} req/s)")
+    print(f"failover run (1 daemon killed)  : {failover_elapsed * 1e3:.1f} ms")
+    print(f"per-host stats                  : {host_stats}")
+    print(f"peak RSS (self + children)      : {rss_mib:.0f} MiB")
+
+    record_result(
+        "remote",
+        "remote_workers_vs_in_process",
+        requests=len(requests),
+        cpus=cpus,
+        worker_daemons=WORKER_DAEMONS,
+        workers_per_daemon=WORKERS_PER_DAEMON,
+        serial_s=serial_elapsed,
+        baseline_s=baseline_elapsed,
+        remote_s=remote_elapsed,
+        failover_s=failover_elapsed,
+        baseline_rps=baseline_rps,
+        remote_rps=remote_rps,
+        peak_rss_mib=rss_mib,
+        host_stats=host_stats,
+    )
+
+    # Acceptance: bit-identical floats on every path, dropped nothing.
+    assert [a.rtt_quantile_s for a in baseline_answers] == reference
+    assert [a.rtt_quantile_s for a in remote_answers] == reference
+    assert len(failover_answers) == len(requests)
+    assert [a.rtt_quantile_s for a in failover_answers] == reference
+
+    # Acceptance: the per-host statistics show the failover — the dead
+    # host is down with a recorded failure, the survivor carried the
+    # whole failover stream, and the front-end fleet folded the hosts.
+    assert host_stats[dead_host]["down"]
+    assert host_stats[dead_host]["failures"] >= 1
+    survivors = [name for name in host_stats if name != dead_host]
+    assert sum(host_stats[name]["plans"] for name in survivors) > 0
+    assert set(remote_fleet.stats.hosts) <= set(host_stats)
+    assert set(failover_fleet.stats.hosts) == set(survivors)
+
+    # Acceptance: at a memory ceiling sane for CI (the whole fleet —
+    # this process plus 2 daemons with 2 pool workers each).
+    assert rss_mib < 4096.0
+
+    # Acceptance: >= the in-process baseline's throughput where the
+    # distributed fleet's 4 execution processes have CPUs to run on.
+    if cpus >= WORKER_DAEMONS * WORKERS_PER_DAEMON:
+        assert remote_rps >= baseline_rps
+    else:
+        print(f"(throughput gate skipped: {cpus} CPU(s) < "
+              f"{WORKER_DAEMONS * WORKERS_PER_DAEMON} execution processes)")

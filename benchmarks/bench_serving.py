@@ -37,7 +37,7 @@ import pytest
 from repro.fleet import AsyncFleet, Fleet, Request
 from repro.serve import RequestCoalescer, ServingDaemon
 
-from conftest import print_header
+from conftest import print_header, record_result
 
 PROBABILITY = 0.99999
 
@@ -153,6 +153,18 @@ def test_coalesced_serving_vs_per_request(benchmark):
           f"{stats.coalesced_requests}")
     print(f"single-flighted duplicates      : {stats.deduped_inflight}")
 
+    record_result(
+        "serving",
+        "coalesced_vs_per_request",
+        requests=len(requests),
+        distinct_points=distinct,
+        sequential_s=sequential_elapsed,
+        coalesced_s=coalesced_elapsed,
+        speedup=sequential_elapsed / coalesced_elapsed,
+        coalesced_windows=stats.coalesced_batches,
+        deduped_inflight=stats.deduped_inflight,
+    )
+
     # Acceptance: every path returns floats bit-identical to Fleet.serve.
     assert [a.rtt_quantile_s for a in sequential_answers] == reference_quantiles
     assert [a.rtt_quantile_s for a in raw_answers] == reference_quantiles
@@ -190,6 +202,16 @@ def test_daemon_round_trip_over_http(benchmark):
     print(f"evaluations (distinct points)   : {stats.evaluations} ({distinct})")
     print(f"http requests / errors          : {daemon.http_requests} / "
           f"{daemon.http_errors}")
+
+    record_result(
+        "serving",
+        "daemon_http_round_trip",
+        connections=len(requests),
+        wall_s=elapsed,
+        evaluations=stats.evaluations,
+        http_requests=daemon.http_requests,
+        http_errors=daemon.http_errors,
+    )
 
     assert all(status == 200 for status, _ in results)
     assert [payload["rtt_quantile_s"] for _, payload in results] == reference_quantiles

@@ -5,12 +5,45 @@ ablation / validation study), prints the regenerated rows or series and
 asserts the qualitative shape reported in the paper.  Run them with::
 
     pytest benchmarks/ --benchmark-only
+
+Benchmarks that call :func:`record_result` additionally leave a
+machine-readable ``BENCH_<group>.json`` artifact in the working
+directory when the session ends (one file per group, e.g.
+``BENCH_serving.json`` / ``BENCH_parallel.json``), so CI can archive
+throughput and latency numbers across runs without scraping stdout.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+#: group -> benchmark name -> recorded metrics, accumulated across the
+#: whole session and flushed once at the end.
+_RESULTS: Dict[str, Dict[str, Dict[str, Any]]] = {}
 
 
 def print_header(title: str) -> None:
     """Print a visual separator before a benchmark's output."""
     bar = "=" * max(len(title), 20)
     print(f"\n{bar}\n{title}\n{bar}")
+
+
+def record_result(group: str, name: str, **metrics: Any) -> None:
+    """Record one benchmark's metrics for the ``BENCH_<group>.json`` artifact.
+
+    ``metrics`` must be JSON-serialisable (floats, ints, strings, plain
+    dicts/lists).  Calling twice with the same group and name overwrites
+    — a benchmark records its final numbers, not a time series.
+    """
+    _RESULTS.setdefault(group, {})[name] = metrics
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write one ``BENCH_<group>.json`` per recorded group into the cwd."""
+    for group, results in sorted(_RESULTS.items()):
+        path = os.path.join(os.getcwd(), f"BENCH_{group}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"group": group, "results": results}, handle, indent=2)
+            handle.write("\n")

@@ -14,6 +14,7 @@ Run with::
 
 import asyncio
 import json
+from contextlib import AsyncExitStack
 
 from repro import (
     AsyncFleet,
@@ -21,6 +22,7 @@ from repro import (
     Fleet,
     ParallelExecutor,
     PingTimeModel,
+    RemoteExecutor,
     Request,
     Scenario,
     ServingDaemon,
@@ -205,6 +207,67 @@ def serving_daemon_quickstart() -> None:
     print()
 
 
+def distributed_quickstart() -> None:
+    """Distributed serving: fan plans out to worker daemons over TCP.
+
+    The execute phase of the plan/execute/assemble pipeline is
+    transport-pluggable: a :class:`RemoteExecutor` ships each compiled
+    :class:`~repro.core.rtt.EvalPlan` to worker daemons over the
+    length-prefixed :mod:`repro.serve.wire` protocol, keeps per-host
+    health, and fails a killed worker over to the survivors — with
+    floats bit-identical to the serial path, because *where* a plan
+    runs never changes its arithmetic.  On real machines each tier is
+    one shell::
+
+        host-a $ fps-ping serve --worker-mode --port 9101 --workers 4
+        host-b $ fps-ping serve --worker-mode --port 9101 --workers 4
+        front  $ fps-ping serve --port 8421 --coalesce-ms 2 \\
+              --remote host-a:9101,host-b:9101
+
+    (batch-style: ``fps-ping fleet --remote host-a:9101,host-b:9101
+    --requests stream.jsonl``).  Plan frames carry pickled payloads,
+    so worker daemons belong on a trusted network segment only — the
+    same trust tier as the process pool they replace.  Below, the
+    "hosts" are two in-process worker-mode daemons on ephemeral ports.
+    """
+    # Two quantile probabilities compile into two independent plans, so
+    # the stream genuinely spreads over both worker daemons below.
+    requests = [
+        Request(preset, downlink_load=load, probability=probability)
+        for probability in (0.999, 0.99999)
+        for preset in ("ftth", "cable", "lte")
+        for load in (0.30, 0.45, 0.60)
+    ]
+
+    async def main():
+        async with AsyncExitStack() as stack:
+            workers = [
+                await stack.enter_async_context(
+                    ServingDaemon(port=0, worker_mode=True)
+                )
+                for _ in range(2)
+            ]
+            executor = RemoteExecutor(
+                ",".join(f"{worker.host}:{worker.port}" for worker in workers)
+            )
+            stack.callback(executor.close)
+            fleet = Fleet()
+            answers = await AsyncFleet(fleet).serve_async(
+                requests, executor=executor
+            )
+            return answers, fleet.stats
+
+    answers, stats = asyncio.run(main())
+    serial = [a.rtt_quantile_s for a in Fleet().serve(requests)]
+    print("Distributed quickstart (plans on the wire to 2 worker daemons)")
+    for host, entry in stats.hosts.items():
+        print(f"  worker {host:<17}: {entry['plans']} plan(s),"
+              f" {1e3 * entry['wire_s']:6.2f} ms on the wire")
+    print(f"  bit-identical to serial  : "
+          f"{[a.rtt_quantile_s for a in answers] == serial}")
+    print()
+
+
 def multi_server_quickstart() -> None:
     """Multi-server mixes: several game servers on one reserved pipe.
 
@@ -248,6 +311,7 @@ def main() -> None:
     fleet_quickstart()
     parallel_quickstart()
     serving_daemon_quickstart()
+    distributed_quickstart()
     multi_server_quickstart()
 
     model = PingTimeModel.from_downlink_load(

@@ -29,9 +29,12 @@ The package is organised as follows:
   :mod:`repro.executors` executor (in-process or a process pool; the
   :class:`AsyncFleet` facade serves asyncio callers) and assembled
   behind a shared bounded LRU cache;
-* :mod:`repro.executors` -- the execute phase of the serving pipeline:
-  :class:`SerialExecutor` and the process-parallel
-  :class:`ParallelExecutor`, answers bit-identical either way;
+* :mod:`repro.executors` -- the execute phase of the serving pipeline
+  behind a transport-pluggable seam: :class:`SerialExecutor`, the
+  process-parallel :class:`ParallelExecutor` and the multi-host
+  :class:`RemoteExecutor` (plans fanned out to worker daemons over the
+  :mod:`repro.serve.wire` protocol, with per-host health tracking and
+  failover), answers bit-identical whichever executes;
 * :mod:`repro.serve` -- the long-running service tier:
   :class:`RequestCoalescer` (micro-batch windows with single-flight
   dedup of identical in-flight misses), the bounded JSONL streaming
@@ -75,8 +78,14 @@ from .core import (
     max_tolerable_load,
 )
 from .engine import Engine, EngineStats
-from .errors import CacheFormatError, ExecutorBrokenError, ReproError
-from .executors import Executor, ParallelExecutor, SerialExecutor
+from .errors import (
+    CacheFormatError,
+    ExecutorBrokenError,
+    ExecutorTimeoutError,
+    ReproError,
+    WireFormatError,
+)
+from .executors import Executor, ParallelExecutor, RemoteExecutor, SerialExecutor
 from .fleet import Answer, AsyncFleet, Fleet, FleetStats, Request, ResolvedRequest
 from .serve import RequestCoalescer, ServingDaemon
 from .scenarios import (
@@ -107,6 +116,7 @@ __all__ = [
     "ErlangTermSum",
     "Executor",
     "ExecutorBrokenError",
+    "ExecutorTimeoutError",
     "Fleet",
     "FleetStats",
     "MD1Queue",
@@ -118,6 +128,7 @@ __all__ = [
     "PacketPositionDelay",
     "ParallelExecutor",
     "PingTimeModel",
+    "RemoteExecutor",
     "ReproError",
     "Request",
     "RequestCoalescer",
@@ -125,6 +136,7 @@ __all__ = [
     "SerialExecutor",
     "ServingDaemon",
     "ServerFlow",
+    "WireFormatError",
     "SCENARIO_PRESETS",
     "Scenario",
     "available_scenarios",

@@ -12,6 +12,8 @@ the RTT calculator and the request-stream serving layer from the shell::
     fps-ping scenarios list
     fps-ping fleet --requests lookups.jsonl --warm-cache fleet-cache.json
     fps-ping serve --port 8421 --workers 4 --coalesce-ms 2 --max-batch 64
+    fps-ping serve --port 9101 --worker-mode          # plan-executing worker
+    fps-ping serve --remote 127.0.0.1:9101,127.0.0.1:9102   # front-end
 
 ``--scenario`` accepts a preset name (see
 :func:`repro.scenarios.available_scenarios`) or a path to a JSON file
@@ -41,6 +43,15 @@ liveness and the fleet/coalescer counters.  Concurrent requests are
 coalesced into stacked micro-batches (``--coalesce-ms`` window,
 ``--max-batch`` size) with identical in-flight misses evaluated once;
 SIGTERM/SIGINT drains gracefully and persists ``--warm-cache``.
+
+The distributed tier splits ``serve`` into two roles: ``--worker-mode``
+daemons additionally expose ``POST /v1/plan`` and execute the framed
+evaluation plans a front-end ships them, and ``--remote host:port,...``
+makes a front-end (``serve``) or a one-shot stream run (``fleet``) fan
+its plans out over those workers with per-host failover — answers stay
+bit-identical to the in-process run.  Worker daemons accept pickled
+plan frames, so bind them only inside the serving cluster's trust
+boundary.
 """
 
 from __future__ import annotations
@@ -60,7 +71,7 @@ from . import experiments
 from .core.rtt import QUANTILE_METHODS
 from .engine import Engine
 from .errors import ReproError
-from .executors import ParallelExecutor
+from .executors import ParallelExecutor, RemoteExecutor
 from .fleet import Fleet
 from .netsim import GamingSimulation
 from .scenarios import MixScenario, SCENARIO_PRESETS, Scenario, scenario_from_spec
@@ -188,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
         "answers are bit-identical for any worker count)",
     )
     fleet.add_argument(
+        "--remote",
+        type=str,
+        default=None,
+        metavar="HOST:PORT,...",
+        help="execute the evaluation plans on these worker daemons "
+        "(fps-ping serve --worker-mode) instead of in-process; "
+        "mutually exclusive with --workers > 1",
+    )
+    fleet.add_argument(
         "--stats",
         action="store_true",
         help="print the fleet cache/evaluation statistics to standard error",
@@ -224,6 +244,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes executing the evaluation plans "
         "(1 = in-process; answers are bit-identical for any count)",
+    )
+    serve.add_argument(
+        "--remote",
+        type=str,
+        default=None,
+        metavar="HOST:PORT,...",
+        help="fan the evaluation plans out over these worker daemons "
+        "(fps-ping serve --worker-mode) with per-host failover; "
+        "mutually exclusive with --workers > 1 and --worker-mode",
+    )
+    serve.add_argument(
+        "--worker-mode",
+        action="store_true",
+        help="expose POST /v1/plan and execute framed evaluation plans "
+        "for a front-end's --remote executor (trusted networks only: "
+        "plan frames carry pickles)",
     )
     serve.add_argument(
         "--coalesce-ms",
@@ -550,6 +586,11 @@ def _command_fleet(args: argparse.Namespace) -> int:
     """
     if args.workers < 1:
         raise ReproError("--workers must be at least 1")
+    if args.remote and args.workers > 1:
+        raise ReproError(
+            "--remote and --workers are mutually exclusive: plans execute "
+            "either on remote worker daemons or on a local process pool"
+        )
     if args.window < 1:
         raise ReproError("--window must be at least 1")
     if args.max_inflight < 1:
@@ -574,7 +615,9 @@ def _command_fleet(args: argparse.Namespace) -> int:
         else:
             sink = sys.stdout
         executor = None
-        if args.workers > 1:
+        if args.remote:
+            executor = stack.enter_context(RemoteExecutor(args.remote))
+        elif args.workers > 1:
             executor = stack.enter_context(ParallelExecutor(workers=args.workers))
 
         def write(answer) -> None:
@@ -602,7 +645,30 @@ def _command_serve(args: argparse.Namespace) -> int:
     """Run the asyncio HTTP serving daemon until SIGTERM/SIGINT."""
     if args.workers < 1:
         raise ReproError("--workers must be at least 1")
-    executor = ParallelExecutor(workers=args.workers) if args.workers > 1 else None
+    if args.remote and args.worker_mode:
+        raise ReproError(
+            "--worker-mode and --remote are mutually exclusive: a daemon "
+            "either executes plans for a front-end or fans them out"
+        )
+    if args.remote and args.workers > 1:
+        raise ReproError(
+            "--remote and --workers are mutually exclusive: plans execute "
+            "either on remote worker daemons or on a local process pool"
+        )
+    if args.remote:
+        executor = RemoteExecutor(args.remote)
+    elif args.workers > 1:
+        # A worker daemon's pool must use the spawn start method: forked
+        # children would inherit the daemon's listening socket and its
+        # accepted keep-alive connections, holding them open after the
+        # daemon dies — a SIGKILLed worker would look alive to every
+        # front-end until its round-trip timeout instead of failing fast.
+        executor = ParallelExecutor(
+            workers=args.workers,
+            mp_context="spawn" if args.worker_mode else None,
+        )
+    else:
+        executor = None
     daemon = ServingDaemon(
         host=args.host,
         port=args.port,
@@ -614,6 +680,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_cache_entries=args.max_cache_entries,
         probability=args.quantile,
         method=args.method,
+        worker_mode=args.worker_mode,
     )
     try:
         asyncio.run(daemon.run())

@@ -1014,6 +1014,13 @@ class PlanResult:
     the serving layer folds into its statistics (the module-global
     :func:`stacked_eval_count` only sees in-process work) — plus the
     worker PID so callers can tell remote executions apart.
+
+    The transport metadata is stamped by the execution tier, never by
+    the kernel: a :class:`~repro.executors.RemoteExecutor` records which
+    worker ``host`` served the plan, the wire round-trip it paid
+    (``wire_s``) and how many dead hosts the plan was re-dispatched past
+    (``redispatches``).  In-process executions leave the defaults, and
+    none of the three fields influences a served float.
     """
 
     indices: Tuple[int, ...]
@@ -1021,6 +1028,12 @@ class PlanResult:
     stacked_mgf_calls: int
     evaluations: int
     worker_pid: int
+    #: Worker host ("host:port") that executed the plan; None in-process.
+    host: Optional[str] = None
+    #: Wall-clock seconds spent on the wire round trip (0 in-process).
+    wire_s: float = 0.0
+    #: Dead-host failovers this plan survived before completing.
+    redispatches: int = 0
 
 
 def _signature_key(params: ModelParams):

@@ -8,12 +8,16 @@ single ``except`` clause while still letting programming errors (such as
 
 from __future__ import annotations
 
+import pickle
+
 __all__ = [
     "ReproError",
     "ParameterError",
     "StabilityError",
     "CacheFormatError",
     "ExecutorBrokenError",
+    "ExecutorTimeoutError",
+    "WireFormatError",
     "FittingError",
     "TraceFormatError",
     "ConvergenceError",
@@ -66,15 +70,89 @@ class CacheFormatError(ParameterError):
 
 
 class ExecutorBrokenError(ReproError, RuntimeError):
-    """A plan executor's worker pool died underneath an execution.
+    """A plan executor lost its workers underneath an execution.
 
     Raised by :class:`repro.executors.ParallelExecutor` when the
     process pool reports itself broken (a worker was killed, crashed or
-    ran out of memory).  The executor disposes the dead pool before
-    raising, so the **next** ``run``/``run_async`` call transparently
-    spawns a fresh pool — a long-running service recovers by retrying
-    the batch instead of failing every future call.
+    ran out of memory) and by :class:`repro.executors.RemoteExecutor`
+    when every worker host is unreachable.  The executor disposes the
+    dead pool (or marks the dead hosts) before raising, so the **next**
+    ``run``/``run_async`` call transparently recovers — a long-running
+    service retries the batch instead of failing every future call.
+
+    The structured context tells serving layers *what* broke instead of
+    burying it in the message: ``host`` names the worker host (``None``
+    for an in-process pool), ``plan_count`` how many plans were stranded
+    by the failure, and ``cause`` the underlying transport or pool
+    exception.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        host: str | None = None,
+        plan_count: int | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        self.host = host
+        self.plan_count = plan_count
+        self.cause = cause
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Keyword-only context does not replay through the default
+        # Exception pickling (cls(*args)); rebuild explicitly.  The
+        # cause itself may not pickle (e.g. a socket error holding a
+        # transport), so it is reduced to its repr on the wire.
+        cause = self.cause
+        if cause is not None:
+            try:
+                pickle.dumps(cause)
+            except Exception:
+                cause = None
+        return (
+            _rebuild_executor_broken,
+            (
+                type(self),
+                self.args[0] if self.args else "",
+                self.host,
+                self.plan_count,
+                cause,
+            ),
+        )
+
+
+def _rebuild_executor_broken(cls, message, host, plan_count, cause):
+    return cls(message, host=host, plan_count=plan_count, cause=cause)
+
+
+class ExecutorTimeoutError(ExecutorBrokenError):
+    """A plan overran its execution timeout on a worker.
+
+    Raised by :class:`repro.executors.ParallelExecutor` when a plan
+    fails to complete within the configured ``timeout_s`` budget — a
+    hung worker must cost one retried window, never a wedged service.
+    The pool is disposed (its processes killed best-effort) before
+    raising, exactly like :class:`ExecutorBrokenError`, so the next run
+    spawns fresh workers; subclassing it means every recovery path
+    (coalescer window retry, daemon 500 mapping) applies unchanged.
+    """
+
+
+class WireFormatError(ReproError, ValueError):
+    """A plan-protocol frame is malformed, truncated or version-skewed.
+
+    Raised by :mod:`repro.serve.wire` while encoding or decoding the
+    length-prefixed frames the distributed execution tier exchanges —
+    bad magic, an unsupported protocol version, an unknown frame kind,
+    an over-long or truncated payload.  Decoding never hangs and never
+    raises a bare ``struct``/``pickle`` error on corrupt input.
+    """
+
+    def __init__(self, message: str, *, kind: str | None = None) -> None:
+        self.kind = kind
+        super().__init__(message)
 
 
 class FittingError(ReproError, RuntimeError):

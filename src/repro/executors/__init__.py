@@ -1,0 +1,43 @@
+"""The execute phase of the serving pipeline, behind a transport seam.
+
+The plan/execute/assemble split makes "where do plans run?" a pluggable
+decision: every executor takes the same picklable
+:class:`~repro.core.rtt.EvalPlan` units and returns the same
+:class:`~repro.core.rtt.PlanResult` values, bit-identical floats
+included, so the serving layers above never know — or care — which one
+is wired in.
+
+* :mod:`repro.executors.base` — the :class:`Executor` contract
+  (ordering, typed error propagation, broken-executor recovery);
+* :mod:`repro.executors.local` — :class:`SerialExecutor` (the
+  in-process reference) and :class:`ParallelExecutor` (process-pool
+  fan-out with an optional per-plan execution timeout);
+* :mod:`repro.executors.remote` — :class:`RemoteExecutor`, which ships
+  plans to worker daemons (``fps-ping serve --worker-mode``) over the
+  :mod:`repro.serve.wire` plan protocol, with per-host health tracking
+  and failover.
+
+The executor-layer errors (:class:`~repro.errors.ExecutorBrokenError`,
+:class:`~repro.errors.ExecutorTimeoutError`) are re-exported here for
+convenience; they live in :mod:`repro.errors` with the rest of the
+hierarchy.
+"""
+
+from ..errors import ExecutorBrokenError, ExecutorTimeoutError
+from .base import Executor
+from .local import ParallelExecutor, SerialExecutor
+
+# RemoteExecutor imports repro.serve.wire, whose package pulls in the
+# serving stack and, through it, repro.fleet — which imports this
+# package.  Binding the local executors first keeps that cycle benign:
+# by the time fleet's import runs, everything it needs is bound.
+from .remote import RemoteExecutor
+
+__all__ = [
+    "Executor",
+    "ExecutorBrokenError",
+    "ExecutorTimeoutError",
+    "ParallelExecutor",
+    "RemoteExecutor",
+    "SerialExecutor",
+]

@@ -1,0 +1,78 @@
+"""The :class:`Executor` contract shared by every plan executor.
+
+The serving path is split into three phases — **plan** (compile a
+request batch into picklable, self-contained work units, see
+:func:`repro.core.rtt.compile_eval_plans`), **execute** (this package)
+and **assemble** (merge the partial results back into the caller's
+caches and statistics).  The execute phase is deliberately dumb: an
+executor receives a sequence of plans and returns one
+:class:`~repro.core.rtt.PlanResult` per plan, in order.  Because a plan
+carries only model parameters and the evaluation kernels are stateless,
+*where* a plan runs cannot change a single float — the property that
+lets the same serving code fan out over threads, processes
+(:mod:`repro.executors.local`) or remote worker daemons
+(:mod:`repro.executors.remote`).
+
+The contract every executor honours:
+
+* :meth:`Executor.run` / :meth:`Executor.run_async` return one result
+  per plan, **in plan order**, with floats bit-identical to
+  :class:`~repro.executors.SerialExecutor`;
+* a typed error raised *by a plan* (e.g. an unstable operating point)
+  propagates to the caller unchanged, wherever the plan ran;
+* losing the workers mid-run raises
+  :class:`~repro.errors.ExecutorBrokenError` (with host identity and
+  stranded-plan count when known) **after** the executor has disposed
+  of the dead resources, so the next ``run`` recovers transparently —
+  the serving layers above (the request coalescer's one-window retry)
+  turn that into latency, not an outage;
+* executors are context managers; :meth:`Executor.close` is idempotent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, List
+
+from ..core.rtt import EvalPlan, PlanResult
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Interface shared by every plan executor.
+
+    Subclasses implement :meth:`run`; :meth:`run_async` has a default
+    thread-offload implementation so any executor is usable from
+    asyncio.  Executors are context managers — :meth:`close` releases
+    whatever workers they hold (a no-op for in-process executors).
+    """
+
+    #: Nominal degree of parallelism (1 for in-process executors).
+    workers: int = 1
+
+    def run(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
+        """Execute the plans, returning one result per plan, in order."""
+        raise NotImplementedError
+
+    async def run_async(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
+        """Asyncio variant of :meth:`run` (default: a worker thread).
+
+        The default implementation offloads the whole :meth:`run` call
+        to the event loop's default thread-pool executor, so the loop
+        keeps serving other coroutines while the plans execute.
+        """
+        plans = list(plans)
+        if not plans:
+            return []
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.run, plans)
+
+    def close(self) -> None:
+        """Release the executor's workers (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

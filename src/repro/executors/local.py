@@ -1,14 +1,4 @@
-"""Executors that run compiled :class:`~repro.core.rtt.EvalPlan` units.
-
-The serving path is split into three phases — **plan** (compile a
-request batch into picklable, self-contained work units, see
-:func:`repro.core.rtt.compile_eval_plans`), **execute** (this module)
-and **assemble** (merge the partial results back into the caller's
-caches and statistics).  The execute phase is deliberately dumb: an
-executor receives a sequence of plans and returns one
-:class:`~repro.core.rtt.PlanResult` per plan, in order.  Because a plan
-carries only model parameters and the evaluation kernels are stateless,
-*where* a plan runs cannot change a single float:
+"""In-process executors: serial reference and the process-pool fan-out.
 
 * :class:`SerialExecutor` runs the plans in-process, in order — the
   reference implementation and the zero-dependency default;
@@ -19,11 +9,11 @@ carries only model parameters and the evaluation kernels are stateless,
   ``benchmarks/bench_parallel.py``) while returning answers
   bit-identical to the serial path.
 
-Both executors also expose :meth:`Executor.run_async` for asyncio
-callers (used by :class:`repro.fleet.AsyncFleet`): the serial executor
-offloads to the event loop's default thread pool, the parallel executor
-wraps its process-pool futures directly, so the event loop stays free
-while plans execute.
+Both executors also expose :meth:`~repro.executors.Executor.run_async`
+for asyncio callers (used by :class:`repro.fleet.AsyncFleet`): the
+serial executor offloads to the event loop's default thread pool, the
+parallel executor wraps its process-pool futures directly, so the event
+loop stays free while plans execute.
 
 Example::
 
@@ -38,53 +28,17 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import math
 import multiprocessing
 import os
+import time
 from typing import Iterable, List, Optional, Sequence, Union
 
-from .core.rtt import EvalPlan, PlanResult, execute_plan
-from .errors import ExecutorBrokenError, ParameterError
+from ..core.rtt import EvalPlan, PlanResult, execute_plan
+from ..errors import ExecutorBrokenError, ExecutorTimeoutError, ParameterError
+from .base import Executor
 
-__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "ExecutorBrokenError"]
-
-
-class Executor:
-    """Interface shared by every plan executor.
-
-    Subclasses implement :meth:`run`; :meth:`run_async` has a default
-    thread-offload implementation so any executor is usable from
-    asyncio.  Executors are context managers — :meth:`close` releases
-    whatever workers they hold (a no-op for in-process executors).
-    """
-
-    #: Nominal degree of parallelism (1 for in-process executors).
-    workers: int = 1
-
-    def run(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
-        """Execute the plans, returning one result per plan, in order."""
-        raise NotImplementedError
-
-    async def run_async(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
-        """Asyncio variant of :meth:`run` (default: a worker thread).
-
-        The default implementation offloads the whole :meth:`run` call
-        to the event loop's default thread-pool executor, so the loop
-        keeps serving other coroutines while the plans execute.
-        """
-        plans = list(plans)
-        if not plans:
-            return []
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self.run, plans)
-
-    def close(self) -> None:
-        """Release the executor's workers (idempotent)."""
-
-    def __enter__(self) -> "Executor":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+__all__ = ["SerialExecutor", "ParallelExecutor"]
 
 
 class SerialExecutor(Executor):
@@ -111,6 +65,17 @@ class ParallelExecutor(Executor):
         ``"spawn"``, ``"forkserver"``) or context object, forwarded to
         :class:`concurrent.futures.ProcessPoolExecutor`.  The platform
         default is used when omitted.
+    timeout_s:
+        Optional per-plan execution budget in wall-clock seconds.  A
+        batch of ``n`` plans on ``w`` workers is given
+        ``timeout_s * ceil(n / w)`` from submission (each plan may have
+        to queue behind ``ceil(n / w) - 1`` others on its worker);
+        overrunning it raises the typed
+        :class:`~repro.errors.ExecutorTimeoutError` **after the pool is
+        disposed** (its processes killed best-effort), so a hung worker
+        — an infinite loop, a stuck syscall — costs one retried window
+        instead of wedging the serving path forever.  ``None`` (the
+        default) keeps the wait-forever behavior.
 
     The pool is created lazily on the first :meth:`run` /
     :meth:`run_async` call and persists across calls (a long-running
@@ -132,12 +97,16 @@ class ParallelExecutor(Executor):
         workers: Optional[int] = None,
         *,
         mp_context: Union[str, multiprocessing.context.BaseContext, None] = None,
+        timeout_s: Optional[float] = None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if int(workers) < 1:
             raise ParameterError("workers must be at least 1")
+        if timeout_s is not None and float(timeout_s) <= 0.0:
+            raise ParameterError("timeout_s must be positive (or None)")
         self.workers = int(workers)
+        self.timeout_s = None if timeout_s is None else float(timeout_s)
         if isinstance(mp_context, str):
             mp_context = multiprocessing.get_context(mp_context)
         self._mp_context = mp_context
@@ -160,6 +129,18 @@ class ParallelExecutor(Executor):
         pool = self._ensure_pool()
         return [pool.submit(execute_plan, plan) for plan in plans]
 
+    def _batch_budget_s(self, plan_count: int) -> Optional[float]:
+        """The wall-clock budget for a batch, or ``None`` for no bound.
+
+        ``timeout_s`` is a *per-plan* budget; with more plans than
+        workers a plan legitimately waits for ``ceil(n / w) - 1``
+        predecessors on its worker, so the batch deadline scales with
+        the queueing depth.
+        """
+        if self.timeout_s is None:
+            return None
+        return self.timeout_s * max(1, math.ceil(plan_count / self.workers))
+
     def _dispose_broken_pool(
         self, cause: concurrent.futures.BrokenExecutor
     ) -> ExecutorBrokenError:
@@ -174,27 +155,73 @@ class ParallelExecutor(Executor):
             pool.shutdown(wait=False, cancel_futures=True)
         return ExecutorBrokenError(
             f"the worker pool died while executing plans ({cause}); the pool "
-            "has been disposed and the next run will spawn a fresh one"
+            "has been disposed and the next run will spawn a fresh one",
+            cause=cause,
+        )
+
+    def _dispose_hung_pool(
+        self, plan_count: int, budget_s: float
+    ) -> ExecutorTimeoutError:
+        """Kill the hung pool's processes and build the timeout error.
+
+        ``shutdown(wait=False)`` alone would leave a worker stuck in an
+        infinite loop holding its process (and its memory) forever, so
+        the workers are killed best-effort first; the next run spawns a
+        fresh pool exactly like the broken-pool path.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # _processes is stable private API (3.8-3.13); a hung worker
+            # never honours a cooperative shutdown, killing is the only
+            # way to reclaim its process.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.kill()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        return ExecutorTimeoutError(
+            f"{plan_count} plan(s) did not complete within the "
+            f"{budget_s:.1f} s execution budget "
+            f"({self.timeout_s:g} s/plan x queue depth); the hung pool has "
+            "been disposed and the next run will spawn a fresh one",
+            plan_count=plan_count,
         )
 
     def run(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
         plans = list(plans)
         if not plans:
             return []
+        budget = self._batch_budget_s(len(plans))
+        deadline = None if budget is None else time.monotonic() + budget
         try:
-            return [future.result() for future in self._submit(plans)]
+            futures = self._submit(plans)
+            results = []
+            for future in futures:
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                results.append(future.result(timeout=remaining))
+            return results
         except concurrent.futures.BrokenExecutor as exc:
             raise self._dispose_broken_pool(exc) from exc
+        except concurrent.futures.TimeoutError as exc:
+            raise self._dispose_hung_pool(len(plans), budget) from exc
 
     async def run_async(self, plans: Iterable[EvalPlan]) -> List[PlanResult]:
         plans = list(plans)
         if not plans:
             return []
+        budget = self._batch_budget_s(len(plans))
         try:
             futures = self._submit(plans)
-            return list(
-                await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
-            )
+            gathered = asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+            if budget is None:
+                return list(await gathered)
+            try:
+                return list(await asyncio.wait_for(gathered, timeout=budget))
+            except asyncio.TimeoutError as exc:
+                raise self._dispose_hung_pool(len(plans), budget) from exc
         except concurrent.futures.BrokenExecutor as exc:
             raise self._dispose_broken_pool(exc) from exc
 

@@ -66,7 +66,7 @@ import itertools
 import json
 import os
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -238,6 +238,15 @@ class FleetStats:
     requests were answered by attaching to an identical operating point
     already being evaluated by an earlier window (single-flight) instead
     of evaluating it again.
+
+    ``hosts`` breaks the executed plans down by worker host when a
+    :class:`~repro.executors.RemoteExecutor` served them (each
+    :class:`~repro.core.rtt.PlanResult` comes back stamped with the
+    host that ran it, its wire round-trip time and how many times the
+    plan was redispatched after a host failure); ``executor_failures``
+    counts :class:`~repro.errors.ExecutorBrokenError` occurrences per
+    host (``"local"`` for an in-process pool), incremented by the
+    request coalescer's retry path.
     """
 
     requests: int = 0
@@ -258,8 +267,13 @@ class FleetStats:
     coalesced_batches: int = 0
     coalesced_requests: int = 0
     deduped_inflight: int = 0
+    #: host -> {"plans", "redispatches", "wire_s"} for remotely-served
+    #: plans (folded from PlanResult transport metadata).
+    hosts: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: host ("local" for in-process pools) -> ExecutorBrokenError count.
+    executor_failures: Dict[str, int] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "requests": self.requests,
             "batches": self.batches,
@@ -276,6 +290,8 @@ class FleetStats:
             "coalesced_batches": self.coalesced_batches,
             "coalesced_requests": self.coalesced_requests,
             "deduped_inflight": self.deduped_inflight,
+            "hosts": {host: dict(entry) for host, entry in self.hosts.items()},
+            "executor_failures": dict(self.executor_failures),
         }
 
     @property
@@ -647,6 +663,13 @@ class Fleet:
             self.stats.plans_executed += 1
             if result.worker_pid != own_pid:
                 self.stats.remote_plans += 1
+            if result.host is not None:
+                entry = self.stats.hosts.setdefault(
+                    result.host, {"plans": 0, "redispatches": 0, "wire_s": 0.0}
+                )
+                entry["plans"] += 1
+                entry["redispatches"] += result.redispatches
+                entry["wire_s"] += result.wire_s
             self.stats.evaluations += result.evaluations
             self.stats.stacked_mgf_calls += result.stacked_mgf_calls
             for key, value in zip(keys, result.values):

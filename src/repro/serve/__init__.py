@@ -15,13 +15,20 @@ Three cooperating pieces turn the batch-oriented
   back-pressure on the producer, in-order incremental emission) shared
   by the daemon's ``/v1/batch`` handling and the CLI's
   ``fleet``/``batch`` subcommand;
+* :mod:`repro.serve.wire` — the length-prefixed plan protocol of the
+  distributed execution tier: versioned frames carrying
+  :class:`~repro.core.rtt.EvalPlan` units to worker daemons and
+  :class:`~repro.core.rtt.PlanResult` values (or typed errors) back,
+  with malformed, truncated or version-skewed frames raising
+  :class:`~repro.errors.WireFormatError` instead of hanging;
 * :mod:`repro.serve.daemon` — :class:`ServingDaemon`, the asyncio
   HTTP/1.1 server behind ``fps-ping serve``: ``POST /v1/rtt``,
   streaming ``POST /v1/batch``, ``GET /healthz`` / ``GET /stats``,
-  warm-cache load at startup, atomic persist and graceful drain on
-  SIGTERM/SIGINT.
+  ``POST /v1/plan`` in ``--worker-mode``, warm-cache load at startup,
+  atomic persist and graceful drain on SIGTERM/SIGINT.
 """
 
+from . import wire
 from .coalescer import RequestCoalescer
 from .daemon import DEFAULT_PORT, ServingDaemon
 from .streams import (
@@ -43,4 +50,5 @@ __all__ = [
     "parse_request_line",
     "serve_jsonl",
     "stream_requests",
+    "wire",
 ]

@@ -43,6 +43,7 @@ Example::
 from __future__ import annotations
 
 import asyncio
+import sys
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..errors import ExecutorBrokenError, ReproError
@@ -214,6 +215,33 @@ class RequestCoalescer:
         self._windows.add(task)
         task.add_done_callback(self._windows.discard)
 
+    def _count_executor_failure(
+        self, exc: ExecutorBrokenError, *, retrying: bool
+    ) -> None:
+        """Fold one executor failure into the stats and log it.
+
+        The counter is keyed by the failed worker host when the error
+        carries one (a :class:`~repro.executors.RemoteExecutor` losing a
+        daemon), or ``"local"`` for an in-process pool — the per-host
+        breakdown an operator needs to tell "one flaky worker box" from
+        "the pool keeps dying".
+        """
+        host = exc.host if exc.host is not None else "local"
+        failures = self.stats.executor_failures
+        failures[host] = failures.get(host, 0) + 1
+        stranded = "?" if exc.plan_count is None else str(exc.plan_count)
+        action = (
+            "retrying the window once"
+            if retrying
+            else "failing the window (retry already spent)"
+        )
+        print(
+            f"fps-ping serve: executor failure on {host} "
+            f"({stranded} plan(s) stranded): {exc}; {action}",
+            file=sys.stderr,
+            flush=True,
+        )
+
     async def _run_window(
         self,
         window: List[_Waiter],
@@ -225,13 +253,17 @@ class RequestCoalescer:
                 answers = await self.async_fleet.serve_async(
                     requests, executor=self._executor
                 )
-            except ExecutorBrokenError:
-                # The dead pool was disposed by the executor; one retry
-                # runs on a freshly spawned pool (same floats).
+            except ExecutorBrokenError as exc:
+                # The dead pool (or host set) was disposed by the
+                # executor; one retry runs on the freshly recovered
+                # executor (same floats).
+                self._count_executor_failure(exc, retrying=True)
                 answers = await self.async_fleet.serve_async(
                     requests, executor=self._executor
                 )
         except BaseException as exc:
+            if isinstance(exc, ExecutorBrokenError):
+                self._count_executor_failure(exc, retrying=False)
             for _, future in window:
                 if not future.done():
                     future.set_exception(exc)

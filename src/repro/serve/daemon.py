@@ -28,7 +28,19 @@ framework) and exposes:
 
 ``GET /stats``
     The :class:`~repro.fleet.FleetStats` dictionary (including the
-    coalescer counters), cache occupancy and per-daemon HTTP counters.
+    coalescer counters and per-host execution counters), cache
+    occupancy, per-daemon HTTP counters and — when a
+    :class:`~repro.executors.RemoteExecutor` is wired in — the
+    per-worker-host health view.
+
+``POST /v1/plan`` (only with ``worker_mode=True``)
+    The distributed execution tier's endpoint: one
+    :mod:`repro.serve.wire` plan frame in, one result (or error) frame
+    out, executed on the daemon's own executor.  This is how
+    ``fps-ping serve --worker-mode`` daemons serve a front-end's
+    :class:`~repro.executors.RemoteExecutor`; the frames carry pickles,
+    so worker daemons belong strictly inside the serving cluster's
+    trust boundary.
 
 Malformed requests — invalid JSON, unknown fields, out-of-range
 parameters, unstable operating points — return a structured JSON error
@@ -59,8 +71,10 @@ import time
 from dataclasses import dataclass
 from typing import Any, AsyncIterator, Dict, Mapping, Optional, Tuple, Union
 
-from ..errors import ExecutorBrokenError, ReproError
+from ..errors import ExecutorBrokenError, ReproError, WireFormatError
+from ..executors.local import SerialExecutor
 from ..fleet import Answer, AsyncFleet, Fleet, Request
+from . import wire
 from .coalescer import RequestCoalescer
 from .streams import DEFAULT_MAX_INFLIGHT, stream_requests
 
@@ -74,6 +88,10 @@ _LINE_LIMIT = 1 << 20
 
 #: Upper bound on a non-streaming (``/v1/rtt``) body.
 _MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound on a ``/v1/plan`` frame body (worker mode); one frame
+#: header plus the wire protocol's own payload bound.
+_MAX_PLAN_BODY_BYTES = wire.HEADER_SIZE + wire.MAX_FRAME_BYTES
 
 _REASONS = {
     200: "OK",
@@ -136,6 +154,15 @@ class ServingDaemon:
     drain_timeout:
         Seconds to wait for in-flight connections during shutdown
         before force-closing them.
+    worker_mode:
+        Expose ``POST /v1/plan``: the endpoint of the distributed
+        execution tier that accepts one :mod:`repro.serve.wire` plan
+        frame and answers with a result (or error) frame, executing the
+        plan on this daemon's executor (a private
+        :class:`~repro.executors.SerialExecutor` when none is given).
+        Off by default — plan frames carry pickles, so the endpoint
+        must only exist on workers inside the serving cluster's trust
+        boundary, never on a public front-end.
     """
 
     def __init__(
@@ -150,6 +177,7 @@ class ServingDaemon:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         warm_cache: Union[str, os.PathLike, None] = None,
         drain_timeout: float = 10.0,
+        worker_mode: bool = False,
         **fleet_kwargs: Any,
     ) -> None:
         if fleet is not None and fleet_kwargs:
@@ -170,10 +198,17 @@ class ServingDaemon:
         self.coalescer = RequestCoalescer(
             fleet, max_batch=max_batch, max_delay_ms=coalesce_ms, executor=executor
         )
+        self.executor = executor
+        self.worker_mode = bool(worker_mode)
+        self._owns_plan_executor = self.worker_mode and executor is None
+        self._plan_executor = (
+            SerialExecutor() if self._owns_plan_executor else executor
+        )
         self.warm_loaded = 0
         self.connections_accepted = 0
         self.http_requests = 0
         self.http_errors = 0
+        self.plans_served = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Dict[asyncio.Task, _Connection] = {}
         self._draining = False
@@ -231,6 +266,8 @@ class ServingDaemon:
             if pending:
                 await asyncio.wait(list(pending), timeout=1.0)
         await self.coalescer.aclose()
+        if self._owns_plan_executor and self._plan_executor is not None:
+            self._plan_executor.close()
         if self.warm_cache is not None:
             self.fleet.save_cache(self.warm_cache)
 
@@ -258,9 +295,10 @@ class ServingDaemon:
                 except (NotImplementedError, RuntimeError):  # pragma: no cover
                     continue
                 installed.append(signum)
+        mode = " [worker mode]" if self.worker_mode else ""
         print(
             f"fps-ping serve: listening on http://{self.host}:{self.port} "
-            f"(pid {os.getpid()}, warm entries: {self.warm_loaded})",
+            f"(pid {os.getpid()}, warm entries: {self.warm_loaded}){mode}",
             file=sys.stderr,
             flush=True,
         )
@@ -406,14 +444,18 @@ class ServingDaemon:
             yield chunk
 
     async def _read_body(
-        self, reader: asyncio.StreamReader, headers: Mapping[str, str]
+        self,
+        reader: asyncio.StreamReader,
+        headers: Mapping[str, str],
+        *,
+        limit: int = _MAX_BODY_BYTES,
     ) -> bytes:
-        """Read a small (``/v1/rtt``) body fully, bounded by a byte cap."""
+        """Read a small (``/v1/rtt``, ``/v1/plan``) body fully, capped."""
         pieces = []
         total = 0
         async for chunk in self._iter_body(reader, headers):
             total += len(chunk)
-            if total > _MAX_BODY_BYTES:
+            if total > limit:
                 raise _HttpError(413, "request body too large")
             pieces.append(chunk)
         return b"".join(pieces)
@@ -477,6 +519,24 @@ class ServingDaemon:
     def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
         writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
 
+    def _write_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        frame: bytes,
+        *,
+        keep_alive: bool = True,
+    ) -> None:
+        """Write a wire-protocol frame as an octet-stream response body."""
+        self._write_head(
+            writer,
+            status,
+            content_type="application/octet-stream",
+            content_length=len(frame),
+            keep_alive=keep_alive,
+        )
+        writer.write(frame)
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
@@ -501,6 +561,8 @@ class ServingDaemon:
             "/v1/rtt": ("POST", self._handle_rtt),
             "/v1/batch": ("POST", self._handle_batch),
         }
+        if self.worker_mode:
+            routes["/v1/plan"] = ("POST", self._handle_plan)
         route = routes.get(path)
         try:
             if route is None:
@@ -572,9 +634,65 @@ class ServingDaemon:
                 "pending_requests": self.coalescer.pending,
                 "inflight_windows": self.coalescer.inflight_windows,
                 "warm_loaded_entries": self.warm_loaded,
+                "worker_mode": self.worker_mode,
+                "plans_served": self.plans_served,
             },
         }
+        # A RemoteExecutor in front of this fleet knows per-host health
+        # and round-trip counters the fleet's folded stats cannot: the
+        # operator's failover view.
+        executor = self.executor
+        if executor is not None and hasattr(executor, "host_stats"):
+            payload["worker_hosts"] = executor.host_stats()
         self._write_json(writer, 200, payload, keep_alive=keep_alive)
+        return keep_alive
+
+    async def _handle_plan(self, headers, reader, writer, keep_alive) -> bool:
+        """Execute one framed :class:`~repro.core.rtt.EvalPlan` (worker mode).
+
+        The response is always a wire-protocol frame: a result frame
+        for a completed plan, an error frame otherwise — ``400`` for a
+        frame that does not decode, ``200`` for a typed error the plan
+        itself raised (the front-end re-raises it in the caller), and
+        ``500`` for anything unexpected.  Either way the connection
+        stays usable: a worker serves many plans per keep-alive
+        connection.
+        """
+        body = await self._read_body(reader, headers, limit=_MAX_PLAN_BODY_BYTES)
+        try:
+            plan = wire.decode_plan(body)
+        except WireFormatError as exc:
+            self.http_errors += 1
+            self._write_frame(
+                writer, 400, wire.encode_error(exc), keep_alive=keep_alive
+            )
+            return keep_alive
+        try:
+            results = await self._plan_executor.run_async([plan])
+        except ReproError as exc:
+            # A typed error the plan raised (unstable point, bad
+            # parameters, a broken worker pool): the front-end's
+            # decode_result re-raises it, exactly like in-process
+            # execution would have.
+            self._write_frame(
+                writer, 200, wire.encode_error(exc), keep_alive=keep_alive
+            )
+            return keep_alive
+        except Exception as exc:  # noqa: BLE001 - last-resort error frame
+            self.http_errors += 1
+            print(
+                f"fps-ping serve: internal error executing a plan: {exc!r}",
+                file=sys.stderr,
+                flush=True,
+            )
+            self._write_frame(
+                writer, 500, wire.encode_error(exc), keep_alive=keep_alive
+            )
+            return keep_alive
+        self.plans_served += 1
+        self._write_frame(
+            writer, 200, wire.encode_result(results[0]), keep_alive=keep_alive
+        )
         return keep_alive
 
     async def _handle_rtt(self, headers, reader, writer, keep_alive) -> bool:

@@ -32,6 +32,30 @@ class TestParser:
         assert args.max_inflight == 4
         assert args.warm_cache is None
 
+    def test_serve_distributed_flags(self):
+        args = build_parser().parse_args(["serve", "--worker-mode"])
+        assert args.worker_mode is True
+        assert args.remote is None
+        args = build_parser().parse_args(
+            ["serve", "--remote", "127.0.0.1:9101,127.0.0.1:9102"]
+        )
+        assert args.remote == "127.0.0.1:9101,127.0.0.1:9102"
+        assert args.worker_mode is False
+
+    def test_serve_rejects_remote_plus_worker_mode(self, capsys):
+        exit_code = main(
+            ["serve", "--remote", "127.0.0.1:9101", "--worker-mode"]
+        )
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_rejects_remote_plus_workers(self, capsys):
+        exit_code = main(
+            ["serve", "--remote", "127.0.0.1:9101", "--workers", "2"]
+        )
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
     def test_fleet_window_defaults(self):
         args = build_parser().parse_args(["fleet", "--requests", "-"])
         assert args.window == 64
@@ -355,6 +379,32 @@ class TestFleetCommand:
         exit_code = main(["fleet", "--requests", str(requests), "--workers", "0"])
         assert exit_code == 2
         assert "--workers" in capsys.readouterr().err
+
+    def test_remote_flag_rejects_workers_combination(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(requests, [{"scenario": "ftth", "load": 0.4}])
+        exit_code = main(
+            [
+                "fleet",
+                "--requests",
+                str(requests),
+                "--remote",
+                "127.0.0.1:9101",
+                "--workers",
+                "2",
+            ]
+        )
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_remote_flag_rejects_malformed_hosts(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        self._write_requests(requests, [{"scenario": "ftth", "load": 0.4}])
+        exit_code = main(
+            ["fleet", "--requests", str(requests), "--remote", "not-a-host"]
+        )
+        assert exit_code == 2
+        assert "host:port" in capsys.readouterr().err
 
     def test_missing_request_file_clean_error(self, capsys):
         exit_code = main(["fleet", "--requests", "/nonexistent/requests.jsonl"])

@@ -270,6 +270,88 @@ class TestParallelExecutor:
                 executor.run([bad])
 
 
+class TestParallelExecutorTimeout:
+    def test_timeout_validation(self):
+        with pytest.raises(ParameterError):
+            ParallelExecutor(workers=1, timeout_s=0.0)
+        with pytest.raises(ParameterError):
+            ParallelExecutor(workers=1, timeout_s=-1.0)
+        assert ParallelExecutor(workers=1).timeout_s is None
+
+    def test_batch_budget_scales_with_queue_depth(self):
+        executor = ParallelExecutor(workers=2, timeout_s=1.5)
+        # Per-plan budget x the plans each worker may have to run.
+        assert executor._batch_budget_s(1) == 1.5
+        assert executor._batch_budget_s(2) == 1.5
+        assert executor._batch_budget_s(3) == 3.0
+        assert executor._batch_budget_s(5) == 4.5
+        assert ParallelExecutor(workers=2)._batch_budget_s(10) is None
+
+    def test_generous_timeout_changes_nothing(self):
+        models = _models(loads=(0.3, 0.5), presets=("paper-dsl",))
+        plans = compile_eval_plans(models, PROBABILITY, chunk_size=1)
+        serial = [execute_plan(p) for p in plans]
+        with ParallelExecutor(workers=2, timeout_s=120.0) as executor:
+            assert [r.values for r in executor.run(plans)] == [
+                r.values for r in serial
+            ]
+
+            async def main():
+                return await executor.run_async(plans)
+
+            assert [r.values for r in asyncio.run(main())] == [
+                r.values for r in serial
+            ]
+
+    def test_hung_pool_raises_timeout_error_and_recovers(self):
+        import time
+
+        from repro.errors import ExecutorBrokenError, ExecutorTimeoutError
+
+        models = _models(loads=(0.4,), presets=("paper-dsl",))
+        plans = compile_eval_plans(models, PROBABILITY)
+        executor = ParallelExecutor(workers=1, timeout_s=0.5)
+        try:
+            first = executor.run(plans)  # spawn the pool while healthy
+            # Wedge the single worker: the next batch queues behind a
+            # sleep far longer than its budget — the stand-in for an
+            # infinite loop or a stuck syscall.
+            executor._pool.submit(time.sleep, 60.0)
+            with pytest.raises(ExecutorTimeoutError) as excinfo:
+                executor.run(plans)
+            assert excinfo.value.plan_count == len(plans)
+            assert executor._pool is None  # the hung pool was disposed
+            second = executor.run(plans)  # a fresh pool spawns lazily
+            assert [r.values for r in second] == [r.values for r in first]
+        finally:
+            executor.close()
+        assert issubclass(ExecutorTimeoutError, ExecutorBrokenError)
+
+    def test_hung_pool_timeout_in_run_async(self):
+        import time
+
+        from repro.errors import ExecutorTimeoutError
+
+        models = _models(loads=(0.4,), presets=("paper-dsl",))
+        plans = compile_eval_plans(models, PROBABILITY)
+
+        async def main():
+            executor = ParallelExecutor(workers=1, timeout_s=0.5)
+            try:
+                first = await executor.run_async(plans)
+                executor._pool.submit(time.sleep, 60.0)
+                with pytest.raises(ExecutorTimeoutError):
+                    await executor.run_async(plans)
+                assert executor._pool is None
+                second = await executor.run_async(plans)
+                return first, second
+            finally:
+                executor.close()
+
+        first, second = asyncio.run(main())
+        assert [r.values for r in second] == [r.values for r in first]
+
+
 class TestBatchRttQuantilesExecutor:
     def test_executor_parameter_is_bit_identical(self):
         models = _models()

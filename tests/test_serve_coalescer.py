@@ -267,6 +267,54 @@ class TestFaultRecovery:
         with pytest.raises(ExecutorBrokenError, match="keeps dying"):
             asyncio.run(main())
 
+    def test_executor_failures_are_counted_per_host(self, capsys):
+        class _BreakOnceWithHost(SerialExecutor):
+            def __init__(self):
+                self.runs = 0
+
+            async def run_async(self, plans):
+                self.runs += 1
+                if self.runs == 1:
+                    raise ExecutorBrokenError(
+                        "worker daemon unreachable",
+                        host="10.0.0.7:9101",
+                        plan_count=len(plans),
+                    )
+                return await super().run_async(plans)
+
+        async def main():
+            fleet = Fleet()
+            coalescer = RequestCoalescer(
+                fleet, max_batch=3, max_delay_ms=60_000, executor=_BreakOnceWithHost()
+            )
+            await coalescer.submit_many(REQUESTS)
+            return fleet
+
+        fleet = asyncio.run(main())
+        assert fleet.stats.executor_failures == {"10.0.0.7:9101": 1}
+        assert fleet.stats.as_dict()["executor_failures"] == {"10.0.0.7:9101": 1}
+        err = capsys.readouterr().err
+        assert "executor failure on 10.0.0.7:9101" in err
+        assert "retrying the window once" in err
+
+    def test_failures_without_host_context_count_as_local(self):
+        class _AlwaysBroken(SerialExecutor):
+            async def run_async(self, plans):
+                raise ExecutorBrokenError("pool keeps dying")
+
+        async def main():
+            fleet = Fleet()
+            coalescer = RequestCoalescer(
+                fleet, max_batch=1, executor=_AlwaysBroken()
+            )
+            with pytest.raises(ExecutorBrokenError):
+                await coalescer.submit(REQUESTS[0])
+            return fleet
+
+        fleet = asyncio.run(main())
+        # One count for the in-window retry, one for the final failure.
+        assert fleet.stats.executor_failures == {"local": 2}
+
 
 class TestDrain:
     def test_drain_flushes_the_partial_window(self):

@@ -546,3 +546,151 @@ class TestCoalescingOverHttp:
         assert a1["rtt_quantile_s"] == a2["rtt_quantile_s"]
         assert daemon.fleet.stats.evaluations == 1
         assert daemon.fleet.stats.deduped_inflight == 1
+
+
+class TestWorkerMode:
+    """The daemon as a plan-executing worker (``--worker-mode``)."""
+
+    @staticmethod
+    def _plan(load=0.40):
+        batch = Fleet()._plan_batch([Request("ftth", downlink_load=load)])
+        return batch.eval_plans[0]
+
+    def test_plan_round_trip_is_bit_identical(self):
+        from repro.core.rtt import execute_plan
+        from repro.serve import wire
+
+        plan = self._plan()
+        reference = execute_plan(plan)
+
+        async def scenario(daemon, client):
+            status, headers, body = await client.request(
+                "POST",
+                "/v1/plan",
+                body=wire.encode_plan(plan),
+                headers=[("Content-Type", "application/octet-stream")],
+            )
+            # The connection stays keep-alive: a second plan reuses it.
+            status2, _, body2 = await client.request(
+                "POST",
+                "/v1/plan",
+                body=wire.encode_plan(plan),
+                headers=[("Content-Type", "application/octet-stream")],
+            )
+            return daemon, status, headers, body, status2, body2
+
+        daemon, status, headers, body, status2, body2 = run_with_daemon(
+            scenario, worker_mode=True
+        )
+        assert status == status2 == 200
+        assert headers["content-type"] == "application/octet-stream"
+        assert headers["connection"] == "keep-alive"
+        result = wire.decode_result(body)
+        assert result.values == reference.values
+        assert result.indices == reference.indices
+        assert wire.decode_result(body2).values == reference.values
+        assert daemon.plans_served == 2
+        assert daemon.connections_accepted == 1
+
+    def test_malformed_frame_gets_a_400_error_frame(self):
+        from repro.errors import WireFormatError
+        from repro.serve import wire
+
+        async def scenario(daemon, client):
+            status, headers, body = await client.request(
+                "POST", "/v1/plan", body=b"this is not a frame"
+            )
+            # The connection survives the bad frame.
+            ok_status, _, _ = await client.request_json("GET", "/healthz")
+            return daemon, status, headers, body, ok_status
+
+        daemon, status, headers, body, ok_status = run_with_daemon(
+            scenario, worker_mode=True
+        )
+        assert status == 400
+        assert headers["content-type"] == "application/octet-stream"
+        with pytest.raises(WireFormatError):
+            wire.decode_result(body)
+        assert ok_status == 200
+        assert daemon.plans_served == 0
+        assert daemon.http_errors == 1
+
+    def test_typed_plan_error_comes_back_as_a_200_error_frame(self):
+        from repro.core.rtt import EvalPlan, model_params
+        from repro.errors import ParameterError
+        from repro.scenarios import get_scenario
+        from repro.serve import wire
+
+        bad = EvalPlan(
+            probability=0.99999,
+            method="inversion",
+            indices=(0,),
+            model_params=(
+                {
+                    **model_params(get_scenario("paper-dsl").model_at_load(0.4)),
+                    "num_gamers": -1.0,
+                },
+            ),
+        )
+
+        async def scenario(daemon, client):
+            return await client.request(
+                "POST", "/v1/plan", body=wire.encode_plan(bad)
+            )
+
+        status, headers, body = run_with_daemon(scenario, worker_mode=True)
+        assert status == 200
+        assert headers["content-type"] == "application/octet-stream"
+        with pytest.raises(ParameterError):
+            wire.decode_result(body)
+
+    def test_plan_endpoint_is_404_without_worker_mode(self):
+        from repro.serve import wire
+
+        plan = self._plan()
+
+        async def scenario(daemon, client):
+            return await client.request(
+                "POST", "/v1/plan", body=wire.encode_plan(plan)
+            )
+
+        status, headers, _ = run_with_daemon(scenario)  # no worker_mode
+        assert status == 404
+        assert "json" in headers["content-type"]
+
+    def test_stats_reports_worker_mode_and_plans_served(self):
+        from repro.serve import wire
+
+        plan = self._plan()
+
+        async def scenario(daemon, client):
+            await client.request(
+                "POST", "/v1/plan", body=wire.encode_plan(plan)
+            )
+            return await client.request_json("GET", "/stats")
+
+        _, _, payload = run_with_daemon(scenario, worker_mode=True)
+        assert payload["server"]["worker_mode"] is True
+        assert payload["server"]["plans_served"] == 1
+
+    def test_stats_reports_per_worker_hosts_behind_a_remote_executor(self):
+        from repro.executors import RemoteExecutor
+
+        async def main():
+            executor = RemoteExecutor("127.0.0.1:19101,127.0.0.1:19102")
+            try:
+                async with ServingDaemon(
+                    port=0, coalesce_ms=1.0, executor=executor
+                ) as daemon:
+                    async with HttpClient(daemon.host, daemon.port) as client:
+                        return await client.request_json("GET", "/stats")
+            finally:
+                executor.close()
+
+        _, _, payload = asyncio.run(main())
+        assert set(payload["worker_hosts"]) == {
+            "127.0.0.1:19101",
+            "127.0.0.1:19102",
+        }
+        for entry in payload["worker_hosts"].values():
+            assert entry["plans"] == 0 and not entry["down"]
