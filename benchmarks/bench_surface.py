@@ -1,0 +1,168 @@
+"""Benchmark — certified quantile surfaces vs. the exact stacked path.
+
+PR 8 adds the fourth serving tier: a per-scenario Chebyshev surface of
+the RTT quantile, certified against the exact stacked inversion with a
+stored relative error bound, answering in-region steady-state requests
+in O(1) with zero evaluation plans.
+
+Acceptance criteria asserted here (ISSUE 8):
+
+* an in-region warm lookup is >= 50x faster per request than the exact
+  stacked path (the raw surface evaluation is the serving-path cost;
+  the observed ratio is well beyond 100x);
+* every surface answer over a dense in-region sample agrees with the
+  exact stacked path within the surface's *certified* relative error
+  bound;
+* a fully in-region request stream served through a surface-attached
+  Fleet executes **zero** evaluation plans (and zero exact
+  evaluations) — the tier really is a warm path, not a cache primer.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.fleet import Fleet, Request
+from repro.scenarios import get_scenario
+from repro.surface import build_surface
+
+from conftest import print_header, record_result
+
+PROBABILITY = 0.99999
+
+#: Serving-grade certification for the paper's scenario.
+TOLERANCE = 1e-4
+
+#: Region: the stable steady-state band the daemon serves from.
+BUILD_KWARGS = dict(
+    probability_lo=0.9999,
+    probability_hi=0.999999,
+    load_lo=0.30,
+    load_hi=0.60,
+    tolerance=TOLERANCE,
+)
+
+#: Distinct in-region operating points for the timed stream.
+N_POINTS = 64
+
+
+def _in_region_points(surface, count, seed=2006):
+    rng = np.random.default_rng(seed)
+    loads = rng.uniform(surface.load_lo, surface.load_hi, count)
+    u = rng.uniform(
+        -np.log10(1.0 - surface.probability_lo),
+        -np.log10(1.0 - surface.probability_hi),
+        count,
+    )
+    return loads, 1.0 - 10.0 ** (-u)
+
+
+@pytest.mark.benchmark(group="surface")
+def test_surface_lookup_vs_exact_stacked_path(benchmark):
+    scenario = get_scenario("paper-dsl")
+    engine = Engine(scenario)
+
+    build_start = time.perf_counter()
+    surface = build_surface(scenario, "inversion", engine=engine, **BUILD_KWARGS)
+    build_elapsed = time.perf_counter() - build_start
+
+    loads, probabilities = _in_region_points(surface, N_POINTS)
+    requests = [
+        Request("paper-dsl", downlink_load=float(load), probability=PROBABILITY)
+        for load in loads
+    ]
+
+    # -- exact stacked path: a cold Fleet serving the distinct stream.
+    exact_fleet = Fleet()
+    start = time.perf_counter()
+    exact_answers = exact_fleet.serve(requests)
+    exact_elapsed = time.perf_counter() - start
+    exact_per_request = exact_elapsed / len(requests)
+
+    # -- raw surface lookups (the in-region serving-path cost).
+    args = [(float(load), PROBABILITY) for load in loads]
+    for load, probability in args[:4]:
+        surface.lookup(load, probability)  # warm any lazy setup
+    start = time.perf_counter()
+    rounds = 10
+    for _ in range(rounds):
+        for load, probability in args:
+            surface.lookup(load, probability)
+    lookup_elapsed = time.perf_counter() - start
+    lookup_per_request = lookup_elapsed / (rounds * len(args))
+    speedup = exact_per_request / lookup_per_request
+
+    # -- end-to-end: the same stream through a surface-attached Fleet.
+    warm_fleet = Fleet()
+    warm_fleet.attach_surfaces(surface)
+    start = time.perf_counter()
+    warm_answers = benchmark.pedantic(
+        lambda: warm_fleet.serve(requests), rounds=1, iterations=1
+    )
+    warm_elapsed = time.perf_counter() - start
+    stats = warm_fleet.stats
+
+    # -- certification check on a denser sample at mixed quantile levels.
+    sample_loads, sample_probabilities = _in_region_points(surface, 40, seed=11)
+    errors = []
+    for load, probability in zip(sample_loads, sample_probabilities):
+        exact = engine.rtt_quantiles(
+            [float(load)], probability=float(probability), method="inversion"
+        )[0]
+        approx = surface.lookup(float(load), float(probability))
+        errors.append(abs(approx - exact) / exact)
+    worst_error = max(errors)
+
+    print_header("Certified surface vs. exact stacked path")
+    print(f"scenario / method               : paper-dsl / inversion")
+    print(f"certified region (load)         : [{surface.load_lo}, {surface.load_hi}]")
+    print(f"certified rel error bound       : {surface.certified_rel_bound:.3e}"
+          f" (tolerance {TOLERANCE:g})")
+    print(f"build time (incl. certification): {build_elapsed:.2f} s "
+          f"({surface.build_info['exact_evaluations']} exact evaluations)")
+    print(f"exact path per request          : {exact_per_request * 1e3:.3f} ms")
+    print(f"surface lookup per request      : {lookup_per_request * 1e6:.1f} us")
+    print(f"speedup (exact / lookup)        : {speedup:.0f}x")
+    print(f"warm fleet stream ({N_POINTS} requests) : {warm_elapsed * 1e3:.1f} ms "
+          f"({warm_elapsed / len(requests) * 1e6:.0f} us/request)")
+    print(f"warm fleet plans executed       : {stats.plans_executed}")
+    print(f"warm fleet surface hits         : {stats.surface_hits}")
+    print(f"worst sampled rel error         : {worst_error:.3e}")
+
+    record_result(
+        "surface",
+        "lookup_vs_exact",
+        requests=len(requests),
+        certified_rel_bound=surface.certified_rel_bound,
+        tolerance=TOLERANCE,
+        build_s=build_elapsed,
+        exact_per_request_s=exact_per_request,
+        lookup_per_request_s=lookup_per_request,
+        speedup=speedup,
+        warm_stream_s=warm_elapsed,
+        worst_sampled_rel_error=worst_error,
+        surface_hits=stats.surface_hits,
+        plans_executed=stats.plans_executed,
+        grid=list(surface.coef.shape),
+    )
+
+    # Acceptance (a): the warm path is >= 50x faster per request.
+    assert speedup >= 50.0
+
+    # Acceptance (b): every sampled lookup agrees with the exact path
+    # within the certified bound (which itself met the tolerance).
+    assert surface.certified_rel_bound <= TOLERANCE
+    assert worst_error <= surface.certified_rel_bound
+
+    # Acceptance (c): the fully in-region stream executed zero plans.
+    assert stats.plans_executed == 0
+    assert stats.evaluations == 0
+    assert stats.surface_hits == len(requests)
+    assert all(answer.cached for answer in warm_answers)
+
+    # The warm answers track the exact ones within the bound (sanity).
+    for warm, exact in zip(warm_answers, exact_answers):
+        relative = abs(warm.rtt_quantile_s - exact.rtt_quantile_s) / exact.rtt_quantile_s
+        assert relative <= surface.certified_rel_bound

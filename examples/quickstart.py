@@ -268,6 +268,63 @@ def distributed_quickstart() -> None:
     print()
 
 
+def certified_surfaces_quickstart() -> None:
+    """Certified surfaces: build once, serve the steady state in O(1).
+
+    A long-running service answers the same narrow band of operating
+    points all day.  ``build_surface`` fits a Chebyshev surface of the
+    RTT quantile over that band against the exact stacked path,
+    refining its grid until a *certified* relative error bound meets
+    the requested tolerance — the bound is stored on the surface and
+    travels with it through JSON persistence.  A fleet with surfaces
+    attached answers every in-region request by evaluating the
+    polynomial (microseconds, zero evaluation plans) and silently
+    falls back to the exact path for anything else; a request carrying
+    ``exact=True`` always gets the exact stacked floats.  From the
+    shell the same split is ``build`` once, ``--surfaces`` forever::
+
+        $ fps-ping surface build --scenario paper-dsl --out surfaces/
+        $ fps-ping serve --surfaces surfaces/      # O(1) warm path
+    """
+    from repro import build_surface
+
+    scenario = get_scenario("paper-dsl")
+    surface = build_surface(
+        scenario,
+        "inversion",
+        load_lo=0.30,
+        load_hi=0.60,
+        probability_lo=0.9999,
+        probability_hi=0.999999,
+        tolerance=1e-3,
+    )
+
+    fleet = Fleet()
+    fleet.attach_surfaces(surface)
+    loads = (0.35, 0.42, 0.49, 0.56)
+    answers = fleet.serve(
+        [Request("paper-dsl", downlink_load=load) for load in loads]
+    )
+    [exact] = fleet.serve(
+        [Request("paper-dsl", downlink_load=0.42, exact=True)]
+    )
+
+    print("Certified-surface quickstart (the O(1) warm serving tier)")
+    print(f"  certified region         : load [{surface.load_lo}, {surface.load_hi}],"
+          f" p [{surface.probability_lo}, {surface.probability_hi}]")
+    print(f"  certified rel error      : {surface.certified_rel_bound:.2e}"
+          f" (grid {surface.coef.shape[0]}x{surface.coef.shape[1]})")
+    for answer in answers:
+        print(f"  load={answer.downlink_load:4.0%}  RTT={answer.rtt_quantile_ms:6.2f} ms"
+              f"  (surface)")
+    print(f"  exact=True at 42% load   : {exact.rtt_quantile_ms:6.2f} ms"
+          f" (stacked path)")
+    stats = fleet.stats
+    print(f"  surface hits / fallbacks : {stats.surface_hits} / {stats.surface_fallbacks},"
+          f" plans executed: {stats.plans_executed}")
+    print()
+
+
 def multi_server_quickstart() -> None:
     """Multi-server mixes: several game servers on one reserved pipe.
 
@@ -312,6 +369,7 @@ def main() -> None:
     parallel_quickstart()
     serving_daemon_quickstart()
     distributed_quickstart()
+    certified_surfaces_quickstart()
     multi_server_quickstart()
 
     model = PingTimeModel.from_downlink_load(

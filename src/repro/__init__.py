@@ -40,6 +40,13 @@ The package is organised as follows:
   dedup of identical in-flight misses), the bounded JSONL streaming
   pipeline, and :class:`ServingDaemon`, the asyncio HTTP front-end
   behind ``fps-ping serve``;
+* :mod:`repro.surface` -- certified quantile surfaces: per-scenario
+  Chebyshev fits of the RTT quantile over the stable (load,
+  probability) region, built against the exact stacked path with a
+  *certified* relative error bound, persisted as atomic JSON and
+  served in O(1) by :meth:`Fleet.attach_surfaces` / ``fps-ping serve
+  --surfaces`` (the fourth serving tier after cache, stack and
+  fan-out);
 * :mod:`repro.experiments` -- drivers that regenerate every table and
   figure of the paper and compare them against the reported values.
 
@@ -83,11 +90,20 @@ from .errors import (
     ExecutorBrokenError,
     ExecutorTimeoutError,
     ReproError,
+    SurfaceFormatError,
     WireFormatError,
 )
 from .executors import Executor, ParallelExecutor, RemoteExecutor, SerialExecutor
 from .fleet import Answer, AsyncFleet, Fleet, FleetStats, Request, ResolvedRequest
 from .serve import RequestCoalescer, ServingDaemon
+from .surface import (
+    QuantileSurface,
+    SurfaceIndex,
+    build_surface,
+    build_surfaces,
+    load_surfaces,
+    save_surfaces,
+)
 from .scenarios import (
     SCENARIO_PRESETS,
     DslScenario,
@@ -128,6 +144,7 @@ __all__ = [
     "PacketPositionDelay",
     "ParallelExecutor",
     "PingTimeModel",
+    "QuantileSurface",
     "RemoteExecutor",
     "ReproError",
     "Request",
@@ -136,14 +153,20 @@ __all__ = [
     "SerialExecutor",
     "ServingDaemon",
     "ServerFlow",
+    "SurfaceFormatError",
+    "SurfaceIndex",
     "WireFormatError",
     "SCENARIO_PRESETS",
     "Scenario",
     "available_scenarios",
+    "build_surface",
+    "build_surfaces",
     "get_scenario",
+    "load_surfaces",
     "max_gamers",
     "max_tolerable_load",
     "register_scenario",
+    "save_surfaces",
     "scenario_from_spec",
     "__version__",
 ]

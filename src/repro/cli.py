@@ -14,6 +14,9 @@ the RTT calculator and the request-stream serving layer from the shell::
     fps-ping serve --port 8421 --workers 4 --coalesce-ms 2 --max-batch 64
     fps-ping serve --port 9101 --worker-mode          # plan-executing worker
     fps-ping serve --remote 127.0.0.1:9101,127.0.0.1:9102   # front-end
+    fps-ping surface build --scenario paper-dsl --out surfaces/
+    fps-ping surface info surfaces/
+    fps-ping serve --surfaces surfaces/               # O(1) warm path
 
 ``--scenario`` accepts a preset name (see
 :func:`repro.scenarios.available_scenarios`) or a path to a JSON file
@@ -52,6 +55,16 @@ its plans out over those workers with per-host failover — answers stay
 bit-identical to the in-process run.  Worker daemons accept pickled
 plan frames, so bind them only inside the serving cluster's trust
 boundary.
+
+``surface build`` fits certified Chebyshev quantile surfaces
+(:mod:`repro.surface`) for one scenario and persists them as JSON;
+``surface info`` describes persisted surfaces (region, grid, certified
+bound).  ``fleet --surfaces PATH`` and ``serve --surfaces PATH`` attach
+the persisted surfaces so in-region requests are answered in O(1) from
+the fitted polynomial, within each surface's certified relative error
+bound, without ever compiling an evaluation plan; requests carrying
+``"exact": true`` (and any out-of-region request) fall through to the
+exact stacked path with bit-identical floats.
 """
 
 from __future__ import annotations
@@ -82,6 +95,7 @@ from .serve import (
     ServingDaemon,
     serve_jsonl,
 )
+from .surface import build_surfaces, load_surfaces, save_surfaces
 
 __all__ = ["main", "build_parser"]
 
@@ -208,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
         "mutually exclusive with --workers > 1",
     )
     fleet.add_argument(
+        "--surfaces",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="certified quantile surfaces (file or directory, see "
+        "'fps-ping surface build') answering in-region requests in O(1)",
+    )
+    fleet.add_argument(
         "--stats",
         action="store_true",
         help="print the fleet cache/evaluation statistics to standard error",
@@ -302,6 +324,88 @@ def build_parser() -> argparse.ArgumentParser:
         default="inversion",
         help="default quantile evaluation method",
     )
+    serve.add_argument(
+        "--surfaces",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="certified quantile surfaces (file or directory, see "
+        "'fps-ping surface build') answering in-region requests in O(1); "
+        "startup fails if the path cannot be loaded",
+    )
+
+    surface = sub.add_parser(
+        "surface",
+        help="build and inspect certified quantile surfaces",
+    )
+    surface_sub = surface.add_subparsers(dest="surface_command", required=True)
+    surface_build = surface_sub.add_parser(
+        "build",
+        help="fit and certify quantile surfaces for one scenario",
+    )
+    surface_build.add_argument(
+        "--scenario",
+        type=str,
+        required=True,
+        help="scenario preset name or JSON file to certify",
+    )
+    surface_build.add_argument(
+        "--out",
+        type=str,
+        required=True,
+        help="output path: an existing directory (or a path ending in "
+        f"'{os.sep}') gets one file per scenario, anything else is "
+        "written as a single JSON document",
+    )
+    surface_build.add_argument(
+        "--methods",
+        type=str,
+        default="inversion",
+        help="comma-separated quantile methods to certify, or 'all' "
+        f"for every method ({', '.join(QUANTILE_METHODS)})",
+    )
+    surface_build.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-6,
+        help="relative error tolerance the fit must certify",
+    )
+    surface_build.add_argument(
+        "--probability-lo",
+        type=float,
+        default=0.99,
+        help="lower edge of the certified quantile-level region",
+    )
+    surface_build.add_argument(
+        "--probability-hi",
+        type=float,
+        default=0.999999,
+        help="upper edge of the certified quantile-level region",
+    )
+    surface_build.add_argument(
+        "--load-lo",
+        type=float,
+        default=None,
+        help="lower edge of the certified load region "
+        "(default: the one-gamer load)",
+    )
+    surface_build.add_argument(
+        "--load-hi",
+        type=float,
+        default=None,
+        help="upper edge of the certified load region (default: 0.90)",
+    )
+    _add_json_argument(surface_build)
+    surface_info = surface_sub.add_parser(
+        "info",
+        help="describe persisted quantile surfaces",
+    )
+    surface_info.add_argument(
+        "path",
+        type=str,
+        help="surface JSON file or directory of surface files",
+    )
+    _add_json_argument(surface_info)
 
     sim = sub.add_parser("simulate", help="run the discrete-event simulator")
     sim.add_argument(
@@ -602,6 +706,10 @@ def _command_fleet(args: argparse.Namespace) -> int:
     )
     if args.warm_cache and os.path.exists(args.warm_cache):
         fleet.warm_start(args.warm_cache)
+    if args.surfaces:
+        # No existence check (contrast --warm-cache): a mistyped surfaces
+        # path must fail the run, not silently serve the exact path.
+        fleet.attach_surfaces(args.surfaces)
 
     with contextlib.ExitStack() as stack:
         if args.requests == "-":
@@ -681,6 +789,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         probability=args.quantile,
         method=args.method,
         worker_mode=args.worker_mode,
+        surfaces=args.surfaces,
     )
     try:
         asyncio.run(daemon.run())
@@ -690,6 +799,102 @@ def _command_serve(args: argparse.Namespace) -> int:
         if executor is not None:
             executor.close()
     return 0
+
+
+def _surface_summary(surface) -> dict:
+    """JSON-ready description of one surface (coefficients elided)."""
+    info = dict(surface.build_info)
+    return {
+        "scenario_key": surface.scenario_key,
+        "method": surface.method,
+        "load_region": [surface.load_lo, surface.load_hi],
+        "probability_region": [surface.probability_lo, surface.probability_hi],
+        "certified_rel_bound": surface.certified_rel_bound,
+        "tolerance": surface.tolerance,
+        "coefficient_grid": list(surface.coef.shape),
+        "build_info": info,
+    }
+
+
+def _print_surface_table(surfaces) -> None:
+    headers = [
+        "scenario key",
+        "method",
+        "load region",
+        "quantile region",
+        "grid",
+        "certified bound",
+    ]
+    rows = []
+    for surface in surfaces:
+        rows.append(
+            [
+                surface.scenario_key,
+                surface.method,
+                f"[{surface.load_lo:.4f}, {surface.load_hi:.4f}]",
+                f"[{surface.probability_lo}, {surface.probability_hi}]",
+                "x".join(str(n) for n in surface.coef.shape),
+                f"{surface.certified_rel_bound:.3e}",
+            ]
+        )
+    print(experiments.format_table(headers, rows))
+
+
+def _command_surface_build(args: argparse.Namespace) -> int:
+    """Fit, certify and persist quantile surfaces for one scenario."""
+    scenario = scenario_from_spec(args.scenario)
+    methods_spec = args.methods.strip()
+    if methods_spec.lower() == "all":
+        methods = "all"
+    else:
+        methods = tuple(m.strip() for m in methods_spec.split(",") if m.strip())
+        if not methods:
+            raise ReproError("--methods must name at least one quantile method")
+    index = build_surfaces(
+        scenario,
+        methods=methods,
+        probability_lo=args.probability_lo,
+        probability_hi=args.probability_hi,
+        load_lo=args.load_lo,
+        load_hi=args.load_hi,
+        tolerance=args.tolerance,
+    )
+    if args.out.endswith(os.sep) and not os.path.isdir(args.out):
+        os.makedirs(args.out, exist_ok=True)
+    count = save_surfaces(index, args.out)
+    surfaces = sorted(index, key=lambda s: (s.scenario_key, s.method))
+    if args.json:
+        return _emit_json(
+            {
+                "out": args.out,
+                "surfaces_saved": count,
+                "surfaces": [_surface_summary(s) for s in surfaces],
+            }
+        )
+    _print_surface_table(surfaces)
+    print(f"saved {count} surface(s) to {args.out}")
+    return 0
+
+
+def _command_surface_info(args: argparse.Namespace) -> int:
+    """Describe persisted quantile surfaces."""
+    index = load_surfaces(args.path)
+    surfaces = sorted(index, key=lambda s: (s.scenario_key, s.method))
+    if args.json:
+        return _emit_json(
+            {
+                "path": args.path,
+                "surfaces": [_surface_summary(s) for s in surfaces],
+            }
+        )
+    _print_surface_table(surfaces)
+    return 0
+
+
+def _command_surface(args: argparse.Namespace) -> int:
+    if args.surface_command == "build":
+        return _command_surface_build(args)
+    return _command_surface_info(args)
 
 
 #: command -> (runner, text formatter) for the table/figure subcommands.
@@ -728,6 +933,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_fleet(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "surface":
+            return _command_surface(args)
         if args.command in _REPORT_COMMANDS:
             run, fmt = _REPORT_COMMANDS[args.command]
             result = run()

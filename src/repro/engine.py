@@ -136,6 +136,11 @@ class Engine:
         self.stats = EngineStats()
         self._models: "OrderedDict[float, PingTimeModel]" = OrderedDict()
         self._quantiles: Dict[Tuple[float, float, str], float] = {}
+        #: Certified surfaces for this scenario (attach_surface /
+        #: build_surface).  They never answer point queries — the
+        #: engine is the exact tier — but sweeps hand them to their
+        #: SweepSeries so between-point interpolation is certified.
+        self._surfaces = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -298,6 +303,77 @@ class Engine:
         return [self._quantiles[key] for key in ordered]
 
     # ------------------------------------------------------------------
+    # Certified surfaces (see repro.surface)
+    # ------------------------------------------------------------------
+    def attach_surface(self, surface_or_index) -> int:
+        """Attach certified quantile surface(s) built for this scenario.
+
+        Accepts one :class:`~repro.surface.QuantileSurface` or a whole
+        :class:`~repro.surface.SurfaceIndex` (only the entries matching
+        this engine's scenario are kept).  A single surface certified
+        for a different scenario raises
+        :class:`~repro.errors.ParameterError`.  Returns the number of
+        surfaces attached.
+
+        Point queries (:meth:`rtt_quantile`, :meth:`dimension`) remain
+        exact — the engine *is* the exact tier the surfaces certify
+        against; the attachment makes :meth:`sweep` hand the matching
+        surface to its series, so
+        :meth:`~repro.scenarios.sweep.SweepSeries.interpolate_rtt_ms` /
+        :meth:`~repro.scenarios.sweep.SweepSeries.max_load_for_rtt_ms`
+        carry a certified bound instead of uncertified linear
+        interpolation.  O(1) surface *serving* lives in
+        :meth:`repro.fleet.Fleet.attach_surfaces`.
+        """
+        from .surface import QuantileSurface, SurfaceIndex
+
+        scenario_key = self.scenario.cache_key()
+        if isinstance(surface_or_index, QuantileSurface):
+            if surface_or_index.scenario_key != scenario_key:
+                raise ParameterError(
+                    "the surface was certified for scenario "
+                    f"{surface_or_index.scenario_key}, not this engine's "
+                    f"{scenario_key}"
+                )
+            candidates = [surface_or_index]
+        elif isinstance(surface_or_index, SurfaceIndex):
+            candidates = [
+                surface
+                for surface in surface_or_index
+                if surface.scenario_key == scenario_key
+            ]
+        else:
+            raise TypeError(
+                "expected a QuantileSurface or SurfaceIndex, got "
+                f"{type(surface_or_index).__name__}"
+            )
+        if self._surfaces is None:
+            self._surfaces = SurfaceIndex()
+        for surface in candidates:
+            self._surfaces.add(surface)
+        return len(candidates)
+
+    def build_surface(self, methods=None, **kwargs):
+        """Build, attach and return certified surface(s) for this scenario.
+
+        ``methods`` is a method name, a sequence of names, or ``"all"``;
+        it defaults to this engine's method.  Keyword arguments are
+        forwarded to :func:`repro.surface.builder.build_surface`
+        (tolerance, region bounds, …).  The build's exact evaluations
+        run through this engine, so they land in — and draw from — the
+        shared memoized cache; the resulting
+        :class:`~repro.surface.SurfaceIndex` is attached (see
+        :meth:`attach_surface`) and returned.
+        """
+        from .surface.builder import build_surfaces
+
+        if methods is None:
+            methods = (self.method,)
+        index = build_surfaces(self.scenario, methods, engine=self, **kwargs)
+        self.attach_surface(index)
+        return index
+
+    # ------------------------------------------------------------------
     # Sweeps (the Figure 3 / Figure 4 engine)
     # ------------------------------------------------------------------
     def sweep(
@@ -339,6 +415,13 @@ class Engine:
                     rtt_quantile_s=rtt_quantile_s,
                 )
             )
+        if self._surfaces is not None:
+            surface = self._surfaces.get(scenario.cache_key(), method)
+            if (
+                surface is not None
+                and surface.probability_lo <= probability <= surface.probability_hi
+            ):
+                series.attach_surface(surface)
         return series
 
     # ------------------------------------------------------------------

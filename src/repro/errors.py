@@ -15,6 +15,7 @@ __all__ = [
     "ParameterError",
     "StabilityError",
     "CacheFormatError",
+    "SurfaceFormatError",
     "ExecutorBrokenError",
     "ExecutorTimeoutError",
     "WireFormatError",
@@ -59,6 +60,24 @@ class CacheFormatError(ParameterError):
     ``json``/``KeyError`` tracebacks a corrupted file used to produce.
     ``path`` names the offending file and ``key`` the offending entry
     field or scenario key, when one can be singled out.
+    """
+
+    def __init__(
+        self, message: str, *, path: str | None = None, key: str | None = None
+    ) -> None:
+        self.path = path
+        self.key = key
+        super().__init__(message)
+
+
+class SurfaceFormatError(ParameterError):
+    """A persisted quantile-surface file is malformed or inconsistent.
+
+    Raised by :func:`repro.surface.store.load_surfaces` instead of the
+    bare ``json``/``KeyError`` tracebacks a corrupted or version-skewed
+    surface file would otherwise produce.  ``path`` names the offending
+    file and ``key`` the offending field or scenario key, when one can
+    be singled out.
     """
 
     def __init__(

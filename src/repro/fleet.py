@@ -62,7 +62,6 @@ Example::
 from __future__ import annotations
 
 import asyncio
-import itertools
 import json
 import os
 from collections import OrderedDict
@@ -80,9 +79,11 @@ from .core.rtt import (
 )
 from .engine import Engine
 from .errors import CacheFormatError, ParameterError, ReproError, StabilityError
+from .persist import atomic_write_text
 from .scenarios.base import Scenario
 from .scenarios.mix import MixScenario
 from .scenarios.registry import scenario_from_spec
+from .surface import QuantileSurface, SurfaceIndex, load_surfaces
 
 __all__ = [
     "Request",
@@ -107,6 +108,7 @@ _REQUEST_KEYS = {
     "num_gamers": "num_gamers",
     "probability": "probability",
     "method": "method",
+    "exact": "exact",
     "tag": "tag",
 }
 
@@ -119,6 +121,10 @@ class Request:
     and ``num_gamers`` (>= 1) must be given.  ``probability`` and
     ``method`` default to the owning :class:`Fleet`'s values; ``tag`` is
     an opaque caller identifier echoed in the :class:`Answer`.
+
+    ``exact=True`` demands the exact stacked-path floats: the request
+    bypasses any attached certified surface (it still uses the answer
+    cache, which only ever holds exact values).
     """
 
     scenario: ScenarioSpec
@@ -126,6 +132,7 @@ class Request:
     num_gamers: Optional[float] = None
     probability: Optional[float] = None
     method: Optional[str] = None
+    exact: bool = False
     tag: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -133,6 +140,8 @@ class Request:
             raise ParameterError(
                 "a Request needs exactly one of downlink_load= or num_gamers="
             )
+        if not isinstance(self.exact, bool):
+            raise ParameterError("exact must be a boolean")
         if self.downlink_load is not None and not 0.0 < float(self.downlink_load) < 1.0:
             raise ParameterError("downlink_load must lie in (0, 1)")
         if self.num_gamers is not None and float(self.num_gamers) < 1.0:
@@ -182,6 +191,8 @@ class Request:
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
+        if self.exact:
+            out["exact"] = True
         return out
 
 
@@ -253,6 +264,14 @@ class FleetStats:
     batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Certified-surface triage (see :mod:`repro.surface`): requests
+    #: answered by an attached surface in O(1), requests whose
+    #: (scenario, method) had no surface at all, and requests a surface
+    #: existed for but declined (exact floats requested, operating
+    #: point outside the certified region, or bound too loose).
+    surface_hits: int = 0
+    surface_misses: int = 0
+    surface_fallbacks: int = 0
     evictions: int = 0
     evaluations: int = 0
     stacked_mgf_calls: int = 0
@@ -279,6 +298,9 @@ class FleetStats:
             "batches": self.batches,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "surface_hits": self.surface_hits,
+            "surface_misses": self.surface_misses,
+            "surface_fallbacks": self.surface_fallbacks,
             "evictions": self.evictions,
             "evaluations": self.evaluations,
             "stacked_mgf_calls": self.stacked_mgf_calls,
@@ -324,6 +346,8 @@ class ResolvedRequest:
     probability: float
     method: str
     key: _CacheKey
+    #: Exact stacked-path floats demanded (bypasses certified surfaces).
+    exact: bool = False
 
     def answer(self, rtt_quantile_s: float, *, cached: bool) -> Answer:
         """Materialize the :class:`Answer` for a served quantile value."""
@@ -339,9 +363,6 @@ class ResolvedRequest:
             tag=self.request.tag,
         )
 
-
-#: Distinguishes concurrent writers' temp cache files (PID + counter).
-_TEMP_COUNTER = itertools.count()
 
 #: Magic header of the persisted cache files.
 _CACHE_FORMAT = "repro-fleet-cache"
@@ -411,6 +432,10 @@ class Fleet:
         #: scenario key -> Scenario; outlives engine eviction (needed to
         #: persist cache entries and to rebuild engines on demand).
         self._scenarios: Dict[str, Scenario] = {}
+        #: Certified surfaces (None until attach_surfaces); surface
+        #: answers are never stored into the exact answer cache.
+        self._surfaces: Optional[SurfaceIndex] = None
+        self._surface_max_bound: Optional[float] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -496,6 +521,7 @@ class Fleet:
             probability=probability,
             method=method,
             key=key,
+            exact=request.exact,
         )
 
     def _engine_for(self, scenario: Scenario, key: str) -> Engine:
@@ -511,6 +537,60 @@ class Fleet:
         else:
             self._engines.move_to_end(key)
         return engine
+
+    # ------------------------------------------------------------------
+    # Certified surfaces (the O(1) warm tier; see repro.surface)
+    # ------------------------------------------------------------------
+    @property
+    def surfaces(self) -> Optional[SurfaceIndex]:
+        """The attached certified surfaces, or ``None``."""
+        return self._surfaces
+
+    def attach_surfaces(
+        self,
+        surfaces: Union[str, Path, QuantileSurface, SurfaceIndex, Iterable[QuantileSurface]],
+        *,
+        max_bound: Optional[float] = None,
+    ) -> int:
+        """Attach certified surfaces for O(1) in-region serving.
+
+        ``surfaces`` is a :class:`~repro.surface.SurfaceIndex`, a single
+        :class:`~repro.surface.QuantileSurface`, an iterable of them, or
+        a path to a surface document / directory (loaded through
+        :func:`repro.surface.load_surfaces`, so corrupt files raise
+        :class:`~repro.errors.SurfaceFormatError`).  Repeated calls
+        merge; a surface for an already-attached (scenario, method)
+        replaces the previous one.  Returns the number of surfaces
+        attached by this call.
+
+        ``max_bound``, when given, caps the certified relative error
+        this fleet will serve from a surface: any surface whose stored
+        bound is looser falls back to the exact path (counted in
+        ``stats.surface_fallbacks``).  The cap applies to every
+        attached surface, including earlier calls' — it is fleet
+        policy, not a per-file property.
+
+        Surface answers never enter the exact answer cache (and are
+        therefore never persisted by :meth:`save_cache`); requests with
+        ``exact=True``, out-of-region operating points and uncovered
+        (scenario, method) pairs are served by the exact stacked path,
+        bit-identically to a fleet without surfaces.
+        """
+        if isinstance(surfaces, (str, Path)):
+            surfaces = load_surfaces(surfaces)
+        if isinstance(surfaces, QuantileSurface):
+            surfaces = [surfaces]
+        if self._surfaces is None:
+            self._surfaces = SurfaceIndex()
+        count = 0
+        for surface in surfaces:
+            self._surfaces.add(surface)
+            count += 1
+        if max_bound is not None:
+            if not max_bound > 0.0:
+                raise ParameterError("max_bound must be positive")
+            self._surface_max_bound = float(max_bound)
+        return count
 
     # ------------------------------------------------------------------
     # The shared bounded cache
@@ -606,7 +686,13 @@ class Fleet:
         for item in resolved:
             self._engine_for(item.scenario, item.key[0])
 
-        # Probe the cache; collect the distinct misses.
+        # Probe the cache, then any attached certified surfaces; collect
+        # the distinct misses.  The exact answer cache wins over a
+        # surface (its floats are exact), surface answers are served
+        # without ever entering that cache, and everything the surfaces
+        # decline — no surface for the (scenario, method), exact floats
+        # demanded, operating point outside the certified region — goes
+        # down the exact stacked path unchanged.
         values: Dict[_CacheKey, float] = {}
         cached_flags: List[bool] = []
         misses: "OrderedDict[_CacheKey, Tuple[Scenario, float]]" = OrderedDict()
@@ -617,11 +703,29 @@ class Fleet:
                 values[key] = self._cache[key]
                 self.stats.cache_hits += 1
                 cached_flags.append(True)
-            else:
-                self.stats.cache_misses += 1
-                cached_flags.append(False)
-                if key not in misses:
-                    misses[key] = (item.scenario, item.num_gamers)
+                continue
+            if self._surfaces is not None:
+                value, outcome = self._surfaces.probe(
+                    key[0],
+                    item.method,
+                    item.downlink_load,
+                    item.probability,
+                    exact=item.exact,
+                    max_bound=self._surface_max_bound,
+                )
+                if outcome == "hit":
+                    self.stats.surface_hits += 1
+                    values[key] = value
+                    cached_flags.append(True)
+                    continue
+                if outcome == "fallback":
+                    self.stats.surface_fallbacks += 1
+                else:
+                    self.stats.surface_misses += 1
+            self.stats.cache_misses += 1
+            cached_flags.append(False)
+            if key not in misses:
+                misses[key] = (item.scenario, item.num_gamers)
 
         # Compile the misses of each (probability, method) group into
         # self-contained plans: parameters only, no live models.
@@ -717,11 +821,11 @@ class Fleet:
         a later :meth:`warm_start` restores both the floats — exactly,
         JSON round-trips every double — and the eviction order.
 
-        The write is **atomic**: the payload goes to a temporary file in
-        the target directory and is moved over ``path`` with
-        :func:`os.replace`, so a crash mid-write or a concurrent
-        :meth:`warm_start` reader never sees a truncated file — either
-        the previous cache or the new one, never garbage.
+        The write is **atomic**
+        (:func:`~repro.persist.atomic_write_text`): a crash mid-write
+        or a concurrent :meth:`warm_start` reader never sees a
+        truncated file — either the previous cache or the new one,
+        never garbage.
         """
         scenarios = {}
         entries = []
@@ -745,52 +849,7 @@ class Fleet:
             "scenarios": scenarios,
             "entries": entries,
         }
-        text = json.dumps(payload, indent=2) + "\n"
-        # Resolve symlinks first: os.replace would otherwise swap the
-        # link itself for a regular file, leaving the linked-to cache
-        # (e.g. a shared location) stale for every other consumer.
-        target = Path(os.path.realpath(path))
-        temp_name: Optional[str] = None
-        try:
-            # Create the temp file with mode 0666 and O_EXCL: the
-            # kernel applies the process's LIVE umask at creation (no
-            # racy os.umask read), so a fresh cache gets exactly the
-            # permissions a plain open() would have produced.
-            while True:
-                candidate = target.with_name(
-                    f"{target.name}.{os.getpid()}.{next(_TEMP_COUNTER)}.tmp"
-                )
-                try:
-                    descriptor = os.open(
-                        candidate, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666
-                    )
-                except FileExistsError:  # pragma: no cover - stale leftover
-                    continue
-                temp_name = str(candidate)
-                break
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(text)
-                # Push the payload to disk before the rename becomes
-                # visible: without the fsync a power loss can commit
-                # the rename ahead of the data blocks, leaving exactly
-                # the truncated file this write scheme exists to avoid.
-                handle.flush()
-                os.fsync(handle.fileno())
-            try:
-                # An existing cache keeps its mode: an operator's chmod
-                # (e.g. 0600 on a topology-revealing file) survives the
-                # rewrite, exactly like the write_text this replaced.
-                os.chmod(temp_name, os.stat(target).st_mode & 0o7777)
-            except OSError:
-                pass  # fresh target: keep the umask-derived mode
-            os.replace(temp_name, target)
-        except BaseException:
-            if temp_name is not None:
-                try:
-                    os.unlink(temp_name)
-                except OSError:  # pragma: no cover - already moved
-                    pass
-            raise
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
         return len(entries)
 
     def warm_start(self, path: Union[str, Path]) -> int:
@@ -1011,7 +1070,12 @@ class AsyncFleet:
         )
         return answers[0]
 
-    # Synchronous passthroughs (cache persistence is fast file I/O).
+    # Synchronous passthroughs (cache persistence is fast file I/O,
+    # surface attachment a dictionary merge).
+    def attach_surfaces(self, surfaces, *, max_bound: Optional[float] = None) -> int:
+        """See :meth:`Fleet.attach_surfaces`."""
+        return self.fleet.attach_surfaces(surfaces, max_bound=max_bound)
+
     def save_cache(self, path: Union[str, Path]) -> int:
         """See :meth:`Fleet.save_cache`."""
         return self.fleet.save_cache(path)

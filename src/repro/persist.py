@@ -1,0 +1,74 @@
+"""Atomic file persistence shared by every on-disk artifact.
+
+The fleet answer cache (:meth:`repro.fleet.Fleet.save_cache`) and the
+certified quantile surfaces (:mod:`repro.surface.store`) are both
+written with the same crash-safe scheme: the payload goes to a
+temporary file in the target directory and is moved over the
+destination with :func:`os.replace`, so a crash mid-write or a
+concurrent reader never sees a truncated file — either the previous
+artifact or the new one, never garbage.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["atomic_write_text"]
+
+#: Distinguishes concurrent writers' temp files (PID + counter).
+_TEMP_COUNTER = itertools.count()
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The write is durable before it becomes visible (the payload is
+    fsynced ahead of the rename) and permission-preserving: an existing
+    target keeps its mode (an operator's ``chmod`` survives the
+    rewrite), while a fresh target gets exactly the permissions a plain
+    ``open()`` would have produced under the process's live umask.
+    """
+    # Resolve symlinks first: os.replace would otherwise swap the link
+    # itself for a regular file, leaving the linked-to artifact (e.g. a
+    # shared location) stale for every other consumer.
+    target = Path(os.path.realpath(path))
+    temp_name: Optional[str] = None
+    try:
+        # Create the temp file with mode 0666 and O_EXCL: the kernel
+        # applies the process's LIVE umask at creation (no racy
+        # os.umask read).
+        while True:
+            candidate = target.with_name(
+                f"{target.name}.{os.getpid()}.{next(_TEMP_COUNTER)}.tmp"
+            )
+            try:
+                descriptor = os.open(
+                    candidate, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666
+                )
+            except FileExistsError:  # pragma: no cover - stale leftover
+                continue
+            temp_name = str(candidate)
+            break
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            # Push the payload to disk before the rename becomes
+            # visible: without the fsync a power loss can commit the
+            # rename ahead of the data blocks, leaving exactly the
+            # truncated file this write scheme exists to avoid.
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.chmod(temp_name, os.stat(target).st_mode & 0o7777)
+        except OSError:
+            pass  # fresh target: keep the umask-derived mode
+        os.replace(temp_name, target)
+    except BaseException:
+        if temp_name is not None:
+            try:
+                os.unlink(temp_name)
+            except OSError:  # pragma: no cover - already moved
+                pass
+        raise

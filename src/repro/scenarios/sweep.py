@@ -55,12 +55,25 @@ class SweepPoint:
 
 @dataclass
 class SweepSeries:
-    """One curve: a labelled sequence of sweep points."""
+    """One curve: a labelled sequence of sweep points.
+
+    Between the swept points, :meth:`interpolate_rtt_ms` and
+    :meth:`max_load_for_rtt_ms` are *uncertified* linear interpolations
+    by default.  Attaching a certified quantile surface
+    (:meth:`attach_surface`, done automatically by
+    :meth:`repro.engine.Engine.sweep` when the engine carries one)
+    upgrades both to surface evaluations carrying the surface's
+    certified relative error bound wherever the query falls inside the
+    certified region.
+    """
 
     label: str
     scenario: Scenario
     probability: float
     points: List[SweepPoint] = field(default_factory=list)
+    #: Optional :class:`repro.surface.QuantileSurface` backing the
+    #: between-point queries with a certified bound.
+    surface: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def loads(self) -> List[float]:
         """Downlink loads of the series."""
@@ -91,14 +104,75 @@ class SweepSeries:
             "points": [p.to_dict() for p in self.points],
         }
 
+    def attach_surface(self, surface) -> None:
+        """Back between-point queries with a certified quantile surface.
+
+        The surface must have been built for this series' scenario and
+        cover this series' quantile level; a mismatch raises
+        :class:`~repro.errors.ParameterError` rather than silently
+        serving bounds certified for different physics.
+        """
+        from ..surface import QuantileSurface  # lazy: surface imports engine
+
+        if not isinstance(surface, QuantileSurface):
+            raise ParameterError(
+                f"expected a QuantileSurface, got {type(surface).__name__}"
+            )
+        if surface.scenario_key != self.scenario.cache_key():
+            raise ParameterError(
+                "the surface was certified for a different scenario "
+                f"({surface.scenario_key}) than this series "
+                f"({self.scenario.cache_key()})"
+            )
+        if not surface.probability_lo <= self.probability <= surface.probability_hi:
+            raise ParameterError(
+                f"the surface's certified region "
+                f"[{surface.probability_lo}, {surface.probability_hi}] does "
+                f"not cover this series' quantile level {self.probability}"
+            )
+        self.surface = surface
+
     def interpolate_rtt_ms(self, load: float) -> float:
-        """Linear interpolation of the RTT (ms) at an arbitrary load."""
+        """RTT (ms) at an arbitrary load between the swept points.
+
+        Served by the attached certified surface when one covers the
+        queried load — within the surface's stored relative error bound
+        of the exact inversion — and by uncertified linear
+        interpolation between the nearest swept points otherwise.
+        """
+        load = float(load)
+        if self.surface is not None and self.surface.covers(load, self.probability):
+            return 1e3 * self.surface.lookup(load, self.probability)
         return float(np.interp(load, self.loads(), self.rtt_ms()))
 
     def max_load_for_rtt_ms(self, rtt_bound_ms: float) -> float:
-        """Largest swept load whose interpolated RTT stays below the bound."""
+        """Largest swept load whose interpolated RTT stays below the bound.
+
+        With a certified surface attached and covering the swept load
+        range, the monotone RTT curve is inverted on the surface by
+        bisection (certified within the surface's bound); otherwise the
+        inverse is the historical uncertified linear interpolation.
+        """
         loads = np.asarray(self.loads())
         rtts = np.asarray(self.rtt_ms())
+        surface = self.surface
+        if (
+            surface is not None
+            and surface.covers(float(loads[0]), self.probability)
+            and surface.covers(float(loads[-1]), self.probability)
+        ):
+            from scipy import optimize  # deferred: keep module import light
+
+            def excess(load: float) -> float:
+                return 1e3 * surface.lookup(float(load), self.probability) - rtt_bound_ms
+
+            if excess(float(loads[0])) > 0.0:
+                return 0.0
+            if excess(float(loads[-1])) <= 0.0:
+                return float(loads[-1])
+            return float(
+                optimize.brentq(excess, float(loads[0]), float(loads[-1]), xtol=1e-9)
+            )
         if rtts[0] > rtt_bound_ms:
             return 0.0
         if rtts[-1] <= rtt_bound_ms:

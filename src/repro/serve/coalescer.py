@@ -18,10 +18,13 @@ exactly that:
 * identical in-flight misses are **single-flighted**: plain concurrent
   ``serve_async`` calls that miss the same operating point evaluate it
   once per overlapping batch, whereas the coalescer keys every request
-  by ``(scenario cache key, gamers key, probability, method)`` and
-  attaches a request whose key is already being evaluated by an earlier
-  window to that evaluation instead of resubmitting it — each point is
-  evaluated exactly once per window;
+  by ``(scenario cache key, gamers key, probability, method)`` plus the
+  request's ``exact`` flag and attaches a request whose key is already
+  being evaluated by an earlier window to that evaluation instead of
+  resubmitting it — each point is evaluated exactly once per window.
+  The ``exact`` flag is part of the flight key because an ``exact=True``
+  request must never ride an in-flight value that a certified surface
+  may have answered (within its bound, but not bit-identical);
 * a window that dies with :class:`~repro.errors.ExecutorBrokenError`
   (a worker-pool process was killed underneath it) is retried once on
   the freshly respawned pool, so transient worker faults cost latency,
@@ -53,6 +56,14 @@ __all__ = ["RequestCoalescer"]
 
 #: One waiting caller: the resolved request plus its answer future.
 _Waiter = Tuple[ResolvedRequest, "asyncio.Future[Answer]"]
+
+#: The single-flight key: the fleet cache key plus the exact flag (an
+#: exact request must not attach to a possibly-surface-served value).
+_FlightKey = Tuple[str, float, float, str, bool]
+
+
+def _flight_key(resolved: ResolvedRequest) -> _FlightKey:
+    return (*resolved.key, resolved.exact)
 
 
 def _mark_retrieved(future: "asyncio.Future[Any]") -> None:
@@ -112,9 +123,9 @@ class RequestCoalescer:
         self._executor = executor
         self._pending: List[_Waiter] = []
         self._timer: Optional[asyncio.TimerHandle] = None
-        #: cache key -> future resolving to the point's rtt_quantile_s;
+        #: flight key -> future resolving to the point's rtt_quantile_s;
         #: present exactly while a window evaluating that key is in flight.
-        self._inflight: Dict[Tuple[str, float, float, str], "asyncio.Future[float]"] = {}
+        self._inflight: Dict[_FlightKey, "asyncio.Future[float]"] = {}
         self._windows: "set[asyncio.Task]" = set()
         self._closed = False
 
@@ -157,7 +168,7 @@ class RequestCoalescer:
         if self._closed:
             raise ReproError("the request coalescer is closed")
         resolved = self.fleet.resolve_request(request)
-        inflight = self._inflight.get(resolved.key)
+        inflight = self._inflight.get(_flight_key(resolved))
         if inflight is not None:
             # Single-flight: the point is being evaluated right now by
             # an earlier window; ride that evaluation instead of
@@ -204,13 +215,14 @@ class RequestCoalescer:
         # first await, so a submit racing with the flush attaches to the
         # evaluation instead of re-scheduling the point.
         loop = asyncio.get_event_loop()
-        owned: Dict[Tuple[str, float, float, str], "asyncio.Future[float]"] = {}
+        owned: Dict[_FlightKey, "asyncio.Future[float]"] = {}
         for resolved, _ in window:
-            if resolved.key not in self._inflight:
+            key = _flight_key(resolved)
+            if key not in self._inflight:
                 value_future: "asyncio.Future[float]" = loop.create_future()
                 value_future.add_done_callback(_mark_retrieved)
-                self._inflight[resolved.key] = value_future
-                owned[resolved.key] = value_future
+                self._inflight[key] = value_future
+                owned[key] = value_future
         task = loop.create_task(self._run_window(window, owned))
         self._windows.add(task)
         task.add_done_callback(self._windows.discard)
@@ -245,7 +257,7 @@ class RequestCoalescer:
     async def _run_window(
         self,
         window: List[_Waiter],
-        owned: Dict[Tuple[str, float, float, str], "asyncio.Future[float]"],
+        owned: Dict[_FlightKey, "asyncio.Future[float]"],
     ) -> None:
         requests = [resolved.request for resolved, _ in window]
         try:
@@ -276,7 +288,7 @@ class RequestCoalescer:
             for (resolved, future), answer in zip(window, answers):
                 if not future.done():
                     future.set_result(answer)
-                value_future = owned.get(resolved.key)
+                value_future = owned.get(_flight_key(resolved))
                 if value_future is not None and not value_future.done():
                     value_future.set_result(answer.rtt_quantile_s)
         finally:

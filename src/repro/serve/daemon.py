@@ -151,6 +151,17 @@ class ServingDaemon:
     warm_cache:
         Optional cache file: loaded (if present) before the socket
         opens, written back atomically during shutdown.
+    surfaces:
+        Optional certified-surface document or directory
+        (:func:`repro.surface.load_surfaces`), attached to the fleet
+        before the socket opens so in-region requests are answered in
+        O(1) with zero plans executed (``exact=true`` requests and
+        out-of-region points still take the exact stacked path).
+        Unlike ``warm_cache`` — which the daemon itself writes back —
+        surfaces are operator-built artifacts (``fps-ping surface
+        build``), so a missing or corrupt path fails startup with a
+        typed :class:`~repro.errors.SurfaceFormatError` instead of
+        silently serving without them.
     drain_timeout:
         Seconds to wait for in-flight connections during shutdown
         before force-closing them.
@@ -176,6 +187,7 @@ class ServingDaemon:
         coalesce_ms: float = 2.0,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         warm_cache: Union[str, os.PathLike, None] = None,
+        surfaces: Union[str, os.PathLike, None] = None,
         drain_timeout: float = 10.0,
         worker_mode: bool = False,
         **fleet_kwargs: Any,
@@ -194,6 +206,7 @@ class ServingDaemon:
         self.port = int(port)
         self.max_inflight = int(max_inflight)
         self.warm_cache = os.fspath(warm_cache) if warm_cache is not None else None
+        self.surfaces = os.fspath(surfaces) if surfaces is not None else None
         self.drain_timeout = float(drain_timeout)
         self.coalescer = RequestCoalescer(
             fleet, max_batch=max_batch, max_delay_ms=coalesce_ms, executor=executor
@@ -205,6 +218,7 @@ class ServingDaemon:
             SerialExecutor() if self._owns_plan_executor else executor
         )
         self.warm_loaded = 0
+        self.surfaces_loaded = 0
         self.connections_accepted = 0
         self.http_requests = 0
         self.http_errors = 0
@@ -233,6 +247,11 @@ class ServingDaemon:
             raise ReproError("the daemon is already started")
         if self.warm_cache is not None and os.path.exists(self.warm_cache):
             self.warm_loaded = self.fleet.warm_start(self.warm_cache)
+        if self.surfaces is not None:
+            # Deliberately no existence check (contrast warm_cache): a
+            # typo'd --surfaces must fail startup, not silently serve
+            # every request down the expensive exact path.
+            self.surfaces_loaded = self.fleet.attach_surfaces(self.surfaces)
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port, limit=_LINE_LIMIT
         )
@@ -296,9 +315,12 @@ class ServingDaemon:
                     continue
                 installed.append(signum)
         mode = " [worker mode]" if self.worker_mode else ""
+        surfaces = (
+            f", surfaces: {self.surfaces_loaded}" if self.surfaces is not None else ""
+        )
         print(
             f"fps-ping serve: listening on http://{self.host}:{self.port} "
-            f"(pid {os.getpid()}, warm entries: {self.warm_loaded}){mode}",
+            f"(pid {os.getpid()}, warm entries: {self.warm_loaded}{surfaces}){mode}",
             file=sys.stderr,
             flush=True,
         )
@@ -634,6 +656,7 @@ class ServingDaemon:
                 "pending_requests": self.coalescer.pending,
                 "inflight_windows": self.coalescer.inflight_windows,
                 "warm_loaded_entries": self.warm_loaded,
+                "surfaces_loaded": self.surfaces_loaded,
                 "worker_mode": self.worker_mode,
                 "plans_served": self.plans_served,
             },

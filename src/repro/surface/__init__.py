@@ -1,0 +1,37 @@
+"""Certified quantile surfaces: the O(1) warm tier of the serving stack.
+
+The fourth serving tier after the answer cache, the stacked batch path
+and the distributed fan-out: per-scenario Chebyshev surfaces of the
+RTT quantile over the stable (load, probability) operating region,
+built against the exact stacked path with a *certified* relative
+error bound (:mod:`~repro.surface.builder`), persisted as atomic JSON
+(:mod:`~repro.surface.store`) and probed in O(1) at serve time
+(:mod:`~repro.surface.lookup`).
+
+See :meth:`repro.fleet.Fleet.attach_surfaces`,
+:meth:`repro.engine.Engine.build_surface` and the ``fps-ping surface``
+CLI for the integration points.
+"""
+
+from .builder import GRID_LADDER, build_surface, build_surfaces
+from .lookup import QuantileSurface, SurfaceIndex
+from .store import (
+    SURFACE_FORMAT,
+    SURFACE_VERSION,
+    load_surfaces,
+    save_surfaces,
+    surface_filename,
+)
+
+__all__ = [
+    "GRID_LADDER",
+    "QuantileSurface",
+    "SurfaceIndex",
+    "SURFACE_FORMAT",
+    "SURFACE_VERSION",
+    "build_surface",
+    "build_surfaces",
+    "load_surfaces",
+    "save_surfaces",
+    "surface_filename",
+]

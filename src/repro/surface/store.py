@@ -1,0 +1,186 @@
+"""Persistence of certified quantile surfaces.
+
+Surfaces are written as JSON documents with the same crash-safety and
+error taxonomy as the fleet answer cache: atomic replace on write
+(:func:`repro.persist.atomic_write_text`) and a typed
+:class:`~repro.errors.SurfaceFormatError` on anything malformed at
+load time — invalid JSON, a foreign document, version skew, a
+corrupted surface entry, or a scenario whose canonical key no longer
+matches the key the surface was certified under.
+
+``load_surfaces`` accepts either one document or a directory of them
+(every ``*.json`` inside), so a daemon can point ``--surfaces`` at a
+directory that operators drop per-scenario files into.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Union
+
+from ..errors import ParameterError, SurfaceFormatError
+from ..persist import atomic_write_text
+from ..scenarios.base import Scenario
+from .lookup import QuantileSurface, SurfaceIndex
+
+__all__ = [
+    "SURFACE_FORMAT",
+    "SURFACE_VERSION",
+    "surface_filename",
+    "save_surfaces",
+    "load_surfaces",
+]
+
+SURFACE_FORMAT = "repro-quantile-surfaces"
+SURFACE_VERSION = 1
+
+
+def surface_filename(scenario_or_key) -> str:
+    """Canonical per-scenario surface file name (``surfaces-<key>.json``)."""
+    key = scenario_or_key
+    if hasattr(key, "cache_key"):
+        key = key.cache_key()
+    return f"surfaces-{key}.json"
+
+
+def _as_surface_list(surfaces) -> list:
+    if isinstance(surfaces, QuantileSurface):
+        return [surfaces]
+    if isinstance(surfaces, (SurfaceIndex, Iterable)):
+        result = []
+        for surface in surfaces:
+            if not isinstance(surface, QuantileSurface):
+                raise TypeError(
+                    "expected QuantileSurface items, got "
+                    f"{type(surface).__name__}"
+                )
+            result.append(surface)
+        return result
+    raise TypeError(
+        "expected a QuantileSurface, SurfaceIndex or iterable of surfaces, "
+        f"got {type(surfaces).__name__}"
+    )
+
+
+def _document(surfaces: list) -> str:
+    payload = {
+        "format": SURFACE_FORMAT,
+        "version": SURFACE_VERSION,
+        "surfaces": [surface.to_dict() for surface in surfaces],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def save_surfaces(surfaces, path: Union[str, Path]) -> int:
+    """Persist surfaces to ``path`` atomically; returns the count written.
+
+    ``path`` names either a single document (all surfaces in one file)
+    or an existing directory, in which case surfaces are grouped per
+    scenario into :func:`surface_filename` files — the layout
+    ``load_surfaces`` and the daemon's ``--surfaces`` flag consume.
+    """
+    surfaces = _as_surface_list(surfaces)
+    path = Path(path)
+    if path.is_dir():
+        grouped: dict = {}
+        for surface in surfaces:
+            grouped.setdefault(surface.scenario_key, []).append(surface)
+        for key, group in grouped.items():
+            atomic_write_text(path / surface_filename(key), _document(group))
+    else:
+        atomic_write_text(path, _document(surfaces))
+    return len(surfaces)
+
+
+def _load_document(path: Path, index: SurfaceIndex) -> int:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SurfaceFormatError(
+            f"cannot read surface file {path}: {exc}", path=str(path)
+        ) from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SurfaceFormatError(
+            f"surface file {path} is not valid JSON: {exc}", path=str(path)
+        ) from exc
+    if not isinstance(data, dict):
+        raise SurfaceFormatError(
+            f"surface file {path} must contain a JSON object at the top level",
+            path=str(path),
+        )
+    if data.get("format") != SURFACE_FORMAT:
+        raise SurfaceFormatError(
+            f"surface file {path} is not a {SURFACE_FORMAT!r} document "
+            f"(format={data.get('format')!r})",
+            path=str(path),
+            key="format",
+        )
+    version = data.get("version")
+    if version != SURFACE_VERSION:
+        raise SurfaceFormatError(
+            f"surface file {path} has format version {version!r}; this "
+            f"library reads version {SURFACE_VERSION}",
+            path=str(path),
+            key="version",
+        )
+    entries = data.get("surfaces")
+    if not isinstance(entries, list):
+        raise SurfaceFormatError(
+            f"surface file {path} must carry a 'surfaces' list",
+            path=str(path),
+            key="surfaces",
+        )
+    count = 0
+    for position, entry in enumerate(entries):
+        try:
+            surface = QuantileSurface.from_dict(entry)
+        except ParameterError as exc:
+            raise SurfaceFormatError(
+                f"surface file {path} entry {position} is corrupt: {exc}",
+                path=str(path),
+                key=f"surfaces[{position}]",
+            ) from exc
+        # The stored key must still be the canonical key of the stored
+        # scenario: a hand-edited scenario would otherwise serve under
+        # the wrong shard with a bound certified for different physics.
+        try:
+            actual_key = Scenario.from_dict(surface.scenario).cache_key()
+        except ParameterError as exc:
+            raise SurfaceFormatError(
+                f"surface file {path} entry {position} carries an invalid "
+                f"scenario: {exc}",
+                path=str(path),
+                key=f"surfaces[{position}]",
+            ) from exc
+        if actual_key != surface.scenario_key:
+            raise SurfaceFormatError(
+                f"surface file {path} entry {position} was certified for "
+                f"scenario key {surface.scenario_key} but its scenario "
+                f"hashes to {actual_key}; the file is inconsistent",
+                path=str(path),
+                key=surface.scenario_key,
+            )
+        index.add(surface)
+        count += 1
+    return count
+
+
+def load_surfaces(path: Union[str, Path]) -> SurfaceIndex:
+    """Load certified surfaces from a document or a directory of them.
+
+    Raises :class:`~repro.errors.SurfaceFormatError` on any malformed,
+    foreign or version-skewed file — a directory load fails as a whole
+    rather than silently serving a partial set.
+    """
+    path = Path(path)
+    index = SurfaceIndex()
+    if path.is_dir():
+        for child in sorted(path.glob("*.json")):
+            _load_document(child, index)
+    else:
+        _load_document(path, index)
+    return index

@@ -9,6 +9,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
     StabilityError,
+    SurfaceFormatError,
     TraceFormatError,
 )
 
@@ -17,7 +18,7 @@ class TestHierarchy:
     @pytest.mark.parametrize(
         "exc",
         [ParameterError, StabilityError, FittingError, TraceFormatError,
-         ConvergenceError, SimulationError],
+         ConvergenceError, SimulationError, SurfaceFormatError],
     )
     def test_all_errors_derive_from_repro_error(self, exc):
         if exc is StabilityError:
@@ -54,3 +55,20 @@ class TestConvergenceError:
 
     def test_iterations_default_to_none(self):
         assert ConvergenceError("no luck").iterations is None
+
+
+class TestSurfaceFormatError:
+    def test_is_a_parameter_and_value_error(self):
+        assert issubclass(SurfaceFormatError, ParameterError)
+        assert issubclass(SurfaceFormatError, ValueError)
+        assert issubclass(SurfaceFormatError, ReproError)
+
+    def test_records_path_and_key(self):
+        error = SurfaceFormatError("bad file", path="/tmp/s.json", key="version")
+        assert error.path == "/tmp/s.json"
+        assert error.key == "version"
+
+    def test_path_and_key_default_to_none(self):
+        error = SurfaceFormatError("bad file")
+        assert error.path is None
+        assert error.key is None

@@ -114,3 +114,107 @@ class TestSweeps:
     def test_default_label_mentions_order_and_tick(self):
         series = sweep_loads(PAPER_BASELINE, loads=[0.25])
         assert "K=9" in series.label
+
+
+class TestSurfaceBackedSeries:
+    """Satellite 1 (ISSUE 8): between-point queries route through an
+    attached certified surface; without one, the linear interpolation
+    error on the default grid stays within its historical envelope."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        from repro.engine import Engine
+
+        return Engine(PAPER_BASELINE)
+
+    @pytest.fixture(scope="class")
+    def surface(self, engine):
+        from repro.surface import build_surface
+
+        return build_surface(
+            PAPER_BASELINE,
+            "inversion",
+            probability_lo=0.9999,
+            probability_hi=0.999999,
+            load_lo=0.30,
+            load_hi=0.60,
+            tolerance=1e-3,
+            probe_factor=2,
+            engine=engine,
+        )
+
+    def test_linear_interpolation_error_envelope_on_the_default_grid(self, engine):
+        # Regression envelope for the uncertified baseline: on the
+        # 18-point default grid the midpoint linear-interpolation error
+        # against the exact inversion is ~4.2%; certify it stays there.
+        series = engine.sweep()
+        loads = np.asarray(series.loads())
+        midpoints = ((loads[:-1] + loads[1:]) / 2.0).tolist()
+        exact = engine.rtt_quantiles(midpoints)
+        errors = [
+            abs(series.interpolate_rtt_ms(mid) / 1e3 - value) / value
+            for mid, value in zip(midpoints, exact)
+        ]
+        assert max(errors) <= 0.06
+
+    def test_surface_routes_interpolation_within_the_certified_bound(
+        self, engine, surface
+    ):
+        series = engine.sweep()
+        series.attach_surface(surface)
+        for load in (0.33, 0.42, 0.57):
+            exact = engine.rtt_quantiles([load])[0]
+            approx = series.interpolate_rtt_ms(load) / 1e3
+            assert abs(approx - exact) / exact <= surface.certified_rel_bound
+
+    def test_surface_beats_linear_interpolation_at_midpoints(self, engine, surface):
+        series = engine.sweep()
+        loads = np.asarray(series.loads())
+        midpoints = [
+            float(m) for m in (loads[:-1] + loads[1:]) / 2.0
+            if surface.covers(float(m), series.probability)
+        ]
+        exact = engine.rtt_quantiles(midpoints)
+        linear_errors = []
+        surface_errors = []
+        for mid, value in zip(midpoints, exact):
+            linear_errors.append(
+                abs(float(np.interp(mid, series.loads(), series.rtt_ms())) / 1e3 - value)
+                / value
+            )
+            surface_errors.append(
+                abs(surface.lookup(mid, series.probability) - value) / value
+            )
+        series.attach_surface(surface)
+        for mid, err in zip(midpoints, surface_errors):
+            assert err <= surface.certified_rel_bound
+        assert max(surface_errors) < max(linear_errors)
+
+    def test_outside_the_region_falls_back_to_linear(self, engine, surface):
+        series = engine.sweep()
+        linear = series.interpolate_rtt_ms(0.75)
+        series.attach_surface(surface)
+        assert series.interpolate_rtt_ms(0.75) == linear
+
+    def test_max_load_inversion_respects_the_surface(self, engine, surface):
+        series = engine.sweep(loads=[0.32, 0.40, 0.48, 0.58])
+        series.attach_surface(surface)
+        bound_ms = series.interpolate_rtt_ms(0.45)
+        max_load = series.max_load_for_rtt_ms(bound_ms)
+        assert max_load == pytest.approx(0.45, abs=1e-6)
+        # Unreachable and trivially-satisfied bounds keep their contract.
+        assert series.max_load_for_rtt_ms(1e-3) == 0.0
+        assert series.max_load_for_rtt_ms(1e6) == pytest.approx(0.58)
+
+    def test_attach_surface_validates_its_target(self, engine, surface):
+        from repro.scenarios import get_scenario
+
+        series = engine.sweep(loads=[0.35, 0.55])
+        with pytest.raises(ParameterError, match="QuantileSurface"):
+            series.attach_surface("nope")
+        foreign = sweep_loads(get_scenario("ftth"), loads=[0.35, 0.55])
+        with pytest.raises(ParameterError, match="different scenario"):
+            foreign.attach_surface(surface)
+        off_level = sweep_loads(PAPER_BASELINE, loads=[0.35, 0.55], probability=0.9)
+        with pytest.raises(ParameterError, match="does not cover"):
+            off_level.attach_surface(surface)

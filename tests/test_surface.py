@@ -1,0 +1,486 @@
+"""Tests for certified quantile surfaces: builder, lookup, persistence.
+
+The certification property under test is the one the serving tier
+relies on: *every* in-region lookup — not just the fitted nodes — is
+within the relative error bound stored on the surface, for every
+registry preset and every quantile method, and the bound survives a
+JSON round-trip bit-exactly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from numpy.polynomial import chebyshev
+
+from repro.core.rtt import QUANTILE_METHODS
+from repro.engine import Engine
+from repro.errors import ConvergenceError, ParameterError, SurfaceFormatError
+from repro.scenarios import available_scenarios, get_scenario
+from repro.surface import (
+    QuantileSurface,
+    SurfaceIndex,
+    SURFACE_FORMAT,
+    SURFACE_VERSION,
+    build_surface,
+    build_surfaces,
+    load_surfaces,
+    save_surfaces,
+    surface_filename,
+)
+
+#: A small, fast certified region inside paper-dsl's many-gamers regime.
+REGION = dict(
+    probability_lo=0.9999,
+    probability_hi=0.999999,
+    load_lo=0.30,
+    load_hi=0.60,
+    probe_factor=2,
+)
+
+#: Ladder for quick builds (coarse start, a couple of refinements).
+SMALL_LADDER = ((6, 4), (9, 5), (13, 7), (17, 9))
+
+
+@pytest.fixture(scope="module")
+def paper_engine():
+    return Engine(get_scenario("paper-dsl"))
+
+
+@pytest.fixture(scope="module")
+def paper_surface(paper_engine):
+    return build_surface(
+        get_scenario("paper-dsl"),
+        "inversion",
+        tolerance=1e-3,
+        engine=paper_engine,
+        grid_ladder=SMALL_LADDER,
+        **REGION,
+    )
+
+
+def random_points(surface, count, seed=0):
+    rng = np.random.default_rng(seed)
+    loads = rng.uniform(surface.load_lo, surface.load_hi, count)
+    u = rng.uniform(
+        -np.log10(1.0 - surface.probability_lo),
+        -np.log10(1.0 - surface.probability_hi),
+        count,
+    )
+    return loads, 1.0 - 10.0 ** (-u)
+
+
+class TestBuilder:
+    def test_certified_bound_meets_the_tolerance(self, paper_surface):
+        assert 0.0 < paper_surface.certified_rel_bound <= 1e-3
+        assert paper_surface.tolerance == 1e-3
+
+    def test_random_in_region_lookups_stay_within_the_bound(
+        self, paper_surface, paper_engine
+    ):
+        loads, probabilities = random_points(paper_surface, 25, seed=3)
+        for load, probability in zip(loads, probabilities):
+            exact = paper_engine.rtt_quantiles(
+                [float(load)], probability=float(probability), method="inversion"
+            )[0]
+            approx = paper_surface.lookup(float(load), float(probability))
+            assert abs(approx - exact) / exact <= paper_surface.certified_rel_bound
+
+    def test_build_info_records_provenance(self, paper_surface):
+        info = paper_surface.build_info
+        assert tuple(info["grid"]) == tuple(paper_surface.coef.shape)
+        assert info["ladder_level"] >= 1
+        assert info["probe_rel_error"] * info["safety"] == pytest.approx(
+            paper_surface.certified_rel_bound
+        )
+        assert info["exact_evaluations"] > 0
+
+    def test_tighter_tolerance_refines_to_a_finer_grid(self, paper_engine):
+        coarse = build_surface(
+            get_scenario("paper-dsl"),
+            "inversion",
+            tolerance=5e-2,
+            engine=paper_engine,
+            grid_ladder=SMALL_LADDER,
+            **REGION,
+        )
+        fine = build_surface(
+            get_scenario("paper-dsl"),
+            "inversion",
+            tolerance=1e-5,
+            engine=paper_engine,
+            grid_ladder=SMALL_LADDER,
+            **REGION,
+        )
+        assert fine.build_info["ladder_level"] > coarse.build_info["ladder_level"]
+        assert fine.certified_rel_bound < coarse.certified_rel_bound
+
+    def test_exhausted_ladder_raises_convergence_error(self, paper_engine):
+        with pytest.raises(ConvergenceError) as excinfo:
+            build_surface(
+                get_scenario("paper-dsl"),
+                "inversion",
+                tolerance=1e-12,
+                engine=paper_engine,
+                grid_ladder=((6, 4),),
+                **REGION,
+            )
+        assert excinfo.value.iterations == 1
+        assert "loosen the tolerance" in str(excinfo.value)
+
+    def test_unknown_method_is_rejected(self):
+        with pytest.raises(ParameterError):
+            build_surface(get_scenario("paper-dsl"), "bogus", **REGION)
+
+    def test_invalid_regions_are_rejected(self):
+        with pytest.raises(ParameterError):
+            build_surface(
+                get_scenario("paper-dsl"), probability_lo=0.999, probability_hi=0.99
+            )
+        with pytest.raises(ParameterError):
+            build_surface(get_scenario("paper-dsl"), load_lo=0.6, load_hi=0.3)
+
+    def test_load_lo_below_one_gamer_is_rejected(self):
+        scenario = get_scenario("paper-dsl")
+        with pytest.raises(ParameterError, match="fewer than one gamer"):
+            build_surface(
+                scenario,
+                load_lo=scenario.load_for_gamers(0.5),
+                load_hi=0.6,
+            )
+
+    def test_invalid_tolerance_and_probe_factor_are_rejected(self):
+        region = {k: v for k, v in REGION.items() if k != "probe_factor"}
+        with pytest.raises(ParameterError):
+            build_surface(get_scenario("paper-dsl"), tolerance=0.0, **region)
+        with pytest.raises(ParameterError):
+            build_surface(get_scenario("paper-dsl"), probe_factor=1, **region)
+
+    def test_degenerate_ladders_are_rejected(self):
+        with pytest.raises(ParameterError):
+            build_surface(get_scenario("paper-dsl"), grid_ladder=(), **REGION)
+        with pytest.raises(ParameterError):
+            build_surface(
+                get_scenario("paper-dsl"), grid_ladder=((3, 3),), **REGION
+            )
+
+    def test_shared_engine_must_wrap_the_same_scenario(self):
+        with pytest.raises(ParameterError, match="different scenario"):
+            build_surface(
+                get_scenario("paper-dsl"),
+                engine=Engine(get_scenario("ftth")),
+                **REGION,
+            )
+
+    def test_scenario_spec_forms(self, paper_surface):
+        by_name = build_surface(
+            "paper-dsl",
+            tolerance=5e-2,
+            grid_ladder=SMALL_LADDER,
+            **REGION,
+        )
+        assert by_name.scenario_key == paper_surface.scenario_key
+        by_mapping = build_surface(
+            get_scenario("paper-dsl").to_dict(),
+            tolerance=5e-2,
+            grid_ladder=SMALL_LADDER,
+            **REGION,
+        )
+        assert by_mapping.scenario_key == paper_surface.scenario_key
+        with pytest.raises(TypeError):
+            build_surface(42, **REGION)
+
+    def test_build_surfaces_all_methods(self, paper_engine):
+        index = build_surfaces(
+            get_scenario("paper-dsl"),
+            methods="all",
+            tolerance=1e-1,
+            engine=paper_engine,
+            grid_ladder=SMALL_LADDER,
+            **REGION,
+        )
+        assert len(index) == len(QUANTILE_METHODS)
+        assert {s.method for s in index} == set(QUANTILE_METHODS)
+
+    def test_build_surfaces_single_method_string(self, paper_engine):
+        index = build_surfaces(
+            get_scenario("paper-dsl"),
+            methods="dominant-pole",
+            tolerance=1e-1,
+            engine=paper_engine,
+            grid_ladder=SMALL_LADDER,
+            **REGION,
+        )
+        assert len(index) == 1
+        assert next(iter(index)).method == "dominant-pole"
+
+    def test_build_surfaces_rejects_empty_methods(self):
+        with pytest.raises(ParameterError):
+            build_surfaces(get_scenario("paper-dsl"), methods=(), **REGION)
+
+
+class TestLookup:
+    def test_covers_is_inclusive_at_the_region_edges(self, paper_surface):
+        s = paper_surface
+        assert s.covers(s.load_lo, s.probability_lo)
+        assert s.covers(s.load_hi, s.probability_hi)
+        assert not s.covers(s.load_lo - 1e-6, 0.99999)
+        assert not s.covers(0.5, s.probability_hi + 1e-8)
+
+    def test_out_of_region_lookup_raises(self, paper_surface):
+        with pytest.raises(ParameterError, match="outside the certified region"):
+            paper_surface.lookup(0.95, 0.99999)
+        with pytest.raises(ParameterError, match="outside the certified region"):
+            paper_surface.lookup(0.5, 0.5)
+
+    def test_fast_path_matches_chebval2d_to_machine_precision(self, paper_surface):
+        s = paper_surface
+        loads, probabilities = random_points(s, 10, seed=5)
+        u_lo = -np.log10(1.0 - s.probability_lo)
+        u_hi = -np.log10(1.0 - s.probability_hi)
+        for load, probability in zip(loads, probabilities):
+            x = 2.0 * (load - s.load_lo) / (s.load_hi - s.load_lo) - 1.0
+            u = -np.log10(1.0 - probability)
+            y = 2.0 * (u - u_lo) / (u_hi - u_lo) - 1.0
+            reference = float(np.exp(chebyshev.chebval2d(x, y, s.coef)))
+            assert s.lookup(float(load), float(probability)) == pytest.approx(
+                reference, rel=1e-14
+            )
+
+    def test_validation_rejects_malformed_surfaces(self, paper_surface):
+        good = paper_surface.to_dict()
+
+        def rebuild(**overrides):
+            data = dict(good)
+            data.update(overrides)
+            return QuantileSurface.from_dict(data)
+
+        with pytest.raises(ParameterError):
+            rebuild(coef=[1.0, 2.0])  # 1-D
+        with pytest.raises(ParameterError):
+            rebuild(coef=[[float("nan")]])
+        with pytest.raises(ParameterError):
+            rebuild(load_lo=0.7, load_hi=0.3)
+        with pytest.raises(ParameterError):
+            rebuild(load_hi=1.2)
+        with pytest.raises(ParameterError):
+            rebuild(probability_lo=0.999999, probability_hi=0.9999)
+        with pytest.raises(ParameterError):
+            rebuild(certified_rel_bound=0.0)
+        with pytest.raises(ParameterError):
+            rebuild(tolerance=-1.0)
+
+    def test_from_dict_reports_missing_fields(self, paper_surface):
+        data = paper_surface.to_dict()
+        del data["coef"]
+        with pytest.raises(ParameterError, match="missing field"):
+            QuantileSurface.from_dict(data)
+
+    def test_dict_round_trip_is_bit_exact(self, paper_surface):
+        clone = QuantileSurface.from_dict(
+            json.loads(json.dumps(paper_surface.to_dict()))
+        )
+        assert np.array_equal(clone.coef, paper_surface.coef)
+        assert clone.certified_rel_bound == paper_surface.certified_rel_bound
+        assert clone.lookup(0.47, 0.99999) == paper_surface.lookup(0.47, 0.99999)
+
+
+class TestSurfaceIndex:
+    def test_add_get_iterate(self, paper_surface):
+        index = SurfaceIndex()
+        assert len(index) == 0
+        index.add(paper_surface)
+        assert len(index) == 1
+        assert (paper_surface.scenario_key, "inversion") in index
+        assert index.get(paper_surface.scenario_key, "inversion") is paper_surface
+        assert index.get(paper_surface.scenario_key, "chernoff") is None
+        assert list(index) == [paper_surface]
+        assert index.scenario_keys() == (paper_surface.scenario_key,)
+
+    def test_add_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            SurfaceIndex().add("not a surface")
+
+    def test_probe_outcomes(self, paper_surface):
+        index = SurfaceIndex()
+        index.add(paper_surface)
+        key = paper_surface.scenario_key
+
+        value, outcome = index.probe(key, "inversion", 0.45, 0.99999)
+        assert outcome == "hit"
+        assert value == paper_surface.lookup(0.45, 0.99999)
+
+        value, outcome = index.probe("other-key", "inversion", 0.45, 0.99999)
+        assert (value, outcome) == (None, "miss")
+        value, outcome = index.probe(key, "chernoff", 0.45, 0.99999)
+        assert (value, outcome) == (None, "miss")
+
+        value, outcome = index.probe(key, "inversion", 0.45, 0.99999, exact=True)
+        assert (value, outcome) == (None, "fallback")
+        value, outcome = index.probe(key, "inversion", 0.95, 0.99999)
+        assert (value, outcome) == (None, "fallback")
+        value, outcome = index.probe(
+            key, "inversion", 0.45, 0.99999,
+            max_bound=paper_surface.certified_rel_bound / 2.0,
+        )
+        assert (value, outcome) == (None, "fallback")
+
+
+class TestStore:
+    def test_single_file_round_trip_is_bit_exact(self, paper_surface, tmp_path):
+        path = tmp_path / "surfaces.json"
+        assert save_surfaces(paper_surface, path) == 1
+        index = load_surfaces(path)
+        clone = index.get(paper_surface.scenario_key, "inversion")
+        assert np.array_equal(clone.coef, paper_surface.coef)
+        assert clone.certified_rel_bound == paper_surface.certified_rel_bound
+        assert clone.lookup(0.51, 0.99999) == paper_surface.lookup(0.51, 0.99999)
+
+    def test_directory_layout_groups_per_scenario(self, paper_surface, tmp_path):
+        assert save_surfaces([paper_surface], tmp_path) == 1
+        expected = tmp_path / surface_filename(paper_surface.scenario_key)
+        assert expected.exists()
+        index = load_surfaces(tmp_path)
+        assert len(index) == 1
+        assert index.get(paper_surface.scenario_key, "inversion") is not None
+
+    def test_save_rejects_foreign_objects(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_surfaces(["nope"], tmp_path / "surfaces.json")
+        with pytest.raises(TypeError):
+            save_surfaces(42, tmp_path / "surfaces.json")
+
+    def test_document_format_header(self, paper_surface, tmp_path):
+        path = tmp_path / "surfaces.json"
+        save_surfaces(paper_surface, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == SURFACE_FORMAT
+        assert data["version"] == SURFACE_VERSION
+        assert len(data["surfaces"]) == 1
+
+    def test_invalid_json_raises_surface_format_error(self, tmp_path):
+        path = tmp_path / "surfaces.json"
+        path.write_text("{ not json")
+        with pytest.raises(SurfaceFormatError) as excinfo:
+            load_surfaces(path)
+        assert excinfo.value.path == str(path)
+
+    def test_non_object_top_level_raises(self, tmp_path):
+        path = tmp_path / "surfaces.json"
+        path.write_text("[]")
+        with pytest.raises(SurfaceFormatError, match="top level"):
+            load_surfaces(path)
+
+    def test_foreign_format_raises(self, tmp_path):
+        path = tmp_path / "surfaces.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(SurfaceFormatError) as excinfo:
+            load_surfaces(path)
+        assert excinfo.value.key == "format"
+
+    def test_version_skew_raises(self, paper_surface, tmp_path):
+        path = tmp_path / "surfaces.json"
+        save_surfaces(paper_surface, path)
+        data = json.loads(path.read_text())
+        data["version"] = SURFACE_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(SurfaceFormatError) as excinfo:
+            load_surfaces(path)
+        assert excinfo.value.key == "version"
+        assert str(SURFACE_VERSION + 1) in str(excinfo.value)
+
+    def test_non_list_surfaces_raises(self, tmp_path):
+        path = tmp_path / "surfaces.json"
+        path.write_text(
+            json.dumps(
+                {"format": SURFACE_FORMAT, "version": SURFACE_VERSION, "surfaces": {}}
+            )
+        )
+        with pytest.raises(SurfaceFormatError) as excinfo:
+            load_surfaces(path)
+        assert excinfo.value.key == "surfaces"
+
+    def test_corrupt_entry_raises_with_position(self, paper_surface, tmp_path):
+        path = tmp_path / "surfaces.json"
+        save_surfaces(paper_surface, path)
+        data = json.loads(path.read_text())
+        del data["surfaces"][0]["coef"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(SurfaceFormatError) as excinfo:
+            load_surfaces(path)
+        assert excinfo.value.key == "surfaces[0]"
+
+    def test_scenario_key_mismatch_raises(self, paper_surface, tmp_path):
+        path = tmp_path / "surfaces.json"
+        save_surfaces(paper_surface, path)
+        data = json.loads(path.read_text())
+        # A hand-edited scenario no longer hashes to the certified key.
+        data["surfaces"][0]["scenario"]["tick_interval_s"] = 0.123
+        path.write_text(json.dumps(data))
+        with pytest.raises(SurfaceFormatError, match="inconsistent") as excinfo:
+            load_surfaces(path)
+        assert excinfo.value.key == paper_surface.scenario_key
+
+    def test_directory_load_fails_as_a_whole_on_one_bad_file(
+        self, paper_surface, tmp_path
+    ):
+        save_surfaces(paper_surface, tmp_path)
+        (tmp_path / "zz-broken.json").write_text("{ not json")
+        with pytest.raises(SurfaceFormatError):
+            load_surfaces(tmp_path)
+
+    def test_missing_file_raises_surface_format_error(self, tmp_path):
+        with pytest.raises(SurfaceFormatError):
+            load_surfaces(tmp_path / "missing.json")
+
+    def test_atomic_write_leaves_no_temp_files(self, paper_surface, tmp_path):
+        path = tmp_path / "surfaces.json"
+        save_surfaces(paper_surface, path)
+        save_surfaces(paper_surface, path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["surfaces.json"]
+        assert len(load_surfaces(path)) == 1
+
+
+class TestCertificationAcrossRegistry:
+    """Every preset x every method: lookups agree with the exact path
+    within the surface's stored bound at points the fit never saw."""
+
+    @pytest.mark.parametrize("preset", available_scenarios())
+    def test_lookups_stay_within_the_certified_bound(self, preset):
+        scenario = get_scenario(preset)
+        one_gamer = scenario.load_for_gamers(1.0 + 1e-9)
+        load_lo = max(0.35, one_gamer)
+        load_hi = min(0.65, scenario.stable_load_ceiling(0.90))
+        if load_hi - load_lo < 0.1:
+            load_lo = max(one_gamer, 0.05)
+            load_hi = scenario.stable_load_ceiling(0.90)
+        engine = Engine(scenario)
+        index = build_surfaces(
+            scenario,
+            methods="all",
+            probability_lo=0.9999,
+            probability_hi=0.999999,
+            load_lo=load_lo,
+            load_hi=load_hi,
+            tolerance=1e-1,
+            probe_factor=2,
+            engine=engine,
+            grid_ladder=SMALL_LADDER,
+        )
+        assert {s.method for s in index} == set(QUANTILE_METHODS)
+        for surface in index:
+            assert surface.certified_rel_bound <= 1e-1
+            loads, probabilities = random_points(surface, 3, seed=hash(preset) % 2**32)
+            for load, probability in zip(loads, probabilities):
+                exact = engine.rtt_quantiles(
+                    [float(load)],
+                    probability=float(probability),
+                    method=surface.method,
+                )[0]
+                approx = surface.lookup(float(load), float(probability))
+                assert abs(approx - exact) / exact <= surface.certified_rel_bound, (
+                    preset,
+                    surface.method,
+                    float(load),
+                    float(probability),
+                )
