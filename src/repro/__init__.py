@@ -14,7 +14,13 @@ The package is organised as follows:
   Erlang-term MGF algebra of Appendix A) and the RTT model and
   dimensioning rules of Section 4 (Figures 3-4);
 * :mod:`repro.netsim` -- a discrete-event simulator of the Figure 2
-  access architecture used to validate the analytical model;
+  access architecture used to validate the analytical model, for the
+  single-server session and the multi-server mix alike;
+* :mod:`repro.validate` -- the vectorized validation tier: numpy batch
+  Lindley/Monte-Carlo recursions (bit-identical to the scalar loops)
+  and the :class:`ValidationFleet` sweeping every registry preset x
+  quantile method x load point against sampled ground truth in CI
+  smoke time (``fps-ping validate``);
 * :mod:`repro.scenarios` -- the unified :class:`Scenario` parameter
   type, the multi-server :class:`MixScenario` (several per-game flows
   sharing one reserved pipe, Section 3.2), the named preset registry
@@ -104,6 +110,7 @@ from .surface import (
     load_surfaces,
     save_surfaces,
 )
+from .validate import ValidationFleet, ValidationReport
 from .scenarios import (
     SCENARIO_PRESETS,
     DslScenario,
@@ -155,6 +162,8 @@ __all__ = [
     "ServerFlow",
     "SurfaceFormatError",
     "SurfaceIndex",
+    "ValidationFleet",
+    "ValidationReport",
     "WireFormatError",
     "SCENARIO_PRESETS",
     "Scenario",

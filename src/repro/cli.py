@@ -9,6 +9,7 @@ the RTT calculator and the request-stream serving layer from the shell::
     fps-ping table1 | table2 | table3 | figure1 | figure3 | figure4
     fps-ping compare-access
     fps-ping simulate --clients 40 --duration 30
+    fps-ping validate --preset all --methods all
     fps-ping scenarios list
     fps-ping fleet --requests lookups.jsonl --warm-cache fleet-cache.json
     fps-ping serve --port 8421 --workers 4 --coalesce-ms 2 --max-batch 64
@@ -56,6 +57,15 @@ bit-identical to the in-process run.  Worker daemons accept pickled
 plan frames, so bind them only inside the serving cluster's trust
 boundary.
 
+``validate`` runs the vectorized validation fleet
+(:class:`repro.validate.ValidationFleet`): every requested preset x
+quantile method x load point is checked against a batched Monte-Carlo
+reference (numpy 2-D Lindley recursion, replication-count-invariant
+``SeedSequence.spawn`` seeding) within the per-method tolerance bands of
+:data:`repro.validate.METHOD_BANDS`.  The sweep covers the full registry
+— including multi-server mixes — in CI smoke time; the exit code is 0
+only if every case lands inside its band.
+
 ``surface build`` fits certified Chebyshev quantile surfaces
 (:mod:`repro.surface`) for one scenario and persists them as JSON;
 ``surface info`` describes persisted surfaces (region, grid, certified
@@ -86,7 +96,7 @@ from .engine import Engine
 from .errors import ReproError
 from .executors import ParallelExecutor, RemoteExecutor
 from .fleet import Fleet
-from .netsim import GamingSimulation
+from .netsim import GamingSimulation, MixGamingSimulation
 from .scenarios import MixScenario, SCENARIO_PRESETS, Scenario, scenario_from_spec
 from .serve import (
     DEFAULT_MAX_BATCH,
@@ -407,6 +417,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_argument(surface_info)
 
+    validate = sub.add_parser(
+        "validate",
+        help="sweep analytical quantiles against the batched Monte-Carlo "
+        "reference (exit 0 only if every case is within tolerance)",
+    )
+    validate.add_argument(
+        "--preset",
+        type=str,
+        default="all",
+        help="comma-separated preset names, or 'all' for the full registry",
+    )
+    validate.add_argument(
+        "--methods",
+        type=str,
+        default="all",
+        help="comma-separated quantile methods, or 'all' "
+        f"({', '.join(QUANTILE_METHODS)})",
+    )
+    validate.add_argument(
+        "--loads",
+        type=str,
+        default=None,
+        help="comma-separated downlink loads to validate at "
+        "(default: 0.5,0.7 — erlang-sum is ill-conditioned below ~0.35)",
+    )
+    validate.add_argument(
+        "--probability",
+        type=float,
+        default=None,
+        help="quantile level to compare at (default: 0.999, resolvable "
+        "by the Monte-Carlo sample sizes below)",
+    )
+    validate.add_argument(
+        "--samples",
+        type=int,
+        default=4000,
+        help="post-warmup Monte-Carlo bursts per replication",
+    )
+    validate.add_argument(
+        "--reps",
+        type=int,
+        default=50,
+        help="independent Monte-Carlo replications per case",
+    )
+    validate.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="bursts discarded from each replication before measuring "
+        "(default: 500)",
+    )
+    validate.add_argument("--seed", type=int, default=2006, help="base seed")
+    _add_json_argument(validate)
+
     sim = sub.add_parser("simulate", help="run the discrete-event simulator")
     sim.add_argument(
         "--scenario",
@@ -580,18 +644,21 @@ def _command_simulate(args: argparse.Namespace) -> int:
     # _scenario_from_args skips the absent ones and fills defaults.
     scenario = _scenario_from_args(args)
     if isinstance(scenario, MixScenario):
-        raise ReproError(
-            "the discrete-event simulator does not support multi-server mix "
-            "scenarios yet; validate mixes against the analytical model "
-            "(rtt/fleet) or MultiServerBurstQueue.simulate_waiting_times"
+        simulation = MixGamingSimulation.from_mix(
+            scenario,
+            num_clients=args.clients,
+            scheduler=args.scheduler,
+            background_rate_bps=args.background_kbps * 1e3,
+            seed=args.seed,
         )
-    simulation = GamingSimulation.from_scenario(
-        scenario,
-        num_clients=args.clients,
-        scheduler=args.scheduler,
-        background_rate_bps=args.background_kbps * 1e3,
-        seed=args.seed,
-    )
+    else:
+        simulation = GamingSimulation.from_scenario(
+            scenario,
+            num_clients=args.clients,
+            scheduler=args.scheduler,
+            background_rate_bps=args.background_kbps * 1e3,
+            seed=args.seed,
+        )
     delays = simulation.run(args.duration, warmup_s=min(5.0, args.duration / 10.0))
     if args.json:
         summaries = {
@@ -621,6 +688,64 @@ def _command_simulate(args: argparse.Namespace) -> int:
     rows["uplink load"] = simulation.uplink_load
     print(experiments.format_kv(rows, title="Simulation"))
     return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    """Sweep presets x methods x loads against the batched Monte-Carlo.
+
+    Exit code 0 means every case landed inside its method's tolerance
+    band; 1 means at least one case missed (the offending rows are
+    listed).  Input errors (unknown presets/methods, bad loads) exit 2
+    like every other subcommand.
+    """
+    from .validate import ValidationFleet
+
+    def _spec(raw: str, what: str):
+        if raw.strip().lower() == "all":
+            return "all"
+        names = tuple(part.strip() for part in raw.split(",") if part.strip())
+        if not names:
+            raise ReproError(f"--{what} must name at least one {what.rstrip('s')}")
+        return names
+
+    if args.samples < 1:
+        raise ReproError("--samples must be at least 1")
+    if args.reps < 1:
+        raise ReproError("--reps must be at least 1")
+    kwargs = {}
+    if args.loads is not None:
+        try:
+            kwargs["loads"] = tuple(
+                float(part) for part in args.loads.split(",") if part.strip()
+            )
+        except ValueError as exc:
+            raise ReproError(f"bad --loads value: {exc}") from exc
+    if args.probability is not None:
+        kwargs["probability"] = args.probability
+    if args.warmup is not None:
+        kwargs["warmup"] = args.warmup
+    fleet = ValidationFleet(
+        _spec(args.preset, "presets"),
+        _spec(args.methods, "methods"),
+        n_samples=args.samples,
+        n_reps=args.reps,
+        seed=args.seed,
+        **kwargs,
+    )
+    report = fleet.run()
+    if args.json:
+        _emit_json(report.as_dict())
+    else:
+        print(report.format_table())
+        failures = report.failures()
+        verdict = (
+            f"{len(report.cases)} cases, all within tolerance"
+            if not failures
+            else f"{len(failures)} of {len(report.cases)} cases out of tolerance"
+        )
+        print(f"[{'PASS' if report.passed else 'FAIL'}] {verdict} "
+              f"in {report.elapsed_s:.1f}s")
+    return 0 if report.passed else 1
 
 
 def _command_scenarios(args: argparse.Namespace) -> int:
@@ -927,6 +1052,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_dimension(args)
         if args.command == "simulate":
             return _command_simulate(args)
+        if args.command == "validate":
+            return _command_validate(args)
         if args.command == "scenarios":
             return _command_scenarios(args)
         if args.command in ("fleet", "batch"):

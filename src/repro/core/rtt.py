@@ -26,6 +26,7 @@ from __future__ import annotations
 import cmath
 import math
 import os
+import time
 from dataclasses import dataclass, fields, replace
 from functools import cached_property
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -67,6 +68,7 @@ __all__ = [
     "PlanResult",
     "compile_eval_plans",
     "execute_plan",
+    "plan_signature",
     "batch_rtt_quantiles",
     "batch_queueing_tails",
     "model_build_count",
@@ -279,6 +281,28 @@ class ComposedRttModel:
             + self._burst_terms.mean()
             + self._position_terms.mean()
         )
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo sampling hooks (used by :mod:`repro.validate.batch`)
+    # ------------------------------------------------------------------
+    def sample_upstream_delays(
+        self, size: int, rng: Optional[np.random.Generator] = None
+    ) -> "np.ndarray":
+        """Monte-Carlo samples of the upstream waiting time.
+
+        Both upstream models (M/D/1 eq. (14) and the multi-class M/G/1
+        one-pole analogue) produce an honest atom + exponential mixture,
+        so the transform itself is sampleable; the burst factor is *not*
+        (complex conjugate poles) and is validated through the Lindley
+        recursion instead — see :mod:`repro.validate.batch`.
+        """
+        return self._upstream_terms.sample(size, rng=rng)
+
+    def sample_position_delays(
+        self, size: int, rng: Optional[np.random.Generator] = None
+    ) -> "np.ndarray":
+        """Monte-Carlo samples of the in-burst packet-position delay."""
+        return self.position_delay().sample_uniform(size, rng=rng)
 
     def queueing_tail(self, delay_s: float) -> float:
         """``P(total queueing delay > delay_s)`` by transform inversion."""
@@ -1034,6 +1058,11 @@ class PlanResult:
     wire_s: float = 0.0
     #: Dead-host failovers this plan survived before completing.
     redispatches: int = 0
+    #: Wall-clock seconds :func:`execute_plan` spent on this plan, in the
+    #: process that ran it (excludes wire time).  The serving layer folds
+    #: it into per-signature cost statistics (FleetStats.plan_costs) —
+    #: the measured grounding for cost-model plan chunking.
+    exec_s: float = 0.0
 
 
 def _signature_key(params: ModelParams):
@@ -1057,6 +1086,23 @@ def _signature_key(params: ModelParams):
         flow = MixFlow.coerce(params["flows"][int(params["tagged"])])
         return ("mix", flow.erlang_order)
     return int(params["erlang_order"])
+
+
+def plan_signature(plan: EvalPlan) -> str:
+    """A stable human-readable cost-accounting label for a plan.
+
+    ``"inversion"`` plans are compiled per factor-signature group, so
+    the label names the group (``"inversion/K9"`` for a single-server
+    Erlang-9 batch, ``"inversion/mix-K2"`` for a mix tagged at order 2).
+    Other methods are chunked in batch order across signatures, so their
+    per-model cost is keyed by the method alone (``"chernoff"``).
+    """
+    if plan.method != "inversion":
+        return plan.method
+    key = _signature_key(plan.model_params[0])
+    if isinstance(key, tuple):
+        return f"inversion/mix-K{key[1]}"
+    return f"inversion/K{key}"
 
 
 def compile_eval_plans(
@@ -1126,6 +1172,7 @@ def execute_plan(
     produce the very same floats, which is what makes the plan
     executor-agnostic.
     """
+    started = time.perf_counter()
     if models is None:
         models = plan.build_models()
     else:
@@ -1158,6 +1205,7 @@ def execute_plan(
         stacked_mgf_calls=stacked_calls,
         evaluations=len(models),
         worker_pid=os.getpid(),
+        exec_s=time.perf_counter() - started,
     )
 
 

@@ -498,20 +498,26 @@ class Engine:
         """Build a :class:`~repro.netsim.GamingSimulation` of the scenario.
 
         The client count is given directly or derived from a target
-        downlink ``load`` (rounded to the nearest whole gamer).
+        downlink ``load`` (rounded to the nearest whole gamer).  A
+        :class:`MixScenario` builds the multi-server
+        :class:`~repro.netsim.MixGamingSimulation` — one burst source
+        per component on the shared pipe, the tagged flow measured.
         """
-        from .netsim import GamingSimulation
+        from .netsim import GamingSimulation, MixGamingSimulation
 
-        if isinstance(self.scenario, MixScenario):
-            raise ParameterError(
-                "the discrete-event simulator does not support multi-server "
-                "mix scenarios yet; validate mixes against "
-                "MultiServerBurstQueue.simulate_waiting_times instead"
-            )
         if (num_clients is None) == (load is None):
             raise ParameterError("pass exactly one of num_clients= or load=")
         if num_clients is None:
             num_clients = max(int(round(self.scenario.gamers_at_load(float(load)))), 1)
+        if isinstance(self.scenario, MixScenario):
+            return MixGamingSimulation.from_mix(
+                self.scenario,
+                num_clients=int(num_clients),
+                scheduler=scheduler,
+                gaming_weight=gaming_weight,
+                background_rate_bps=background_rate_bps,
+                seed=seed,
+            )
         return GamingSimulation.from_scenario(
             self.scenario,
             num_clients=int(num_clients),

@@ -76,6 +76,7 @@ from .core.rtt import (
     PlanResult,
     compile_eval_plans,
     execute_plan,
+    plan_signature,
 )
 from .engine import Engine
 from .errors import CacheFormatError, ParameterError, ReproError, StabilityError
@@ -291,6 +292,12 @@ class FleetStats:
     hosts: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: host ("local" for in-process pools) -> ExecutorBrokenError count.
     executor_failures: Dict[str, int] = field(default_factory=dict)
+    #: Observed execution cost per factor-signature group:
+    #: :func:`~repro.core.rtt.plan_signature` label -> {"plans", "models",
+    #: "exec_s"} folded from each executed plan's ``exec_s`` stamp.  The
+    #: measured grounding for cost-model plan chunking: exec_s / models
+    #: is the observed per-model cost of that signature.
+    plan_costs: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -314,6 +321,10 @@ class FleetStats:
             "deduped_inflight": self.deduped_inflight,
             "hosts": {host: dict(entry) for host, entry in self.hosts.items()},
             "executor_failures": dict(self.executor_failures),
+            "plan_costs": {
+                signature: dict(entry)
+                for signature, entry in self.plan_costs.items()
+            },
         }
 
     @property
@@ -763,7 +774,9 @@ class Fleet:
         """Phase 3: merge the plan results back through the shared cache."""
         values = batch_plan.values
         own_pid = os.getpid()
-        for keys, result in zip(batch_plan.plan_keys, results):
+        for keys, plan, result in zip(
+            batch_plan.plan_keys, batch_plan.eval_plans, results
+        ):
             self.stats.plans_executed += 1
             if result.worker_pid != own_pid:
                 self.stats.remote_plans += 1
@@ -774,6 +787,12 @@ class Fleet:
                 entry["plans"] += 1
                 entry["redispatches"] += result.redispatches
                 entry["wire_s"] += result.wire_s
+            cost = self.stats.plan_costs.setdefault(
+                plan_signature(plan), {"plans": 0, "models": 0, "exec_s": 0.0}
+            )
+            cost["plans"] += 1
+            cost["models"] += len(plan.indices)
+            cost["exec_s"] += result.exec_s
             self.stats.evaluations += result.evaluations
             self.stats.stacked_mgf_calls += result.stacked_mgf_calls
             for key, value in zip(keys, result.values):

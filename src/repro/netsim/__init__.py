@@ -7,7 +7,7 @@ from .links import Link
 from .sources import BackgroundDataSource, GamingClientSource, GamingServerSource
 from .metrics import DelayRecorder, DelaySummary
 from .topology import AccessNetwork, AccessNetworkConfig, make_scheduler
-from .gaming import GamingSimulation, GamingWorkload
+from .gaming import GamingSimulation, GamingWorkload, MixGamingSimulation
 
 __all__ = [
     "Event",
@@ -29,4 +29,5 @@ __all__ = [
     "make_scheduler",
     "GamingSimulation",
     "GamingWorkload",
+    "MixGamingSimulation",
 ]

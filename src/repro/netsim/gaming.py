@@ -13,22 +13,30 @@ collects the delays the paper reasons about:
 
 The simulation is used as an independent check of the analytical model
 (validation benchmark) and for the FIFO / priority / WFQ comparison.
+
+:class:`MixGamingSimulation` is the multi-server sibling: several game
+servers — one per :class:`~repro.scenarios.mix.MixScenario` component —
+share the reserved aggregation pipe, each driving its own slice of the
+client population with its own tick interval and packet sizes.  Only the
+tagged component's gamers are measured, matching the mix model, which
+serves the tagged flow's RTT.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..distributions import Distribution
 from ..errors import ParameterError
-from ..units import require_positive
+from ..units import require_non_negative, require_positive
 from .metrics import DelayRecorder
 from .simulator import SimPacket, Simulator
 from .sources import BackgroundDataSource, GamingClientSource, GamingServerSource
 from .topology import AccessNetwork, AccessNetworkConfig
 
-__all__ = ["GamingWorkload", "GamingSimulation"]
+__all__ = ["GamingWorkload", "GamingSimulation", "MixGamingSimulation"]
 
 
 @dataclass(frozen=True)
@@ -70,7 +78,78 @@ class GamingWorkload:
         )
 
 
-class GamingSimulation:
+class _GamingSessionBase:
+    """Shared delivery hooks and run loop of the simulated sessions.
+
+    Subclasses wire their sources in ``__init__`` (exposing them through
+    :meth:`_all_sources`) and may narrow :meth:`_measured` to the client
+    ids whose delays the session reports.
+    """
+
+    sim: Simulator
+    network: AccessNetwork
+    delays: DelayRecorder
+    _last_upstream_delay: Dict[int, float]
+
+    def _all_sources(self) -> Iterable:
+        raise NotImplementedError
+
+    def _measured(self, client_id: int) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # Delivery hooks
+    # ------------------------------------------------------------------
+    def _server_receive(self, packet: SimPacket) -> None:
+        if packet.traffic_class != "gaming" or packet.direction != "up":
+            return
+        if not self._measured(packet.client_id):
+            return
+        delay = self.sim.now - packet.created_at
+        self.delays.record("upstream", delay)
+        self.delays.record(
+            "upstream_aggregation_queueing",
+            self.network.uplink_aggregation.queueing_delay_of(packet),
+        )
+        self._last_upstream_delay[packet.client_id] = delay
+
+    def _client_receive(self, packet: SimPacket) -> None:
+        if packet.traffic_class != "gaming" or packet.direction != "down":
+            return
+        if not self._measured(packet.client_id):
+            return
+        delay = self.sim.now - packet.created_at
+        self.delays.record("downstream", delay)
+        self.delays.record(
+            "downstream_aggregation_queueing",
+            self.network.downlink_aggregation.queueing_delay_of(packet),
+        )
+        upstream_delay = self._last_upstream_delay.get(packet.client_id)
+        if upstream_delay is not None:
+            self.delays.record("rtt", upstream_delay + delay)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float, warmup_s: float = 0.0) -> DelayRecorder:
+        """Run the session for ``duration_s`` simulated seconds.
+
+        ``warmup_s`` seconds are simulated first and their measurements
+        discarded, so the reported delays describe the steady state.
+        """
+        require_positive(duration_s, "duration_s")
+        require_non_negative(warmup_s, "warmup_s")
+        for source in self._all_sources():
+            source.start()
+        if warmup_s > 0.0:
+            self.sim.run_until(warmup_s)
+            self.delays = DelayRecorder()
+            self._last_upstream_delay.clear()
+        self.sim.run_until(warmup_s + duration_s)
+        return self.delays
+
+
+class GamingSimulation(_GamingSessionBase):
     """A complete simulated gaming session over the access network."""
 
     def __init__(
@@ -167,54 +246,8 @@ class GamingSimulation:
         )
         return cls(config, workload, seed=seed)
 
-    # ------------------------------------------------------------------
-    # Delivery hooks
-    # ------------------------------------------------------------------
-    def _server_receive(self, packet: SimPacket) -> None:
-        if packet.traffic_class != "gaming" or packet.direction != "up":
-            return
-        delay = self.sim.now - packet.created_at
-        self.delays.record("upstream", delay)
-        self.delays.record(
-            "upstream_aggregation_queueing",
-            self.network.uplink_aggregation.queueing_delay_of(packet),
-        )
-        self._last_upstream_delay[packet.client_id] = delay
-
-    def _client_receive(self, packet: SimPacket) -> None:
-        if packet.traffic_class != "gaming" or packet.direction != "down":
-            return
-        delay = self.sim.now - packet.created_at
-        self.delays.record("downstream", delay)
-        self.delays.record(
-            "downstream_aggregation_queueing",
-            self.network.downlink_aggregation.queueing_delay_of(packet),
-        )
-        upstream_delay = self._last_upstream_delay.get(packet.client_id)
-        if upstream_delay is not None:
-            self.delays.record("rtt", upstream_delay + delay)
-
-    # ------------------------------------------------------------------
-    # Running
-    # ------------------------------------------------------------------
-    def run(self, duration_s: float, warmup_s: float = 0.0) -> DelayRecorder:
-        """Run the session for ``duration_s`` simulated seconds.
-
-        ``warmup_s`` seconds are simulated first and their measurements
-        discarded, so the reported delays describe the steady state.
-        """
-        require_positive(duration_s, "duration_s")
-        for source in self.client_sources:
-            source.start()
-        self.server_source.start()
-        for source in self.background_sources:
-            source.start()
-        if warmup_s > 0.0:
-            self.sim.run_until(warmup_s)
-            self.delays = DelayRecorder()
-            self._last_upstream_delay.clear()
-        self.sim.run_until(warmup_s + duration_s)
-        return self.delays
+    def _all_sources(self) -> Iterable:
+        return [*self.client_sources, self.server_source, *self.background_sources]
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -237,4 +270,197 @@ class GamingSimulation:
             * self.config.num_clients
             * self.workload.client_packet_bytes
             / (self.workload.tick_interval_s * self.config.aggregation_rate_bps)
+        )
+
+
+def _split_population(weights: Sequence[float], total: int) -> List[int]:
+    """Largest-remainder split of ``total`` clients over flow weights.
+
+    Every flow must end up with at least one client — a flow that rounds
+    to zero would silently drop its load from the shared pipe.
+    """
+    raw = [float(weight) * total for weight in weights]
+    counts = [int(math.floor(x)) for x in raw]
+    leftover = total - sum(counts)
+    by_remainder = sorted(
+        range(len(raw)), key=lambda i: (raw[i] - counts[i], -i), reverse=True
+    )
+    for index in by_remainder[:leftover]:
+        counts[index] += 1
+    if any(count < 1 for count in counts):
+        raise ParameterError(
+            f"{total} clients cannot cover all {len(weights)} mix flows "
+            "with at least one gamer each; raise num_clients (or the load)"
+        )
+    return counts
+
+
+class MixGamingSimulation(_GamingSessionBase):
+    """A simulated multi-server session over the shared reserved pipe.
+
+    One :class:`~repro.netsim.sources.GamingServerSource` per mix
+    component drives its own slice of the client population — its own
+    tick interval, packet sizes and access rates — while every flow's
+    traffic shares the two aggregation links.  The total population is
+    split over the flows by largest remainder on the mix weights, and
+    only the **tagged** component's gamers are measured: the recorded
+    upstream / downstream / ping delays are the direct discrete-event
+    counterpart of :meth:`MixScenario.model_for_gamers`.
+    """
+
+    def __init__(
+        self,
+        mix,
+        num_clients: int,
+        *,
+        scheduler: str = "fifo",
+        gaming_weight: float = 0.5,
+        background_rate_bps: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if num_clients < 1:
+            raise ParameterError("num_clients must be at least 1")
+        if background_rate_bps < 0.0:
+            raise ParameterError("background_rate_bps must be >= 0")
+        tagged = mix.tagged_component.scenario
+        if tagged.server_processing_s > 0.0:
+            raise ParameterError(
+                "the simulator does not model server_processing_s yet; "
+                "the simulated RTT would silently undershoot the analytical "
+                "model — use a tagged component with server_processing_s=0"
+            )
+        self.mix = mix
+        self.sim = Simulator(seed=seed)
+        self.delays = DelayRecorder()
+        self._last_upstream_delay: Dict[int, float] = {}
+
+        counts = _split_population(mix.weights(), int(num_clients))
+        self.flow_counts: Tuple[int, ...] = tuple(counts)
+        flow_ids: List[List[int]] = []
+        next_id = 0
+        for count in counts:
+            flow_ids.append(list(range(next_id, next_id + count)))
+            next_id += count
+        self.flow_client_ids: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(ids) for ids in flow_ids
+        )
+        self._tagged_ids = frozenset(flow_ids[mix.tagged])
+
+        # The shared pipe and the tagged component's path parameters set
+        # the network defaults; other flows override their clients'
+        # access rates below.
+        self.config = AccessNetworkConfig(
+            num_clients=int(num_clients),
+            access_uplink_bps=tagged.access_uplink_bps,
+            access_downlink_bps=tagged.access_downlink_bps,
+            aggregation_rate_bps=mix.aggregation_rate_bps,
+            propagation_delay_s=tagged.propagation_delay_s,
+            scheduler=scheduler,
+            gaming_weight=gaming_weight,
+        )
+        uplink_rates: Dict[int, float] = {}
+        downlink_rates: Dict[int, float] = {}
+        for component, ids in zip(mix.components, flow_ids):
+            scenario = component.scenario
+            for client_id in ids:
+                uplink_rates[client_id] = scenario.access_uplink_bps
+                downlink_rates[client_id] = scenario.access_downlink_bps
+        self.network = AccessNetwork(
+            self.sim,
+            self.config,
+            on_server_receive=self._server_receive,
+            on_client_receive=self._client_receive,
+            uplink_rates=uplink_rates,
+            downlink_rates=downlink_rates,
+        )
+
+        self.client_sources = [
+            GamingClientSource(
+                self.sim,
+                client_id=client_id,
+                packet_bytes=component.scenario.client_packet_bytes,
+                interval_s=component.scenario.tick_interval_s,
+                target=self.network.client_send,
+            )
+            for component, ids in zip(mix.components, flow_ids)
+            for client_id in ids
+        ]
+        self.server_sources = [
+            GamingServerSource(
+                self.sim,
+                num_clients=len(ids),
+                packet_bytes=component.scenario.server_packet_bytes,
+                tick_interval_s=component.scenario.tick_interval_s,
+                target=self.network.server_send,
+                client_ids=ids,
+            )
+            for component, ids in zip(mix.components, flow_ids)
+        ]
+        self.background_sources = []
+        if background_rate_bps > 0.0:
+            self.background_sources.append(
+                BackgroundDataSource(
+                    self.sim,
+                    mean_rate_bps=background_rate_bps,
+                    packet_bytes=1500.0,
+                    target=self.network.server_send,
+                    direction="down",
+                )
+            )
+            self.background_sources.append(
+                BackgroundDataSource(
+                    self.sim,
+                    mean_rate_bps=background_rate_bps,
+                    packet_bytes=1500.0,
+                    target=self.network.uplink_aggregation.send,
+                    direction="up",
+                )
+            )
+
+    @classmethod
+    def from_mix(
+        cls,
+        mix,
+        num_clients: int,
+        *,
+        scheduler: str = "fifo",
+        gaming_weight: float = 0.5,
+        background_rate_bps: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> "MixGamingSimulation":
+        """Alias constructor mirroring :meth:`GamingSimulation.from_scenario`."""
+        return cls(
+            mix,
+            num_clients,
+            scheduler=scheduler,
+            gaming_weight=gaming_weight,
+            background_rate_bps=background_rate_bps,
+            seed=seed,
+        )
+
+    def _all_sources(self) -> Iterable:
+        return [*self.client_sources, *self.server_sources, *self.background_sources]
+
+    def _measured(self, client_id: int) -> bool:
+        return client_id in self._tagged_ids
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def downlink_load(self) -> float:
+        """Offered gaming load on the downstream aggregation link."""
+        return sum(
+            8.0 * count * component.scenario.server_packet_bytes
+            / (component.scenario.tick_interval_s * self.config.aggregation_rate_bps)
+            for component, count in zip(self.mix.components, self.flow_counts)
+        )
+
+    @property
+    def uplink_load(self) -> float:
+        """Offered gaming load on the upstream aggregation link."""
+        return sum(
+            8.0 * count * component.scenario.client_packet_bytes
+            / (component.scenario.tick_interval_s * self.config.aggregation_rate_bps)
+            for component, count in zip(self.mix.components, self.flow_counts)
         )

@@ -88,6 +88,7 @@ class GamingServerSource:
         traffic_class: str = "gaming",
         packet_size_distribution: Optional[Distribution] = None,
         shuffle_order: bool = True,
+        client_ids: Optional[Sequence[int]] = None,
     ) -> None:
         if num_clients < 1:
             raise ParameterError("num_clients must be at least 1")
@@ -101,6 +102,16 @@ class GamingServerSource:
         self.traffic_class = traffic_class
         self.packet_size_distribution = packet_size_distribution
         self.shuffle_order = shuffle_order
+        # A mix session runs one server source per game flow, each
+        # addressing only its own slice of the client population.
+        if client_ids is None:
+            client_ids = range(self.num_clients)
+        self.client_ids = [int(client_id) for client_id in client_ids]
+        if len(self.client_ids) != self.num_clients:
+            raise ParameterError(
+                f"client_ids must list exactly num_clients ids "
+                f"({len(self.client_ids)} != {self.num_clients})"
+            )
         self.tick = 0
 
     def start(self) -> None:
@@ -114,7 +125,7 @@ class GamingServerSource:
         return max(float(self.packet_size_distribution.sample(rng=self.sim.rng)), 20.0)
 
     def _emit_burst(self) -> None:
-        order = list(range(self.num_clients))
+        order = list(self.client_ids)
         if self.shuffle_order:
             self.sim.rng.shuffle(order)
         for client_id in order:

@@ -94,11 +94,25 @@ class AccessNetwork:
         config: AccessNetworkConfig,
         on_server_receive: Callable[[SimPacket], None],
         on_client_receive: Callable[[SimPacket], None],
+        uplink_rates: Optional[Dict[int, float]] = None,
+        downlink_rates: Optional[Dict[int, float]] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.on_server_receive = on_server_receive
         self.on_client_receive = on_client_receive
+        # In a mix session each game's clients keep their own access
+        # rates; the config's scalar rates are the default for clients
+        # without an override.
+        uplink_rates = dict(uplink_rates or {})
+        downlink_rates = dict(downlink_rates or {})
+        for label, overrides in (("uplink", uplink_rates), ("downlink", downlink_rates)):
+            for client_id, rate_bps in overrides.items():
+                if not 0 <= int(client_id) < config.num_clients:
+                    raise ParameterError(
+                        f"{label}_rates names unknown client id {client_id}"
+                    )
+                require_positive(rate_bps, f"{label}_rates[{client_id}]")
 
         # Upstream: per-client access link -> shared aggregation link -> server.
         self.uplink_aggregation = Link(
@@ -113,7 +127,7 @@ class AccessNetwork:
             client_id: Link(
                 sim,
                 name=f"uplink-access-{client_id}",
-                rate_bps=config.access_uplink_bps,
+                rate_bps=uplink_rates.get(client_id, config.access_uplink_bps),
                 scheduler=FIFOScheduler(),
                 target=self.uplink_aggregation.send,
             )
@@ -125,7 +139,7 @@ class AccessNetwork:
             client_id: Link(
                 sim,
                 name=f"downlink-access-{client_id}",
-                rate_bps=config.access_downlink_bps,
+                rate_bps=downlink_rates.get(client_id, config.access_downlink_bps),
                 scheduler=FIFOScheduler(),
                 target=self.on_client_receive,
             )

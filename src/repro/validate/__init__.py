@@ -1,0 +1,53 @@
+"""Vectorized validation subsystem (batched Monte-Carlo + sweep fleet).
+
+:mod:`repro.validate.batch` turns the per-sample scalar Lindley loops
+into 2-D numpy array recursions with replication-count-invariant
+``SeedSequence.spawn`` seeding; :mod:`repro.validate.fleet` sweeps every
+registry preset x quantile method x load point against the batched
+Monte-Carlo reference within documented tolerance bands.  ``fps-ping
+validate`` exposes the sweep on the command line.
+"""
+
+from .batch import (
+    DEFAULT_WARMUP,
+    batch_waiting_times,
+    lindley_waiting_times,
+    monte_carlo_queueing_delays,
+    monte_carlo_queueing_quantile,
+    sample_burst_arrivals,
+    scalar_lindley_waiting_times,
+    scalar_queueing_delays,
+    scalar_waiting_times,
+    spawn_generators,
+    spawn_sequences,
+)
+from .fleet import (
+    DEFAULT_LOADS,
+    DEFAULT_PROBABILITY,
+    METHOD_BANDS,
+    ToleranceBand,
+    ValidationCase,
+    ValidationFleet,
+    ValidationReport,
+)
+
+__all__ = [
+    "DEFAULT_WARMUP",
+    "DEFAULT_LOADS",
+    "DEFAULT_PROBABILITY",
+    "METHOD_BANDS",
+    "ToleranceBand",
+    "ValidationCase",
+    "ValidationFleet",
+    "ValidationReport",
+    "batch_waiting_times",
+    "lindley_waiting_times",
+    "monte_carlo_queueing_delays",
+    "monte_carlo_queueing_quantile",
+    "sample_burst_arrivals",
+    "scalar_lindley_waiting_times",
+    "scalar_queueing_delays",
+    "scalar_waiting_times",
+    "spawn_generators",
+    "spawn_sequences",
+]

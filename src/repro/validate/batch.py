@@ -1,0 +1,389 @@
+"""Vectorized Monte-Carlo validation kernels.
+
+The validation tier cross-checks the analytical transforms against
+simulation: the burst waiting time through the Lindley recursion of
+eq. (15), the packet-position and upstream factors by direct sampling of
+their (honest-mixture) distributions.  The scalar recursion the models
+ship for that purpose (:meth:`DEKOneQueue.simulate_waiting_times`) costs
+one Python-loop iteration per sample; at the 400k samples a tail
+quantile needs, that loop dominates the whole validation run.
+
+This module runs many **independent replications as one numpy array
+program**: the recursion becomes a 2-D array walk over the arrival
+index with the replications in the vectorized axis
+(:func:`lindley_waiting_times`), so 400k samples cost ``n_arrivals``
+numpy operations on ``n_reps``-wide vectors instead of 400k interpreted
+iterations — a >= 20x wall-clock win (gated by
+``benchmarks/bench_validation_simulation.py``).
+
+Reproducibility is **replication-count invariant**: every replication
+``r`` draws from its own :class:`numpy.random.SeedSequence` child
+``SeedSequence(seed).spawn(...)[r]``, a function of ``(seed, r)`` alone.
+Row ``r`` of a batched run is therefore bit-identical to the same row of
+any other batch size, to the matching scalar-reference run
+(:func:`scalar_waiting_times`) and to any chunked execution — which is
+what lets the property tests pin the batched recursion against the
+scalar one float for float.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.downstream import DEKOneQueue, MultiServerBurstQueue
+from ..core.rtt import ComposedRttModel
+from ..errors import ParameterError
+
+__all__ = [
+    "DEFAULT_WARMUP",
+    "spawn_sequences",
+    "spawn_generators",
+    "lindley_waiting_times",
+    "scalar_lindley_waiting_times",
+    "sample_burst_arrivals",
+    "batch_waiting_times",
+    "scalar_waiting_times",
+    "monte_carlo_queueing_delays",
+    "scalar_queueing_delays",
+    "monte_carlo_queueing_quantile",
+]
+
+#: Default per-replication warmup (bursts simulated and discarded before
+#: measurement).  Each replication starts from an empty queue, so each
+#: needs its own transient; the analytical cross-check tolerances in
+#: :mod:`repro.validate.fleet` are calibrated for this default.
+DEFAULT_WARMUP = 500
+
+#: Any queue exposing the scalar ``simulate_waiting_times`` reference.
+BurstQueue = Union[DEKOneQueue, MultiServerBurstQueue]
+
+
+def spawn_sequences(
+    seed: Optional[int], n_reps: int
+) -> List[np.random.SeedSequence]:
+    """Per-replication seed sequences: children of ``SeedSequence(seed)``.
+
+    Child ``r`` depends only on ``(seed, r)``, never on ``n_reps`` —
+    the root of the replication-count invariance documented in the
+    module docstring.
+    """
+    if n_reps < 1:
+        raise ParameterError("n_reps must be at least 1")
+    return np.random.SeedSequence(seed).spawn(int(n_reps))
+
+
+def spawn_generators(
+    seed: Optional[int], n_reps: int
+) -> List[np.random.Generator]:
+    """One independent :class:`numpy.random.Generator` per replication."""
+    return [np.random.default_rng(child) for child in spawn_sequences(seed, n_reps)]
+
+
+def lindley_waiting_times(
+    services: np.ndarray, interarrivals: Union[float, np.ndarray]
+) -> np.ndarray:
+    """Batched Lindley recursion ``w_{n+1} = (w_n + b_n - t_n)^+`` (eq. (15)).
+
+    ``services`` is a 2-D array of shape ``(n_reps, n_arrivals)``;
+    ``interarrivals`` is a scalar (deterministic arrivals, the D/E_K/1
+    case) or an array of the same shape (the M/G/1 mixture case).  The
+    recursion runs over the arrival index with all replications advanced
+    per step by one vectorized ``maximum`` — elementwise the exact
+    floating-point operations of the scalar loop in
+    :meth:`~repro.core.downstream.DEKOneQueue.simulate_waiting_times`,
+    so row ``r`` is bit-identical to a scalar run over row ``r``'s
+    samples.
+
+    Returns the waiting time seen by each arrival, shape
+    ``(n_reps, n_arrivals)`` (no warmup is discarded here — callers
+    slice).
+    """
+    services = np.asarray(services, dtype=float)
+    if services.ndim != 2:
+        raise ParameterError(
+            f"services must be a 2-D (n_reps, n_arrivals) array, got shape "
+            f"{services.shape}"
+        )
+    n_reps, n_arrivals = services.shape
+    scalar_gap = np.isscalar(interarrivals) or np.ndim(interarrivals) == 0
+    if not scalar_gap:
+        interarrivals = np.asarray(interarrivals, dtype=float)
+        if interarrivals.shape != services.shape:
+            raise ParameterError(
+                "interarrivals must be a scalar or match the services shape; "
+                f"got {interarrivals.shape} vs {services.shape}"
+            )
+    # Walk the arrival axis on (n_arrivals, n_reps) buffers: each step
+    # reads and writes contiguous rows (the (n_reps, n_arrivals) layout
+    # would gather a strided column per step), and the three in-place
+    # ufunc calls per step perform elementwise the exact floating-point
+    # operations of the scalar loop — ``(w + b) - t`` then ``max(., 0)``.
+    sv = np.ascontiguousarray(services.T)
+    waits = np.empty((n_arrivals, n_reps), dtype=float)
+    waits[0] = 0.0
+    if scalar_gap:
+        gap = float(interarrivals)
+        for i in range(n_arrivals - 1):
+            row = np.add(waits[i], sv[i], out=waits[i + 1])
+            row -= gap
+            np.maximum(row, 0.0, out=row)
+    else:
+        gaps = np.ascontiguousarray(np.asarray(interarrivals).T)
+        for i in range(n_arrivals - 1):
+            row = np.add(waits[i], sv[i], out=waits[i + 1])
+            row -= gaps[i]
+            np.maximum(row, 0.0, out=row)
+    return waits.T
+
+
+def scalar_lindley_waiting_times(
+    services: np.ndarray, interarrivals: Union[float, np.ndarray]
+) -> np.ndarray:
+    """Row-by-row scalar-loop reference of :func:`lindley_waiting_times`.
+
+    One interpreted Python iteration per sample — the exact loop the
+    models' ``simulate_waiting_times`` run, applied to the same
+    pre-sampled arrays.  Kept as the property-test ground truth and as
+    the baseline the >= 20x recursion speedup is measured against
+    (``benchmarks/bench_validation_simulation.py``).
+    """
+    services = np.asarray(services, dtype=float)
+    if services.ndim != 2:
+        raise ParameterError(
+            f"services must be a 2-D (n_reps, n_arrivals) array, got shape "
+            f"{services.shape}"
+        )
+    n_reps, n_arrivals = services.shape
+    scalar_gap = np.isscalar(interarrivals) or np.ndim(interarrivals) == 0
+    waits = np.empty_like(services)
+    for r in range(n_reps):
+        row = services[r]
+        gaps = None if scalar_gap else np.asarray(interarrivals, dtype=float)[r]
+        gap = float(interarrivals) if scalar_gap else 0.0
+        w = 0.0
+        for i in range(n_arrivals):
+            waits[r, i] = w
+            w = max(w + row[i] - (gap if gaps is None else gaps[i]), 0.0)
+    return waits
+
+
+def sample_burst_arrivals(
+    queue: BurstQueue, total: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, Union[float, np.ndarray]]:
+    """Sample one replication's service times and inter-arrival gaps.
+
+    Consumes ``rng`` with the exact call sequence of the queue's own
+    ``simulate_waiting_times`` — same distributions, same order, same
+    sizes — so a batched run over these samples reproduces the scalar
+    reference bit for bit.
+    """
+    if isinstance(queue, DEKOneQueue):
+        services = rng.gamma(
+            shape=queue.order, scale=1.0 / queue.service_rate, size=total
+        )
+        return services, queue.interval_s
+    if isinstance(queue, MultiServerBurstQueue):
+        weights = queue.mixture_weights()
+        choices = rng.choice(len(queue.flows), size=total, p=weights)
+        services = np.empty(total, dtype=float)
+        for index, flow in enumerate(queue.flows):
+            mask = choices == index
+            count = int(mask.sum())
+            if count:
+                services[mask] = rng.gamma(
+                    flow.order, 1.0 / flow.service_rate, size=count
+                )
+        gaps = rng.exponential(1.0 / queue.arrival_rate, size=total)
+        return services, gaps
+    raise ParameterError(
+        f"unsupported burst queue {type(queue).__name__}; expected "
+        "DEKOneQueue or MultiServerBurstQueue"
+    )
+
+
+def _burst_rows(
+    queue: BurstQueue,
+    total: int,
+    rngs: Sequence[np.random.Generator],
+) -> Tuple[np.ndarray, Union[float, np.ndarray]]:
+    """Stack per-replication samples into the 2-D recursion inputs."""
+    rows = [sample_burst_arrivals(queue, total, rng) for rng in rngs]
+    services = np.stack([row[0] for row in rows])
+    first_gap = rows[0][1]
+    if np.isscalar(first_gap) or np.ndim(first_gap) == 0:
+        return services, float(first_gap)
+    return services, np.stack([row[1] for row in rows])
+
+
+def batch_waiting_times(
+    queue: BurstQueue,
+    num_bursts: int,
+    n_reps: int,
+    *,
+    seed: Optional[int] = None,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    warmup: int = DEFAULT_WARMUP,
+) -> np.ndarray:
+    """Batched Lindley waiting times, shape ``(n_reps, num_bursts)``.
+
+    The vectorized counterpart of ``n_reps`` independent
+    ``queue.simulate_waiting_times(num_bursts, warmup=warmup)`` runs:
+    row ``r`` is bit-identical to the scalar run seeded with
+    ``spawn_generators(seed, ...)[r]`` (see
+    :func:`scalar_waiting_times`).  ``rngs`` overrides the spawned
+    streams when the caller manages sub-streams itself.
+    """
+    if num_bursts < 1:
+        raise ParameterError("num_bursts must be positive")
+    if warmup < 0:
+        raise ParameterError("warmup must be >= 0")
+    if rngs is None:
+        rngs = spawn_generators(seed, n_reps)
+    elif len(rngs) != n_reps:
+        raise ParameterError(
+            f"got {len(rngs)} generators for n_reps={n_reps}"
+        )
+    total = int(num_bursts) + int(warmup)
+    services, gaps = _burst_rows(queue, total, rngs)
+    waits = lindley_waiting_times(services, gaps)
+    return waits[:, warmup:]
+
+
+def scalar_waiting_times(
+    queue: BurstQueue,
+    num_bursts: int,
+    n_reps: int,
+    *,
+    seed: Optional[int] = None,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    warmup: int = DEFAULT_WARMUP,
+) -> np.ndarray:
+    """The scalar reference: one ``simulate_waiting_times`` loop per row.
+
+    Kept (and property-tested against :func:`batch_waiting_times`) as
+    the ground truth the vectorized recursion must match float for
+    float; also the baseline of the >= 20x speedup gate in
+    ``benchmarks/bench_validation_simulation.py``.
+    """
+    if rngs is None:
+        rngs = spawn_generators(seed, n_reps)
+    elif len(rngs) != n_reps:
+        raise ParameterError(
+            f"got {len(rngs)} generators for n_reps={n_reps}"
+        )
+    return np.stack(
+        [
+            queue.simulate_waiting_times(num_bursts, rng=rng, warmup=warmup)
+            for rng in rngs
+        ]
+    )
+
+
+def _composition_streams(
+    seed: Optional[int], n_reps: int
+) -> Tuple[List[np.random.Generator], List[np.random.Generator], List[np.random.Generator]]:
+    """Three independent per-replication streams: burst, position, upstream.
+
+    Each replication's child sequence is split once more so the three
+    sampled RTT components are independent — and each component stream
+    still depends only on ``(seed, r)``.
+    """
+    burst: List[np.random.Generator] = []
+    position: List[np.random.Generator] = []
+    upstream: List[np.random.Generator] = []
+    for child in spawn_sequences(seed, n_reps):
+        sub = child.spawn(3)
+        burst.append(np.random.default_rng(sub[0]))
+        position.append(np.random.default_rng(sub[1]))
+        upstream.append(np.random.default_rng(sub[2]))
+    return burst, position, upstream
+
+
+def _composed_delays(
+    model: ComposedRttModel,
+    burst_waits: np.ndarray,
+    position_rngs: Sequence[np.random.Generator],
+    upstream_rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Add sampled position and upstream delays onto the burst waits."""
+    n_reps, n_samples = burst_waits.shape
+    total = np.array(burst_waits, dtype=float)
+    for r in range(n_reps):
+        total[r] += model.sample_position_delays(n_samples, rng=position_rngs[r])
+        total[r] += model.sample_upstream_delays(n_samples, rng=upstream_rngs[r])
+    return total
+
+
+def monte_carlo_queueing_delays(
+    model: ComposedRttModel,
+    n_samples: int,
+    n_reps: int,
+    *,
+    seed: Optional[int] = None,
+    warmup: int = DEFAULT_WARMUP,
+) -> np.ndarray:
+    """Batched Monte-Carlo samples of the model's total queueing delay.
+
+    Composes the three factors exactly as the analytical transform does
+    (Section 3.3): downstream burst waiting via the batched Lindley
+    recursion on ``model.downstream_queue()``, in-burst packet-position
+    delay and upstream waiting sampled through the model's sampling
+    hooks.  For a :class:`~repro.core.rtt.MixPingTimeModel` the burst
+    factor simulates the *true* M/G/1 mixture-service queue, so the
+    comparison checks the one-pole eq. (14) approximation against an
+    independent reference rather than against itself.
+
+    ``n_samples`` is the per-replication count; the returned array has
+    shape ``(n_reps, n_samples)`` and is reproducible per row for any
+    ``n_reps`` (see the module docstring).
+    """
+    if n_samples < 1:
+        raise ParameterError("n_samples must be positive")
+    burst_rngs, position_rngs, upstream_rngs = _composition_streams(seed, n_reps)
+    burst = batch_waiting_times(
+        model.downstream_queue(), n_samples, n_reps, rngs=burst_rngs, warmup=warmup
+    )
+    return _composed_delays(model, burst, position_rngs, upstream_rngs)
+
+
+def scalar_queueing_delays(
+    model: ComposedRttModel,
+    n_samples: int,
+    n_reps: int,
+    *,
+    seed: Optional[int] = None,
+    warmup: int = DEFAULT_WARMUP,
+) -> np.ndarray:
+    """Scalar-recursion reference of :func:`monte_carlo_queueing_delays`.
+
+    Identical streams, identical position/upstream sampling; only the
+    burst factor runs the per-sample Python loop.  Bit-identical to the
+    batched path — the full-composition half of the speedup gate.
+    """
+    if n_samples < 1:
+        raise ParameterError("n_samples must be positive")
+    burst_rngs, position_rngs, upstream_rngs = _composition_streams(seed, n_reps)
+    burst = scalar_waiting_times(
+        model.downstream_queue(), n_samples, n_reps, rngs=burst_rngs, warmup=warmup
+    )
+    return _composed_delays(model, burst, position_rngs, upstream_rngs)
+
+
+def monte_carlo_queueing_quantile(
+    model: ComposedRttModel,
+    probability: float,
+    n_samples: int,
+    n_reps: int,
+    *,
+    seed: Optional[int] = None,
+    warmup: int = DEFAULT_WARMUP,
+) -> float:
+    """Empirical queueing-delay quantile over all replications' samples."""
+    if not 0.0 < probability < 1.0:
+        raise ParameterError("probability must lie in (0, 1)")
+    delays = monte_carlo_queueing_delays(
+        model, n_samples, n_reps, seed=seed, warmup=warmup
+    )
+    return float(np.quantile(delays.ravel(), probability))

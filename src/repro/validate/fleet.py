@@ -1,0 +1,364 @@
+"""The validation fleet: presets x methods x loads against Monte-Carlo.
+
+The paper's credibility rests on simulation cross-validation (Figure 2
+and the Table agreement), so every quantile method the package serves
+should be checked against an independent sampled reference — not at one
+hand-picked operating point, but across the whole scenario registry.
+:class:`ValidationFleet` runs that sweep inside CI smoke budgets: one
+batched Monte-Carlo run (:mod:`repro.validate.batch`) per (preset,
+load) and one analytical quantile per method, compared within
+per-method **tolerance bands**:
+
+* ``inversion`` and ``erlang-sum`` evaluate the exact product
+  transform, so they must land inside a tight two-sided relative band
+  around the empirical quantile (Monte-Carlo noise plus, for mixes, the
+  one-pole eq. (14) burst approximation the sampled reference
+  deliberately does *not* share);
+* ``dominant-pole`` keeps one pole of the product — accurate in the
+  far tail, looser band;
+* ``chernoff`` and ``sum-of-quantiles`` are conservative constructions:
+  they must **upper-bound** the empirical quantile (within sampling
+  slack) without exceeding a sanity ceiling.
+
+The default load points (0.5, 0.7) keep ``erlang-sum`` inside its
+well-conditioned regime (the Appendix-A expansion degrades below load
+~0.35, see :meth:`ComposedRttModel.queueing_delay_erlang_sum`).
+
+``fps-ping validate`` is the CLI face of this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.rtt import QUANTILE_METHODS, ComposedRttModel, MixPingTimeModel
+from ..errors import ParameterError
+from ..scenarios.registry import available_scenarios, get_scenario
+from .batch import DEFAULT_WARMUP, monte_carlo_queueing_delays
+
+__all__ = [
+    "DEFAULT_LOADS",
+    "DEFAULT_PROBABILITY",
+    "METHOD_BANDS",
+    "ToleranceBand",
+    "ValidationCase",
+    "ValidationReport",
+    "ValidationFleet",
+]
+
+#: Default load points of the sweep (see the module docstring).
+DEFAULT_LOADS: Tuple[float, ...] = (0.5, 0.7)
+
+#: Default tail probability: 200k samples put ~200 observations above
+#: this quantile, a ~1% relative quantile error — far inside the bands.
+DEFAULT_PROBABILITY = 0.999
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """The agreement contract of one quantile method.
+
+    ``kind`` is ``"two-sided"`` (``|analytic - empirical| <= rel_tol *
+    empirical``) or ``"upper-bound"`` (``analytic >= (1 - rel_tol) *
+    empirical`` and ``analytic <= max_ratio * empirical``).  Mix models
+    widen ``rel_tol`` by ``mix_factor``: their sampled reference
+    simulates the true M/G/1 mixture-service burst queue, so even exact
+    transform methods differ from it by the one-pole eq. (14)
+    approximation error.
+    """
+
+    kind: str
+    rel_tol: float
+    max_ratio: Optional[float] = None
+    mix_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("two-sided", "upper-bound"):
+            raise ParameterError(
+                f"band kind must be 'two-sided' or 'upper-bound', got {self.kind!r}"
+            )
+        if self.rel_tol <= 0.0:
+            raise ParameterError("rel_tol must be positive")
+        if self.kind == "upper-bound" and (
+            self.max_ratio is None or self.max_ratio <= 1.0
+        ):
+            raise ParameterError("an upper-bound band needs max_ratio > 1")
+        if self.mix_factor < 1.0:
+            raise ParameterError("mix_factor must be >= 1")
+
+    def effective_tol(self, is_mix: bool) -> float:
+        """The relative tolerance applied to this case."""
+        return self.rel_tol * (self.mix_factor if is_mix else 1.0)
+
+    def check(
+        self, analytic_s: float, empirical_s: float, *, is_mix: bool
+    ) -> Tuple[bool, float]:
+        """``(passed, relative error)`` of one analytic/empirical pair."""
+        if empirical_s <= 0.0:
+            raise ParameterError(
+                "the empirical quantile must be positive (raise the sample "
+                "count or the probability)"
+            )
+        rel_error = (analytic_s - empirical_s) / empirical_s
+        tol = self.effective_tol(is_mix)
+        if self.kind == "two-sided":
+            return abs(rel_error) <= tol, rel_error
+        passed = analytic_s >= (1.0 - tol) * empirical_s
+        if self.max_ratio is not None:
+            passed = passed and analytic_s <= self.max_ratio * empirical_s
+        return passed, rel_error
+
+    def describe(self, is_mix: bool) -> str:
+        """Short human-readable band label for reports."""
+        tol = self.effective_tol(is_mix)
+        if self.kind == "two-sided":
+            return f"|rel| <= {tol:.2f}"
+        return f">= {1.0 - tol:.2f}x, <= {self.max_ratio:.0f}x"
+
+
+#: The documented per-method tolerance bands (see the module docstring).
+METHOD_BANDS: Dict[str, ToleranceBand] = {
+    "inversion": ToleranceBand("two-sided", rel_tol=0.10, mix_factor=2.5),
+    "erlang-sum": ToleranceBand("two-sided", rel_tol=0.10, mix_factor=2.5),
+    "dominant-pole": ToleranceBand("two-sided", rel_tol=0.35, mix_factor=2.0),
+    "chernoff": ToleranceBand("upper-bound", rel_tol=0.05, max_ratio=6.0),
+    "sum-of-quantiles": ToleranceBand("upper-bound", rel_tol=0.05, max_ratio=6.0),
+}
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One (preset, load, method) comparison of the sweep."""
+
+    preset: str
+    downlink_load: float
+    method: str
+    probability: float
+    analytic_s: float
+    empirical_s: float
+    rel_error: float
+    band: str
+    passed: bool
+    is_mix: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary view (JSON-ready)."""
+        return {
+            "preset": self.preset,
+            "downlink_load": self.downlink_load,
+            "method": self.method,
+            "probability": self.probability,
+            "analytic_s": self.analytic_s,
+            "empirical_s": self.empirical_s,
+            "rel_error": self.rel_error,
+            "band": self.band,
+            "passed": self.passed,
+            "is_mix": self.is_mix,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of one :meth:`ValidationFleet.run` sweep."""
+
+    cases: List[ValidationCase]
+    probability: float
+    n_samples: int
+    n_reps: int
+    warmup: int
+    seed: Optional[int]
+    elapsed_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """True when every case landed inside its tolerance band."""
+        return all(case.passed for case in self.cases)
+
+    def failures(self) -> List[ValidationCase]:
+        """The cases that fell outside their bands."""
+        return [case for case in self.cases if not case.passed]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary view (JSON-ready)."""
+        return {
+            "passed": self.passed,
+            "probability": self.probability,
+            "n_samples": self.n_samples,
+            "n_reps": self.n_reps,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "elapsed_s": self.elapsed_s,
+            "cases": [case.as_dict() for case in self.cases],
+        }
+
+    def format_table(self) -> str:
+        """Aligned text table of every case (the CLI's text output)."""
+        header = (
+            f"{'preset':<22} {'load':>5} {'method':<17} "
+            f"{'analytic ms':>12} {'empirical ms':>13} {'rel err':>8} "
+            f"{'band':<20} status"
+        )
+        lines = [header, "-" * len(header)]
+        for case in self.cases:
+            lines.append(
+                f"{case.preset:<22} {case.downlink_load:>5.2f} "
+                f"{case.method:<17} {1e3 * case.analytic_s:>12.4f} "
+                f"{1e3 * case.empirical_s:>13.4f} {case.rel_error:>+8.3f} "
+                f"{case.band:<20} {'ok' if case.passed else 'FAIL'}"
+            )
+        lines.append(
+            f"{len(self.cases)} cases, {len(self.failures())} failures, "
+            f"{self.elapsed_s:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+class ValidationFleet:
+    """Sweep (preset x method x load) against batched Monte-Carlo.
+
+    Parameters
+    ----------
+    presets:
+        Registry preset names to sweep, or ``"all"`` (the default) for
+        every registered scenario — single-server and mixes alike.
+    methods:
+        Quantile methods to check, or ``"all"`` for all five.
+    loads:
+        Downlink load points per preset (see :data:`DEFAULT_LOADS`).
+    probability:
+        Tail probability of the compared quantile.
+    n_samples / n_reps / warmup:
+        Per-replication Monte-Carlo sample count, replication count and
+        per-replication warmup (see :mod:`repro.validate.batch`).
+    seed:
+        Root seed of the replication streams (replication-count
+        invariant; the per-preset streams are decorrelated by hashing
+        the preset name into the seed material).
+    bands:
+        Per-method :class:`ToleranceBand` overrides (defaults to
+        :data:`METHOD_BANDS`).
+    """
+
+    def __init__(
+        self,
+        presets: Union[str, Sequence[str]] = "all",
+        methods: Union[str, Sequence[str]] = "all",
+        *,
+        loads: Sequence[float] = DEFAULT_LOADS,
+        probability: float = DEFAULT_PROBABILITY,
+        n_samples: int = 4000,
+        n_reps: int = 50,
+        warmup: int = DEFAULT_WARMUP,
+        seed: Optional[int] = 2006,
+        bands: Optional[Dict[str, ToleranceBand]] = None,
+    ) -> None:
+        if isinstance(presets, str):
+            presets = available_scenarios() if presets == "all" else [presets]
+        self.presets = list(presets)
+        if not self.presets:
+            raise ParameterError("at least one preset is required")
+        for preset in self.presets:
+            get_scenario(preset)  # fail fast on unknown names
+        if isinstance(methods, str):
+            methods = list(QUANTILE_METHODS) if methods == "all" else [methods]
+        self.methods = list(methods)
+        if not self.methods:
+            raise ParameterError("at least one method is required")
+        unknown = sorted(set(self.methods) - set(QUANTILE_METHODS))
+        if unknown:
+            raise ParameterError(
+                f"unknown method(s) {unknown}; known: {list(QUANTILE_METHODS)}"
+            )
+        self.loads = [float(load) for load in loads]
+        if not self.loads:
+            raise ParameterError("at least one load point is required")
+        for load in self.loads:
+            if not 0.0 < load < 1.0:
+                raise ParameterError("loads must lie in (0, 1)")
+        if not 0.0 < probability < 1.0:
+            raise ParameterError("probability must lie in (0, 1)")
+        self.probability = float(probability)
+        if n_samples < 1:
+            raise ParameterError("n_samples must be positive")
+        self.n_samples = int(n_samples)
+        if n_reps < 1:
+            raise ParameterError("n_reps must be positive")
+        self.n_reps = int(n_reps)
+        if warmup < 0:
+            raise ParameterError("warmup must be >= 0")
+        self.warmup = int(warmup)
+        self.seed = seed
+        self.bands = dict(METHOD_BANDS)
+        if bands:
+            self.bands.update(bands)
+        missing = sorted(set(self.methods) - set(self.bands))
+        if missing:
+            raise ParameterError(f"no tolerance band for method(s) {missing}")
+
+    def _case_seed(self, preset: str, load: float) -> Optional[int]:
+        """Decorrelate the (preset, load) streams from one root seed."""
+        if self.seed is None:
+            return None
+        material = f"{preset}@{load:.6f}".encode()
+        return (int(self.seed) * 0x9E3779B1 + int.from_bytes(
+            material.ljust(8, b"\0")[:8], "little"
+        )) % (2**63)
+
+    def run(self) -> ValidationReport:
+        """Execute the sweep and return the :class:`ValidationReport`."""
+        started = time.perf_counter()
+        cases: List[ValidationCase] = []
+        for preset in self.presets:
+            scenario = get_scenario(preset)
+            for load in self.loads:
+                model = scenario.model_at_load(load)
+                is_mix = isinstance(model, MixPingTimeModel)
+                empirical = self._empirical_quantile(model, preset, load)
+                for method in self.methods:
+                    analytic = model.queueing_quantile(
+                        self.probability, method=method
+                    )
+                    band = self.bands[method]
+                    passed, rel_error = band.check(
+                        analytic, empirical, is_mix=is_mix
+                    )
+                    cases.append(
+                        ValidationCase(
+                            preset=preset,
+                            downlink_load=load,
+                            method=method,
+                            probability=self.probability,
+                            analytic_s=float(analytic),
+                            empirical_s=float(empirical),
+                            rel_error=float(rel_error),
+                            band=band.describe(is_mix),
+                            passed=passed,
+                            is_mix=is_mix,
+                        )
+                    )
+        return ValidationReport(
+            cases=cases,
+            probability=self.probability,
+            n_samples=self.n_samples,
+            n_reps=self.n_reps,
+            warmup=self.warmup,
+            seed=self.seed,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def _empirical_quantile(
+        self, model: ComposedRttModel, preset: str, load: float
+    ) -> float:
+        """One batched Monte-Carlo run's empirical queueing quantile."""
+        delays = monte_carlo_queueing_delays(
+            model,
+            self.n_samples,
+            self.n_reps,
+            seed=self._case_seed(preset, load),
+            warmup=self.warmup,
+        )
+        return float(np.quantile(delays.ravel(), self.probability))

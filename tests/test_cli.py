@@ -305,14 +305,16 @@ class TestFleetCommand:
         assert warm["rtt_quantile_s"] == cold["rtt_quantile_s"]
         assert json.loads(second.err)["warm_loaded"] == 1
 
-    def test_simulate_rejects_mix_scenarios_with_one_line_error(self, capsys):
+    def test_simulate_accepts_mix_scenarios(self, capsys):
+        # Historically rejected with a one-line error; the mix DES now
+        # runs multi-server scenarios end to end.
         exit_code = main(
             ["simulate", "--scenario", "multi-game-dsl", "--clients", "5",
              "--duration", "1"]
         )
         captured = capsys.readouterr()
-        assert exit_code == 2
-        assert "error: the discrete-event simulator does not support" in captured.err
+        assert exit_code == 0
+        assert "downlink load" in captured.out
         assert "Traceback" not in captured.err
 
     def test_serves_multi_server_mix_requests(self, capsys, tmp_path):
@@ -503,3 +505,76 @@ class TestCompareAccessCommand:
         ]
         assert len(series["ftth"]["points"]) == 18
         assert payload["compare-access"]["fleet_stats"]["stacked_mgf_calls"] > 0
+
+
+class TestValidateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.preset == "all"
+        assert args.methods == "all"
+        assert args.samples == 4000
+        assert args.reps == 50
+        assert args.seed == 2006
+        assert args.loads is None
+        assert args.probability is None
+
+    def test_sweep_passes_on_one_preset(self, capsys):
+        exit_code = main(
+            ["validate", "--preset", "paper-dsl", "--methods", "inversion",
+             "--loads", "0.5", "--samples", "500", "--reps", "8"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "paper-dsl" in out
+        assert "[PASS]" in out
+
+    def test_json_payload(self, capsys):
+        exit_code = main(
+            ["validate", "--preset", "multi-game-dsl", "--methods",
+             "inversion,chernoff", "--loads", "0.5", "--samples", "500",
+             "--reps", "8", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert len(payload["cases"]) == 2
+        assert all(case["is_mix"] for case in payload["cases"])
+
+    def test_unknown_preset_clean_error(self, capsys):
+        exit_code = main(["validate", "--preset", "no-such-game"])
+        assert exit_code == 2
+        assert "unknown scenario preset" in capsys.readouterr().err
+
+    def test_unknown_method_clean_error(self, capsys):
+        exit_code = main(["validate", "--preset", "paper-dsl",
+                          "--methods", "magic"])
+        assert exit_code == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_bad_loads_clean_error(self, capsys):
+        exit_code = main(["validate", "--preset", "paper-dsl",
+                          "--loads", "half"])
+        assert exit_code == 2
+        assert "bad --loads" in capsys.readouterr().err
+
+
+class TestSimulateMixCommand:
+    def test_mix_preset_simulates(self, capsys):
+        exit_code = main(
+            ["simulate", "--scenario", "multi-game-dsl", "--clients", "20",
+             "--duration", "2", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rtt mean (ms)" in out
+        assert "downlink load" in out
+
+    def test_mix_preset_json(self, capsys):
+        exit_code = main(
+            ["simulate", "--scenario", "multi-game-dsl", "--clients", "20",
+             "--duration", "2", "--seed", "3", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["type"] == "mix"
+        assert "rtt" in payload["delays"]

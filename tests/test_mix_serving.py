@@ -280,9 +280,11 @@ class TestMixEngine:
         assert result.rtt_at_max_load_s == pytest.approx(0.120, rel=0.01)
         assert engine.rtt_quantile(result.max_load - 1e-3) <= 0.120
 
-    def test_simulate_raises_a_clear_error(self):
-        with pytest.raises(ParameterError, match="simulator does not support"):
-            Engine(MIX).simulate(1.0, load=0.4)
+    def test_simulate_dispatches_to_the_mix_session(self):
+        # Mixes used to raise here; since the netsim grew multi-server
+        # sessions, Engine.simulate serves them end to end.
+        delays = Engine(MIX).simulate(2.0, load=0.15, seed=11)
+        assert delays.count("rtt") > 0
 
 
 class TestLindleyCrossValidation:

@@ -1,0 +1,192 @@
+"""Tests for the multi-server mix discrete-event simulation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.errors import ParameterError
+from repro.netsim import (
+    AccessNetwork,
+    AccessNetworkConfig,
+    GamingServerSource,
+    GamingSimulation,
+    MixGamingSimulation,
+    Simulator,
+)
+from repro.netsim.gaming import _split_population
+from repro.scenarios import get_scenario
+
+MIX = get_scenario("multi-game-dsl")
+
+
+class TestSplitPopulation:
+    def test_exact_weights_split_exactly(self):
+        assert _split_population((0.5, 0.3, 0.2), 50) == [25, 15, 10]
+
+    def test_largest_remainder_rounds_the_leftover(self):
+        counts = _split_population((0.5, 0.3, 0.2), 7)
+        assert sum(counts) == 7
+        assert counts == [4, 2, 1]
+
+    def test_flow_rounding_to_zero_raises(self):
+        with pytest.raises(ParameterError, match="at least one gamer"):
+            _split_population((0.5, 0.3, 0.2), 2)
+
+
+class TestServerSourceClientIds:
+    def test_subset_addresses_only_its_ids(self):
+        sim = Simulator(seed=0)
+        received = []
+        source = GamingServerSource(
+            sim,
+            num_clients=2,
+            packet_bytes=100.0,
+            tick_interval_s=0.01,
+            target=received.append,
+            client_ids=[5, 9],
+        )
+        source.start()
+        sim.run_until(0.05)
+        assert received
+        assert {packet.client_id for packet in received} == {5, 9}
+
+    def test_mismatched_length_raises(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ParameterError, match="client_ids"):
+            GamingServerSource(
+                sim,
+                num_clients=3,
+                packet_bytes=100.0,
+                tick_interval_s=0.01,
+                target=lambda p: None,
+                client_ids=[0, 1],
+            )
+
+
+class TestAccessNetworkRateOverrides:
+    def test_per_client_rates_apply(self):
+        sim = Simulator(seed=0)
+        config = AccessNetworkConfig(num_clients=2)
+        network = AccessNetwork(
+            sim,
+            config,
+            on_server_receive=lambda p: None,
+            on_client_receive=lambda p: None,
+            uplink_rates={1: 256_000.0},
+            downlink_rates={1: 2_048_000.0},
+        )
+        assert network.uplink_access[0].rate_bps == config.access_uplink_bps
+        assert network.uplink_access[1].rate_bps == 256_000.0
+        assert network.downlink_access[1].rate_bps == 2_048_000.0
+
+    def test_unknown_client_id_raises(self):
+        sim = Simulator(seed=0)
+        config = AccessNetworkConfig(num_clients=2)
+        with pytest.raises(ParameterError, match="unknown client id"):
+            AccessNetwork(
+                sim,
+                config,
+                on_server_receive=lambda p: None,
+                on_client_receive=lambda p: None,
+                uplink_rates={7: 256_000.0},
+            )
+
+    def test_non_positive_rate_raises(self):
+        sim = Simulator(seed=0)
+        config = AccessNetworkConfig(num_clients=2)
+        with pytest.raises(ParameterError):
+            AccessNetwork(
+                sim,
+                config,
+                on_server_receive=lambda p: None,
+                on_client_receive=lambda p: None,
+                downlink_rates={0: 0.0},
+            )
+
+
+class TestMixSimulationConstruction:
+    def test_population_split_and_tagged_ids(self):
+        sim = MixGamingSimulation(MIX, 50, seed=1)
+        assert sim.flow_counts == (25, 15, 10)
+        all_ids = [i for ids in sim.flow_client_ids for i in ids]
+        assert sorted(all_ids) == list(range(50))
+        assert sim._tagged_ids == frozenset(range(25))
+        assert len(sim.server_sources) == 3
+        assert len(sim.client_sources) == 50
+
+    def test_offered_loads_match_the_mix_conversions(self):
+        sim = MixGamingSimulation(MIX, 50, seed=1)
+        assert sim.downlink_load == pytest.approx(MIX.load_for_gamers(50))
+        assert sim.uplink_load == pytest.approx(
+            MIX.uplink_load_for(MIX.load_for_gamers(50)), rel=1e-9
+        )
+
+    def test_too_few_clients_raises(self):
+        with pytest.raises(ParameterError, match="at least one gamer"):
+            MixGamingSimulation(MIX, 2, seed=1)
+        with pytest.raises(ParameterError):
+            MixGamingSimulation(MIX, 0, seed=1)
+
+    def test_negative_background_rate_raises(self):
+        with pytest.raises(ParameterError):
+            MixGamingSimulation(MIX, 50, background_rate_bps=-1.0)
+
+
+class TestWarmupValidation:
+    def test_mix_rejects_negative_warmup(self):
+        sim = MixGamingSimulation(MIX, 10, seed=1)
+        with pytest.raises(ParameterError, match="warmup_s"):
+            sim.run(1.0, warmup_s=-0.5)
+
+    def test_single_server_rejects_negative_warmup(self):
+        sim = GamingSimulation.from_scenario(
+            get_scenario("paper-dsl"), num_clients=5, seed=1
+        )
+        with pytest.raises(ParameterError, match="warmup_s"):
+            sim.run(1.0, warmup_s=-0.5)
+
+    def test_zero_warmup_is_allowed(self):
+        sim = MixGamingSimulation(MIX, 10, seed=1)
+        delays = sim.run(0.5, warmup_s=0.0)
+        assert delays.count("upstream") > 0
+
+
+class TestEngineMixDispatch:
+    def test_make_simulation_builds_the_mix_session(self):
+        engine = Engine(MIX)
+        sim = engine.make_simulation(num_clients=50, seed=3)
+        assert isinstance(sim, MixGamingSimulation)
+        assert sum(sim.flow_counts) == 50
+
+    def test_simulate_records_tagged_rtts(self):
+        engine = Engine(MIX)
+        delays = engine.simulate(duration_s=3.0, load=0.15, seed=3)
+        assert delays.count("rtt") > 0
+        assert delays.count("upstream") > 0
+        assert delays.count("downstream") > 0
+
+    def test_single_server_dispatch_unchanged(self):
+        engine = Engine(get_scenario("paper-dsl"))
+        sim = engine.make_simulation(num_clients=5, seed=3)
+        assert isinstance(sim, GamingSimulation)
+
+
+class TestMixAgreementWithModel:
+    def test_des_matches_the_analytical_mix_model(self):
+        """End-to-end DES check of the one-pole eq. (14) approximation.
+
+        The simulated session emits each flow's real packet stream onto
+        the shared pipe, so the measured tagged-flow ping is independent
+        of the transform pipeline.  Documented band: mean RTT within 25%
+        of the model, and the model's conservative far-tail quantile
+        upper-bounds the simulated p99.9.
+        """
+        num_gamers = 50
+        sim = MixGamingSimulation(MIX, num_gamers, seed=7)
+        delays = sim.run(20.0, warmup_s=2.0)
+        model = MIX.model_for_gamers(num_gamers)
+        rtts = np.asarray(delays.samples("rtt"))
+        assert len(rtts) > 1000
+        rel = abs(model.mean_rtt() - rtts.mean()) / rtts.mean()
+        assert rel < 0.25
+        assert model.rtt_quantile(0.99999) >= np.quantile(rtts, 0.999)

@@ -1,0 +1,175 @@
+"""Property tests pinning the batched Lindley/Monte-Carlo kernels.
+
+The batched recursion is an optimisation, not an approximation: every
+test here asserts **bit identity** with the scalar reference on the same
+spawned streams, plus the replication-count invariance that makes the
+seeding reproducible across batch sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.downstream import DEKOneQueue, MultiServerBurstQueue
+from repro.errors import ParameterError
+from repro.scenarios import get_scenario
+from repro.validate import (
+    batch_waiting_times,
+    lindley_waiting_times,
+    monte_carlo_queueing_delays,
+    monte_carlo_queueing_quantile,
+    sample_burst_arrivals,
+    scalar_lindley_waiting_times,
+    scalar_queueing_delays,
+    scalar_waiting_times,
+    spawn_generators,
+    spawn_sequences,
+)
+
+
+def _single_model(load=0.5):
+    return get_scenario("paper-dsl").model_at_load(load)
+
+
+def _mix_model(load=0.5):
+    return get_scenario("multi-game-dsl").model_at_load(load)
+
+
+class TestSpawning:
+    def test_children_depend_only_on_seed_and_index(self):
+        first = spawn_sequences(42, 3)
+        second = spawn_sequences(42, 6)
+        for a, b in zip(first, second):
+            assert np.random.default_rng(a).random() == np.random.default_rng(
+                b
+            ).random()
+
+    def test_different_seeds_decorrelate(self):
+        a = np.random.default_rng(spawn_sequences(1, 1)[0]).random()
+        b = np.random.default_rng(spawn_sequences(2, 1)[0]).random()
+        assert a != b
+
+    def test_rejects_zero_reps(self):
+        with pytest.raises(ParameterError):
+            spawn_sequences(1, 0)
+        with pytest.raises(ParameterError):
+            spawn_generators(1, -1)
+
+
+class TestLindleyRecursion:
+    def test_bit_identical_to_scalar_loop_deterministic_gap(self):
+        rng = np.random.default_rng(0)
+        services = rng.gamma(3.0, 0.002, size=(7, 400))
+        batched = lindley_waiting_times(services, 0.005)
+        reference = scalar_lindley_waiting_times(services, 0.005)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_bit_identical_to_scalar_loop_random_gaps(self):
+        rng = np.random.default_rng(1)
+        services = rng.gamma(2.0, 0.003, size=(5, 300))
+        gaps = rng.exponential(0.004, size=(5, 300))
+        batched = lindley_waiting_times(services, gaps)
+        reference = scalar_lindley_waiting_times(services, gaps)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_first_arrival_waits_zero(self):
+        services = np.full((3, 10), 0.01)
+        waits = lindley_waiting_times(services, 0.002)
+        np.testing.assert_array_equal(waits[:, 0], 0.0)
+        assert (waits[:, 1:] > 0.0).all()  # overloaded queue only grows
+
+    def test_rejects_non_2d_services(self):
+        with pytest.raises(ParameterError, match="2-D"):
+            lindley_waiting_times(np.ones(10), 0.01)
+        with pytest.raises(ParameterError, match="2-D"):
+            scalar_lindley_waiting_times(np.ones(10), 0.01)
+
+    def test_rejects_mismatched_gap_shape(self):
+        with pytest.raises(ParameterError, match="match the services shape"):
+            lindley_waiting_times(np.ones((3, 10)), np.ones((3, 9)))
+
+
+class TestBurstSampling:
+    def test_dek_sampling_matches_queue_stream(self):
+        queue = _single_model().downstream_queue()
+        assert isinstance(queue, DEKOneQueue)
+        services, gap = sample_burst_arrivals(
+            queue, 50, np.random.default_rng(7)
+        )
+        assert services.shape == (50,)
+        assert gap == pytest.approx(queue.interval_s)
+
+    def test_mix_sampling_returns_random_gaps(self):
+        queue = _mix_model().downstream_queue()
+        assert isinstance(queue, MultiServerBurstQueue)
+        services, gaps = sample_burst_arrivals(
+            queue, 50, np.random.default_rng(7)
+        )
+        assert services.shape == (50,)
+        assert gaps.shape == (50,)
+        assert (gaps > 0.0).all()
+
+    def test_rejects_unknown_queue_type(self):
+        with pytest.raises(ParameterError, match="unsupported burst queue"):
+            sample_burst_arrivals(object(), 10, np.random.default_rng(0))
+
+
+class TestBatchedWaitingTimes:
+    @pytest.mark.parametrize("maker", [_single_model, _mix_model])
+    def test_bit_identical_to_scalar_reference(self, maker):
+        queue = maker().downstream_queue()
+        batched = batch_waiting_times(queue, 200, 4, seed=11, warmup=50)
+        reference = scalar_waiting_times(queue, 200, 4, seed=11, warmup=50)
+        assert batched.shape == (4, 200)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_replication_count_invariance(self):
+        queue = _single_model().downstream_queue()
+        small = batch_waiting_times(queue, 150, 3, seed=5, warmup=20)
+        large = batch_waiting_times(queue, 150, 6, seed=5, warmup=20)
+        np.testing.assert_array_equal(small, large[:3])
+
+    def test_validates_inputs(self):
+        queue = _single_model().downstream_queue()
+        with pytest.raises(ParameterError):
+            batch_waiting_times(queue, 0, 2, seed=1)
+        with pytest.raises(ParameterError):
+            batch_waiting_times(queue, 10, 2, seed=1, warmup=-1)
+        with pytest.raises(ParameterError, match="generators"):
+            batch_waiting_times(queue, 10, 2, rngs=spawn_generators(1, 3))
+        with pytest.raises(ParameterError, match="generators"):
+            scalar_waiting_times(queue, 10, 2, rngs=spawn_generators(1, 3))
+
+
+class TestComposedMonteCarlo:
+    @pytest.mark.parametrize("maker", [_single_model, _mix_model])
+    def test_bit_identical_to_scalar_composition(self, maker):
+        model = maker()
+        batched = monte_carlo_queueing_delays(model, 150, 3, seed=9, warmup=30)
+        reference = scalar_queueing_delays(model, 150, 3, seed=9, warmup=30)
+        assert batched.shape == (3, 150)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_replication_count_invariance(self):
+        model = _single_model()
+        small = monte_carlo_queueing_delays(model, 100, 2, seed=3, warmup=20)
+        large = monte_carlo_queueing_delays(model, 100, 5, seed=3, warmup=20)
+        np.testing.assert_array_equal(small, large[:2])
+
+    def test_sampling_hooks_shapes_and_signs(self):
+        model = _single_model()
+        rng = np.random.default_rng(0)
+        upstream = model.sample_upstream_delays(64, rng=rng)
+        position = model.sample_position_delays(64, rng=rng)
+        assert upstream.shape == (64,)
+        assert position.shape == (64,)
+        assert (upstream >= 0.0).all()
+        assert (position >= 0.0).all()
+
+    def test_quantile_bounds_and_validation(self):
+        model = _single_model()
+        q = monte_carlo_queueing_quantile(model, 0.99, 300, 4, seed=2, warmup=30)
+        assert q > 0.0
+        with pytest.raises(ParameterError):
+            monte_carlo_queueing_quantile(model, 1.5, 100, 2, seed=2)
+        with pytest.raises(ParameterError):
+            monte_carlo_queueing_delays(model, 0, 2, seed=2)

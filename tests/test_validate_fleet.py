@@ -1,0 +1,139 @@
+"""Tests for the validation fleet (presets x methods x loads sweep)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.validate import (
+    DEFAULT_LOADS,
+    DEFAULT_PROBABILITY,
+    METHOD_BANDS,
+    ToleranceBand,
+    ValidationFleet,
+)
+
+
+class TestToleranceBand:
+    def test_validates_construction(self):
+        with pytest.raises(ParameterError, match="kind"):
+            ToleranceBand("sideways", rel_tol=0.1)
+        with pytest.raises(ParameterError, match="rel_tol"):
+            ToleranceBand("two-sided", rel_tol=0.0)
+        with pytest.raises(ParameterError, match="max_ratio"):
+            ToleranceBand("upper-bound", rel_tol=0.1)
+        with pytest.raises(ParameterError, match="mix_factor"):
+            ToleranceBand("two-sided", rel_tol=0.1, mix_factor=0.5)
+
+    def test_two_sided_check(self):
+        band = ToleranceBand("two-sided", rel_tol=0.10)
+        passed, rel = band.check(1.05, 1.0, is_mix=False)
+        assert passed and rel == pytest.approx(0.05)
+        passed, rel = band.check(1.2, 1.0, is_mix=False)
+        assert not passed and rel == pytest.approx(0.2)
+
+    def test_mix_factor_widens_the_band(self):
+        band = ToleranceBand("two-sided", rel_tol=0.10, mix_factor=2.5)
+        assert not band.check(1.2, 1.0, is_mix=False)[0]
+        assert band.check(1.2, 1.0, is_mix=True)[0]
+        assert band.effective_tol(True) == pytest.approx(0.25)
+
+    def test_upper_bound_check(self):
+        band = ToleranceBand("upper-bound", rel_tol=0.05, max_ratio=6.0)
+        assert band.check(1.5, 1.0, is_mix=False)[0]  # conservative: fine
+        assert not band.check(0.8, 1.0, is_mix=False)[0]  # undershoots
+        assert not band.check(7.0, 1.0, is_mix=False)[0]  # absurdly loose
+
+    def test_rejects_non_positive_empirical(self):
+        band = ToleranceBand("two-sided", rel_tol=0.10)
+        with pytest.raises(ParameterError, match="empirical"):
+            band.check(1.0, 0.0, is_mix=False)
+
+    def test_describe_mentions_the_tolerance(self):
+        assert "0.10" in ToleranceBand("two-sided", rel_tol=0.10).describe(False)
+        band = ToleranceBand("upper-bound", rel_tol=0.05, max_ratio=6.0)
+        assert "6x" in band.describe(False)
+
+    def test_default_bands_cover_every_method(self):
+        from repro.core.rtt import QUANTILE_METHODS
+
+        assert set(METHOD_BANDS) == set(QUANTILE_METHODS)
+
+
+class TestConstruction:
+    def test_unknown_preset_fails_fast(self):
+        with pytest.raises(KeyError):
+            ValidationFleet("no-such-game")
+
+    def test_unknown_method_fails_fast(self):
+        with pytest.raises(ParameterError, match="unknown method"):
+            ValidationFleet("paper-dsl", "magic")
+
+    def test_validates_numeric_parameters(self):
+        with pytest.raises(ParameterError):
+            ValidationFleet("paper-dsl", loads=())
+        with pytest.raises(ParameterError):
+            ValidationFleet("paper-dsl", loads=(1.2,))
+        with pytest.raises(ParameterError):
+            ValidationFleet("paper-dsl", probability=0.0)
+        with pytest.raises(ParameterError):
+            ValidationFleet("paper-dsl", n_samples=0)
+        with pytest.raises(ParameterError):
+            ValidationFleet("paper-dsl", n_reps=0)
+        with pytest.raises(ParameterError):
+            ValidationFleet("paper-dsl", warmup=-1)
+
+    def test_all_expands_the_registry_and_methods(self):
+        from repro.core.rtt import QUANTILE_METHODS
+        from repro.scenarios import available_scenarios
+
+        fleet = ValidationFleet("all", "all")
+        assert fleet.presets == list(available_scenarios())
+        assert fleet.methods == list(QUANTILE_METHODS)
+        assert tuple(fleet.loads) == DEFAULT_LOADS
+        assert fleet.probability == DEFAULT_PROBABILITY
+
+
+class TestSweep:
+    def test_paper_and_mix_presets_pass_all_methods(self):
+        fleet = ValidationFleet(
+            ["paper-dsl", "multi-game-dsl"], "all", n_samples=2000, n_reps=40
+        )
+        report = fleet.run()
+        assert report.passed
+        assert len(report.cases) == 2 * len(DEFAULT_LOADS) * 5
+        assert report.failures() == []
+        mix_cases = [c for c in report.cases if c.preset == "multi-game-dsl"]
+        assert mix_cases and all(c.is_mix for c in mix_cases)
+        assert all(not c.is_mix for c in report.cases if c.preset == "paper-dsl")
+
+    def test_sweep_is_deterministic_per_seed(self):
+        kwargs = dict(n_samples=500, n_reps=8, loads=(0.5,), seed=77)
+        first = ValidationFleet("paper-dsl", "inversion", **kwargs).run()
+        second = ValidationFleet("paper-dsl", "inversion", **kwargs).run()
+        assert [c.empirical_s for c in first.cases] == [
+            c.empirical_s for c in second.cases
+        ]
+
+    def test_impossible_band_reports_failure(self):
+        tight = {"inversion": ToleranceBand("two-sided", rel_tol=1e-9)}
+        report = ValidationFleet(
+            "paper-dsl",
+            "inversion",
+            loads=(0.5,),
+            n_samples=500,
+            n_reps=8,
+            bands=tight,
+        ).run()
+        assert not report.passed
+        assert len(report.failures()) == 1
+        assert "FAIL" in report.format_table()
+
+    def test_report_serializes(self):
+        report = ValidationFleet(
+            "paper-dsl", "inversion", loads=(0.5,), n_samples=500, n_reps=8
+        ).run()
+        payload = report.as_dict()
+        assert payload["passed"] is True
+        assert payload["n_samples"] == 500
+        assert payload["cases"][0]["method"] == "inversion"
+        table = report.format_table()
+        assert "paper-dsl" in table and "ok" in table
