@@ -1,0 +1,199 @@
+"""Benchmark — cost-balanced chunking vs. the static 32-model split.
+
+The plan layer sizes evaluation plans from a measured per-signature
+:class:`~repro.core.rtt.CostModel`: every served batch folds its
+observed ``exec_s`` back into the model, so a heterogeneous stream is
+split into roughly equal-*cost* plans instead of equal-count ones, and
+the :class:`~repro.executors.ParallelExecutor` dispatches the plans
+longest-predicted-first.  The legacy static split pins one worker under
+a 32-model chunk of the most expensive signature (e.g. ``chernoff`` on
+the FTTH profile costs ~50x a ``dominant-pole`` model) while the cheap
+chunks drain early and the pool idles.
+
+Acceptance criteria asserted here (ISSUE 10):
+
+* on a heterogeneous cold stream at 4 workers, serving with the
+  measured cost model is at least 1.2x faster wall-clock than the
+  static 32-model split (gated where >= 4 CPUs are available);
+* the floats are bit-identical between the static split, the
+  cost-balanced split and the serial reference — chunking and dispatch
+  order are pure scheduling knobs;
+* with a certified surface attached, an in-region admission-control
+  request is answered with **zero** evaluation plans executed.
+
+The run leaves a ``BENCH_chunking.json`` artifact.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.rtt import DEFAULT_PLAN_CHUNK, CostModel, compile_eval_plans
+from repro.executors import ParallelExecutor
+from repro.fleet import Fleet, Request
+from repro.scenarios import get_scenario
+from repro.surface import build_surface
+
+from conftest import print_header, record_result
+
+PROBABILITY = 0.99999
+WORKERS = 4
+
+#: The heterogeneous stream: five factor signatures whose measured
+#: per-model costs span ~50x (chernoff/FTTH ~10 ms, dominant-pole
+#: ~0.2 ms), deliberately imbalanced group sizes.
+GROUPS = (
+    ("ftth", "chernoff", 40),
+    ("paper-dsl", "erlang-sum", 32),
+    ("paper-dsl", "inversion", 64),
+    ("paper-dsl", "sum-of-quantiles", 32),
+    ("cable", "dominant-pole", 32),
+)
+
+
+class StaticChunks(CostModel):
+    """The legacy policy: every signature chunks at 32, FIFO dispatch.
+
+    ``predict_plan_cost_s`` is constant so the executor's stable LPT
+    sort preserves submission order — exactly the pre-cost-model
+    behavior, expressed through the same seam the measured model uses.
+    """
+
+    def chunk_size_for(self, label):
+        return DEFAULT_PLAN_CHUNK
+
+    def predict_plan_cost_s(self, plan):
+        return 1.0
+
+
+def _requests(lo, hi):
+    return [
+        Request(preset, downlink_load=float(load), method=method,
+                probability=PROBABILITY)
+        for preset, method, count in GROUPS
+        for load in np.linspace(lo, hi, count)
+    ]
+
+
+@pytest.mark.benchmark(group="chunking")
+def test_cost_balanced_chunking_vs_static_split(benchmark):
+    requests = _requests(0.10, 0.80)
+
+    # Pre-spawn the pool outside the timed region (steady-state serving
+    # pays the fork cost once) and force every worker to start.
+    executor = ParallelExecutor(workers=WORKERS)
+    warm_models = [
+        get_scenario("paper-dsl").model_at_load(0.05 + 0.005 * i)
+        for i in range(WORKERS)
+    ]
+    executor.run(compile_eval_plans(warm_models, PROBABILITY, chunk_size=1))
+
+    # -- serial reference for the bit-identity assertion.
+    serial_fleet = Fleet()
+    serial_answers = serial_fleet.serve(requests)
+    serial_quantiles = [a.rtt_quantile_s for a in serial_answers]
+
+    # -- static 32-model split (the legacy policy) on the pool.
+    static_fleet = Fleet(cost_model=StaticChunks())
+    executor.cost_model = static_fleet.cost_model
+    start = time.perf_counter()
+    static_answers = static_fleet.serve(requests, executor=executor)
+    static_elapsed = time.perf_counter() - start
+
+    # -- measured cost model: a small calibration stream (distinct
+    #    loads, so the bench stream below stays cold) trains the
+    #    fleet's model with the *observed* per-signature cost, then the
+    #    heterogeneous stream is chunked and LPT-dispatched from it.
+    cost_fleet = Fleet()
+    cost_fleet.serve(_requests(0.11, 0.69)[:: 8])  # ~6% of the stream, serial
+    trained = cost_fleet.cost_model.as_dict()
+    executor.cost_model = cost_fleet.cost_model
+    start = time.perf_counter()
+    cost_answers = benchmark.pedantic(
+        lambda: cost_fleet.serve(requests, executor=executor),
+        rounds=1,
+        iterations=1,
+    )
+    cost_elapsed = time.perf_counter() - start
+    executor.close()
+
+    speedup = static_elapsed / cost_elapsed
+    static_plans = static_fleet.stats.plans_executed
+    cost_plans = cost_fleet.stats.plans_executed
+
+    # -- admission control: with a certified surface attached, an
+    #    in-region admit is answered without executing a single plan.
+    surface = build_surface(
+        get_scenario("paper-dsl"),
+        "inversion",
+        tolerance=1e-3,
+        probability_lo=0.9999,
+        probability_hi=0.999999,
+        load_lo=0.30,
+        load_hi=0.60,
+        probe_factor=2,
+        grid_ladder=((6, 4), (9, 5), (13, 7), (17, 9)),
+    )
+    cost_fleet.attach_surfaces(surface)
+    engine = cost_fleet.engine("paper-dsl")
+    budget_ms = 1e3 * (
+        engine.rtt_quantile(0.30, PROBABILITY) + engine.rtt_quantile(0.60, PROBABILITY)
+    ) / 2.0
+    plans_before_admit = cost_fleet.stats.plans_executed
+    start = time.perf_counter()
+    admit = cost_fleet.admit(
+        Request("paper-dsl", kind="admit", rtt_budget_ms=budget_ms,
+                probability=PROBABILITY)
+    )
+    admit_elapsed = time.perf_counter() - start
+    admit_plans = cost_fleet.stats.plans_executed - plans_before_admit
+
+    cpus = os.cpu_count() or 1
+    print_header("Cost-balanced chunking vs. the static 32-model split")
+    print(f"requests (signatures x loads)   : {len(requests)} ({len(GROUPS)} signatures)")
+    print(f"workers / CPUs                  : {WORKERS} / {cpus}")
+    print(f"static-split wall time          : {static_elapsed * 1e3:.1f} ms "
+          f"({static_plans} plans)")
+    print(f"cost-balanced wall time         : {cost_elapsed * 1e3:.1f} ms "
+          f"({cost_plans} plans)")
+    print(f"speedup                         : {speedup:.2f}x")
+    for label in sorted(trained):
+        entry = trained[label]
+        print(f"  {label:24s}: {1e3 * entry['predicted_model_cost_s']:8.3f} ms/model "
+              f"-> chunk {entry['chunk_size']}")
+    print(f"in-region admit                 : source={admit.source}, "
+          f"{admit_plans} plans, {admit_elapsed * 1e3:.2f} ms")
+
+    record_result(
+        "chunking",
+        "cost_vs_static_chunking",
+        requests=len(requests),
+        workers=WORKERS,
+        cpus=cpus,
+        static_s=static_elapsed,
+        cost_balanced_s=cost_elapsed,
+        speedup=speedup,
+        static_plans=static_plans,
+        cost_plans=cost_plans,
+        admit_source=admit.source,
+        admit_plans_executed=admit_plans,
+        admit_s=admit_elapsed,
+    )
+
+    # Acceptance: pure scheduling — every float identical to serial.
+    assert [a.rtt_quantile_s for a in static_answers] == serial_quantiles
+    assert [a.rtt_quantile_s for a in cost_answers] == serial_quantiles
+
+    # Acceptance: zero-plan in-region admission from the surface.
+    assert admit.source == "surface"
+    assert admit_plans == 0
+    assert admit.admitted is True
+
+    # Acceptance: >= 1.2x wall-clock at 4 workers on the heterogeneous
+    # cold stream (gated where the workers have CPUs to run on).
+    if cpus >= WORKERS:
+        assert speedup >= 1.2
+    else:
+        print(f"(speedup gate skipped: {cpus} CPU(s) < {WORKERS} workers)")

@@ -31,10 +31,14 @@ The package is organised as follows:
   scenario;
 * :mod:`repro.fleet` -- the :class:`Fleet` serving layer: a stream of
   :class:`Request` values spanning many scenarios, planned into
-  picklable evaluation units, executed on any
+  picklable evaluation units sized by a measured per-signature
+  :class:`CostModel` (heterogeneous batches split into roughly
+  equal-*cost* plans, not equal-count ones), executed on any
   :mod:`repro.executors` executor (in-process or a process pool; the
   :class:`AsyncFleet` facade serves asyncio callers) and assembled
-  behind a shared bounded LRU cache;
+  behind a shared bounded LRU cache; ``Request(kind="admit")`` turns a
+  request into an admission-control question answered by inverting the
+  load -> quantile relation;
 * :mod:`repro.executors` -- the execute phase of the serving pipeline
   behind a transport-pluggable seam: :class:`SerialExecutor`, the
   process-parallel :class:`ParallelExecutor` and the multi-host
@@ -72,10 +76,39 @@ and for request streams across scenarios, the serving layer::
     fleet = Fleet()
     fleet.serve([Request("ftth", downlink_load=0.40),
                  Request("lte", downlink_load=0.40)])
+
+**Admission control** answers the inverse question — "can this access
+profile meet a 60 ms ping budget, and for how many gamers?" — as a
+first-class request kind::
+
+    answer = fleet.admit(Request("paper-dsl", kind="admit", rtt_budget_ms=60.0,
+                                 num_gamers=10))
+    answer.admitted, answer.max_load, answer.max_gamers, answer.source
+
+With certified surfaces attached (``fleet.attach_surfaces(path)``)
+in-region admits invert the O(1) surface (``source == "surface"``,
+zero evaluation plans executed); otherwise — or with ``exact=True`` —
+the bit-identical exact search runs.  An unmeetable budget is a
+negative answer (``admitted=False``), never an error.  The HTTP tier
+exposes the same thing as ``POST /v1/admit`` and the CLI as ``fps-ping
+admit``.
+
+**Cost-model chunking** sizes evaluation plans from measured
+per-signature cost instead of a fixed 32-model chunk: every served
+batch folds its observed ``exec_s`` back into the fleet's
+:class:`CostModel` (seeded with static priors, e.g. inversion cost
+grows linearly with the Erlang order), so cheap signatures pack more
+models per plan, expensive ones fewer, and
+:class:`ParallelExecutor` dispatches plans longest-predicted-first.
+Chunking, dispatch order and host placement are pure scheduling knobs:
+the served floats are bit-identical for every policy, worker count and
+host count.
 """
 
 from .core import (
     DEFAULT_QUANTILE,
+    AdmissionResult,
+    CostModel,
     DEKOneQueue,
     DeterministicRttBound,
     DimensioningResult,
@@ -100,7 +133,15 @@ from .errors import (
     WireFormatError,
 )
 from .executors import Executor, ParallelExecutor, RemoteExecutor, SerialExecutor
-from .fleet import Answer, AsyncFleet, Fleet, FleetStats, Request, ResolvedRequest
+from .fleet import (
+    AdmissionAnswer,
+    Answer,
+    AsyncFleet,
+    Fleet,
+    FleetStats,
+    Request,
+    ResolvedRequest,
+)
 from .serve import RequestCoalescer, ServingDaemon
 from .surface import (
     QuantileSurface,
@@ -126,9 +167,12 @@ from .scenarios import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionAnswer",
+    "AdmissionResult",
     "Answer",
     "AsyncFleet",
     "CacheFormatError",
+    "CostModel",
     "DEFAULT_QUANTILE",
     "DEKOneQueue",
     "DeterministicRttBound",

@@ -6,6 +6,8 @@ the RTT calculator and the request-stream serving layer from the shell::
     fps-ping rtt --load 0.4 --erlang-order 9 --tick-ms 40
     fps-ping rtt --scenario counter-strike --load 0.3 --json
     fps-ping dimension --rtt-bound-ms 50 --scenario lte
+    fps-ping admit --rtt-budget-ms 60 --scenario paper-dsl --gamers 10
+    fps-ping admit --rtt-budget-ms 60 --scenario paper-dsl --surfaces surfaces/
     fps-ping table1 | table2 | table3 | figure1 | figure3 | figure4
     fps-ping compare-access
     fps-ping simulate --clients 40 --duration 30
@@ -66,6 +68,16 @@ reference (numpy 2-D Lindley recursion, replication-count-invariant
 — including multi-server mixes — in CI smoke time; the exit code is 0
 only if every case lands inside its band.
 
+``admit`` answers the operator's admission-control question: given an
+RTT budget (in ms) and a quantile level, what is the largest load — and
+gamer count — this scenario can carry while still meeting the budget,
+and should a proposed operating point (``--load`` or ``--gamers``) be
+admitted?  With ``--surfaces`` the answer comes from an O(1) certified
+surface inversion (zero evaluation plans executed in-region); without
+them, or with ``--exact``, the bit-identical exact search runs.  An
+unmeetable budget is a negative *answer* (``admitted: no``, max load
+0), not an error.
+
 ``surface build`` fits certified Chebyshev quantile surfaces
 (:mod:`repro.surface`) for one scenario and persists them as JSON;
 ``surface info`` describes persisted surfaces (region, grid, certified
@@ -95,7 +107,7 @@ from .core.rtt import QUANTILE_METHODS
 from .engine import Engine
 from .errors import ReproError
 from .executors import ParallelExecutor, RemoteExecutor
-from .fleet import Fleet
+from .fleet import Fleet, Request
 from .netsim import GamingSimulation, MixGamingSimulation
 from .scenarios import MixScenario, SCENARIO_PRESETS, Scenario, scenario_from_spec
 from .serve import (
@@ -151,6 +163,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(dim)
     dim.add_argument("--rtt-bound-ms", type=float, default=50.0, help="RTT budget in ms")
     dim.add_argument("--quantile", type=float, default=0.99999, help="quantile level")
+
+    admit = sub.add_parser(
+        "admit", help="admission control: max capacity for an RTT budget"
+    )
+    _add_scenario_arguments(admit)
+    admit.add_argument(
+        "--rtt-budget-ms", type=float, required=True, help="RTT budget in ms"
+    )
+    admit.add_argument("--quantile", type=float, default=0.99999, help="quantile level")
+    admit.add_argument(
+        "--method",
+        choices=["inversion", "dominant-pole", "chernoff", "sum-of-quantiles"],
+        default="inversion",
+        help="quantile evaluation method",
+    )
+    admit.add_argument(
+        "--load", type=float, default=None,
+        help="proposed downlink load to admit (at most one of --load/--gamers)",
+    )
+    admit.add_argument(
+        "--gamers", type=float, default=None,
+        help="proposed gamer count to admit (at most one of --load/--gamers)",
+    )
+    admit.add_argument(
+        "--surfaces", default=None,
+        help="certified surface file/directory for the O(1) inversion",
+    )
+    admit.add_argument(
+        "--exact", action="store_true",
+        help="force the exact search even with surfaces attached",
+    )
 
     for name, help_text in [
         ("table1", "regenerate Table 1 (Counter-Strike characteristics)"),
@@ -639,6 +682,41 @@ def _command_dimension(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_admit(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    fleet = Fleet()
+    if args.surfaces:
+        fleet.attach_surfaces(args.surfaces)
+    answer = fleet.admit(
+        Request(
+            scenario,
+            kind="admit",
+            rtt_budget_ms=args.rtt_budget_ms,
+            probability=args.quantile,
+            method=args.method,
+            downlink_load=args.load,
+            num_gamers=args.gamers,
+            exact=args.exact,
+        )
+    )
+    if args.json:
+        return _emit_json({"scenario": scenario.to_dict(), "result": answer.to_dict()})
+    result = answer.result
+    rows = {
+        "RTT budget (ms)": args.rtt_budget_ms,
+        "quantile": f"{args.quantile:g}",
+        "admitted": "yes" if answer.admitted else "no",
+        "max downlink load": result.max_load,
+        "max gamers": result.max_gamers,
+        "RTT at max load (ms)": result.rtt_at_max_load_ms,
+        "answered from": result.source,
+    }
+    if result.proposed_load is not None:
+        rows["proposed load"] = result.proposed_load
+    print(experiments.format_kv(rows, title="Admission control"))
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     # The simulate subparser only carries a subset of the scenario flags;
     # _scenario_from_args skips the absent ones and fills defaults.
@@ -1050,6 +1128,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_rtt(args)
         if args.command == "dimension":
             return _command_dimension(args)
+        if args.command == "admit":
+            return _command_admit(args)
         if args.command == "simulate":
             return _command_simulate(args)
         if args.command == "validate":

@@ -14,12 +14,14 @@ from .bounds import DeterministicRttBound
 from .rtt import (
     DEFAULT_QUANTILE,
     ComposedRttModel,
+    CostModel,
     MixFlow,
     MixPingTimeModel,
     PingTimeModel,
     RttBreakdown,
 )
 from .dimensioning import (
+    AdmissionResult,
     DimensioningResult,
     gamers_for_load,
     load_for_gamers,
@@ -43,10 +45,12 @@ __all__ = [
     "DeterministicRttBound",
     "DEFAULT_QUANTILE",
     "ComposedRttModel",
+    "CostModel",
     "MixFlow",
     "MixPingTimeModel",
     "PingTimeModel",
     "RttBreakdown",
+    "AdmissionResult",
     "DimensioningResult",
     "gamers_for_load",
     "load_for_gamers",

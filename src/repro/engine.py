@@ -32,13 +32,15 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from scipy import optimize
 
-from .core.dimensioning import DimensioningResult
+from .core.dimensioning import AdmissionResult, DimensioningResult
 from .core.rtt import (
     DEFAULT_QUANTILE,
     QUANTILE_METHODS,
+    CostModel,
     PingTimeModel,
     compile_eval_plans,
     execute_plan,
+    plan_signature,
 )
 from .errors import ParameterError
 from .scenarios.base import Scenario
@@ -102,6 +104,12 @@ class Engine:
         batched cache misses of :meth:`sweep` / :meth:`rtt_quantiles`.
         The default executes the compiled plans in-process against the
         live memoized models; any executor returns the same floats.
+    cost_model:
+        The :class:`~repro.core.rtt.CostModel` sizing the compiled
+        plans (default: a fresh one seeded with static priors).  Every
+        executed plan's measured cost is folded back, so repeat batches
+        chunk to roughly equal-cost plans.  Purely a scheduling knob:
+        any cost model yields bit-identical floats.
     """
 
     def __init__(
@@ -112,6 +120,7 @@ class Engine:
         method: str = "inversion",
         max_models: Optional[int] = None,
         executor=None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if isinstance(scenario, Mapping):
             scenario = Scenario.from_dict(scenario)
@@ -133,6 +142,7 @@ class Engine:
         self.method = method
         self.max_models = None if max_models is None else int(max_models)
         self.executor = executor
+        self.cost_model = CostModel() if cost_model is None else cost_model
         self.stats = EngineStats()
         self._models: "OrderedDict[float, PingTimeModel]" = OrderedDict()
         self._quantiles: Dict[Tuple[float, float, str], float] = {}
@@ -284,7 +294,9 @@ class Engine:
                 missing[key] = model
         if missing:
             missing_models = list(missing.values())
-            plans = compile_eval_plans(missing_models, probability, method=method)
+            plans = compile_eval_plans(
+                missing_models, probability, method=method, cost_model=self.cost_model
+            )
             if self.executor is None:
                 results = [
                     execute_plan(plan, models=[missing_models[i] for i in plan.indices])
@@ -293,7 +305,10 @@ class Engine:
             else:
                 results = self.executor.run(plans)
             values: list = [None] * len(missing_models)
-            for result in results:
+            for plan, result in zip(plans, results):
+                self.cost_model.observe(
+                    plan_signature(plan), len(plan.indices), result.exec_s
+                )
                 self.stats.stacked_mgf_calls += result.stacked_mgf_calls
                 for index, value in zip(result.indices, result.values):
                     values[index] = value
@@ -315,14 +330,18 @@ class Engine:
         :class:`~repro.errors.ParameterError`.  Returns the number of
         surfaces attached.
 
-        Point queries (:meth:`rtt_quantile`, :meth:`dimension`) remain
-        exact — the engine *is* the exact tier the surfaces certify
-        against; the attachment makes :meth:`sweep` hand the matching
-        surface to its series, so
+        Point quantile queries (:meth:`rtt_quantile`) remain exact —
+        the engine *is* the exact tier the surfaces certify against.
+        The attachment makes :meth:`sweep` hand the matching surface to
+        its series, so
         :meth:`~repro.scenarios.sweep.SweepSeries.interpolate_rtt_ms` /
         :meth:`~repro.scenarios.sweep.SweepSeries.max_load_for_rtt_ms`
         carry a certified bound instead of uncertified linear
-        interpolation.  O(1) surface *serving* lives in
+        interpolation, and it routes the *inverse* queries —
+        :meth:`dimension` and :meth:`admit` — through the surface's
+        O(1) brentq inversion when the budget's root is certified
+        in-region (zero evaluation plans executed; the exact path is
+        the bit-identical fallback).  O(1) surface *serving* lives in
         :meth:`repro.fleet.Fleet.attach_surfaces`.
         """
         from .surface import QuantileSurface, SurfaceIndex
@@ -427,6 +446,27 @@ class Engine:
     # ------------------------------------------------------------------
     # Dimensioning (Section 4)
     # ------------------------------------------------------------------
+    def _surface_invert(
+        self, rtt_bound_s: float, probability: float, method: str, ceiling: float
+    ) -> Optional[Tuple[float, float]]:
+        """Invert load→quantile on an attached surface, if it certifies.
+
+        Returns ``(max_load, rtt_at_max_load_s)`` from the O(1)
+        certified path — zero evaluation plans executed — or ``None``
+        when no attached surface can certify the answer (no surface for
+        the method, level out of range, or the root at/beyond a region
+        edge), in which case the caller runs the exact path.
+        """
+        if self._surfaces is None:
+            return None
+        surface = self._surfaces.get(self.scenario.cache_key(), method)
+        if surface is None:
+            return None
+        load = surface.invert_load(rtt_bound_s, probability, load_cap=ceiling)
+        if load is None:
+            return None
+        return load, surface.lookup(load, probability)
+
     def dimension(
         self,
         rtt_bound_s: float,
@@ -438,15 +478,33 @@ class Engine:
         """Largest downlink load whose RTT quantile meets ``rtt_bound_s``.
 
         The RTT quantile is monotonically increasing in the load, so a
-        bisection on the load suffices.  Every evaluation goes through
-        the shared cache; in particular the RTT at the optimum is reused
-        from the bisection instead of rebuilding the model a final time.
+        bisection on the load suffices.  With an attached certified
+        surface covering the scenario (see :meth:`attach_surface`), the
+        bisection runs on the surface's O(1) lookup instead — certified
+        within its stored bound, zero evaluation plans executed; when
+        the surface cannot certify the answer the exact path below is
+        the bit-identical fallback.  Exact evaluations go through the
+        shared cache; in particular the RTT at the optimum is reused
+        from the bisection instead of rebuilding the model a final
+        time.
         """
         if rtt_bound_s <= 0.0:
             raise ParameterError("rtt_bound_s must be positive")
         probability, method = self._resolve(probability, method)
         scenario = self.scenario
         ceiling = scenario.stable_load_ceiling(max_load_ceiling)
+
+        inverted = self._surface_invert(rtt_bound_s, probability, method, ceiling)
+        if inverted is not None:
+            best_load, rtt_at_best = inverted
+            gamers = int(math.floor(scenario.gamers_at_load(best_load)))
+            return DimensioningResult(
+                rtt_bound_s=rtt_bound_s,
+                probability=probability,
+                max_load=best_load,
+                max_gamers=max(gamers, 0),
+                rtt_at_max_load_s=rtt_at_best,
+            )
 
         # The load must at least accommodate one gamer.
         floor_load = scenario.load_for_gamers(1.0)
@@ -480,6 +538,103 @@ class Engine:
             max_load=best_load,
             max_gamers=max(gamers, 0),
             rtt_at_max_load_s=rtt_at_best,
+        )
+
+    def admit(
+        self,
+        rtt_budget_s: float,
+        probability: Optional[float] = None,
+        method: Optional[str] = None,
+        *,
+        load: Optional[float] = None,
+        num_gamers: Optional[float] = None,
+        load_resolution: float = 1e-3,
+        max_load_ceiling: float = 0.98,
+        exact: bool = False,
+    ) -> AdmissionResult:
+        """Admission control: can the pipe keep the quantile under budget?
+
+        Inverts the monotone load→quantile relation at ``probability``
+        and compares the resulting capacity against the (optional)
+        proposed operating point — ``load=`` or ``num_gamers=``, at
+        most one.  Unlike :meth:`dimension`, an unmeetable budget is a
+        *negative answer* (``admitted=False``, ``max_load=0``), never
+        an error: that is the question admission control exists to
+        answer.  With an attached certified surface whose region
+        brackets the budget, the inversion runs on the O(1) lookup with
+        zero evaluation plans executed (``source="surface"``);
+        otherwise the exact path answers, bit-identical to
+        :meth:`dimension`'s search (``source="exact"``).  ``exact=True``
+        skips any attached surface outright.
+        """
+        if not rtt_budget_s > 0.0:
+            raise ParameterError("rtt_budget_s must be positive")
+        probability, method = self._resolve(probability, method)
+        if load is not None and num_gamers is not None:
+            raise ParameterError("pass at most one of load= or num_gamers=")
+        scenario = self.scenario
+        ceiling = scenario.stable_load_ceiling(max_load_ceiling)
+        proposed: Optional[float] = None
+        if num_gamers is not None:
+            if float(num_gamers) <= 0.0:
+                raise ParameterError("num_gamers must be positive")
+            proposed = scenario.load_for_gamers(float(num_gamers))
+        elif load is not None:
+            proposed = float(load)
+            if not 0.0 < proposed < 1.0:
+                raise ParameterError("load must lie in (0, 1)")
+
+        inverted = (
+            None
+            if exact
+            else self._surface_invert(rtt_budget_s, probability, method, ceiling)
+        )
+        if inverted is not None:
+            best_load, rtt_at_best = inverted
+            source = "surface"
+        else:
+            source = "exact"
+            floor_load = scenario.load_for_gamers(1.0)
+            floor_load = min(max(floor_load, 1e-4), ceiling / 2.0)
+            rtt_floor = self.rtt_quantile(floor_load, probability, method)
+            if rtt_floor > rtt_budget_s:
+                # Over budget already at the minimum load: nobody is
+                # admitted, and the floor RTT documents by how much.
+                return AdmissionResult(
+                    rtt_budget_s=float(rtt_budget_s),
+                    probability=probability,
+                    admitted=False,
+                    max_load=0.0,
+                    max_gamers=0,
+                    rtt_at_max_load_s=rtt_floor,
+                    proposed_load=proposed,
+                    source=source,
+                )
+            rtt_ceiling = self.rtt_quantile(ceiling, probability, method)
+            if rtt_ceiling <= rtt_budget_s:
+                best_load = ceiling
+            else:
+                best_load = float(
+                    optimize.brentq(
+                        lambda point: self.rtt_quantile(point, probability, method)
+                        - rtt_budget_s,
+                        floor_load,
+                        ceiling,
+                        xtol=load_resolution,
+                    )
+                )
+            rtt_at_best = self.rtt_quantile(best_load, probability, method)
+        gamers = int(math.floor(scenario.gamers_at_load(best_load)))
+        admitted = proposed is None or proposed <= best_load
+        return AdmissionResult(
+            rtt_budget_s=float(rtt_budget_s),
+            probability=probability,
+            admitted=admitted,
+            max_load=best_load,
+            max_gamers=max(gamers, 0),
+            rtt_at_max_load_s=rtt_at_best,
+            proposed_load=proposed,
+            source=source,
         )
 
     # ------------------------------------------------------------------

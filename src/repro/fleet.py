@@ -69,9 +69,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .core.dimensioning import AdmissionResult
 from .core.rtt import (
     DEFAULT_QUANTILE,
     QUANTILE_METHODS,
+    CostModel,
     EvalPlan,
     PlanResult,
     compile_eval_plans,
@@ -90,6 +92,7 @@ __all__ = [
     "Request",
     "ResolvedRequest",
     "Answer",
+    "AdmissionAnswer",
     "FleetStats",
     "Fleet",
     "AsyncFleet",
@@ -111,21 +114,35 @@ _REQUEST_KEYS = {
     "method": "method",
     "exact": "exact",
     "tag": "tag",
+    "kind": "kind",
+    "rtt_budget_ms": "rtt_budget_ms",
+    "budget_ms": "rtt_budget_ms",
 }
+
+#: Request kinds the serving layers understand.
+_REQUEST_KINDS = ("rtt", "admit")
 
 
 @dataclass(frozen=True)
 class Request:
-    """One RTT-quantile lookup: a scenario plus an operating point.
+    """One serving request: a scenario plus what is asked of it.
 
-    Exactly one of ``downlink_load`` (on the bottleneck link, in (0, 1))
-    and ``num_gamers`` (>= 1) must be given.  ``probability`` and
-    ``method`` default to the owning :class:`Fleet`'s values; ``tag`` is
-    an opaque caller identifier echoed in the :class:`Answer`.
+    The default ``kind="rtt"`` is an RTT-quantile lookup at an
+    operating point: exactly one of ``downlink_load`` (on the
+    bottleneck link, in (0, 1)) and ``num_gamers`` (>= 1) must be
+    given.  ``probability`` and ``method`` default to the owning
+    :class:`Fleet`'s values; ``tag`` is an opaque caller identifier
+    echoed in the :class:`Answer`.
+
+    ``kind="admit"`` is the admission-control question (Section 4
+    served online): it requires ``rtt_budget_ms`` (> 0) and takes *at
+    most* one of ``downlink_load`` / ``num_gamers`` as the proposed
+    operating point — omitted, the request asks only for the capacity
+    under the budget.  Answered with an :class:`AdmissionAnswer`.
 
     ``exact=True`` demands the exact stacked-path floats: the request
-    bypasses any attached certified surface (it still uses the answer
-    cache, which only ever holds exact values).
+    bypasses any attached certified surface (an ``"rtt"`` request still
+    uses the answer cache, which only ever holds exact values).
     """
 
     scenario: ScenarioSpec
@@ -135,12 +152,31 @@ class Request:
     method: Optional[str] = None
     exact: bool = False
     tag: Optional[str] = None
+    kind: str = "rtt"
+    rtt_budget_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if (self.downlink_load is None) == (self.num_gamers is None):
+        if self.kind not in _REQUEST_KINDS:
             raise ParameterError(
-                "a Request needs exactly one of downlink_load= or num_gamers="
+                f"kind must be one of {_REQUEST_KINDS}; got {self.kind!r}"
             )
+        if self.kind == "admit":
+            if self.rtt_budget_ms is None:
+                raise ParameterError("an admit request needs rtt_budget_ms=")
+            if not float(self.rtt_budget_ms) > 0.0:
+                raise ParameterError("rtt_budget_ms must be positive")
+            if self.downlink_load is not None and self.num_gamers is not None:
+                raise ParameterError(
+                    "an admit request takes at most one of downlink_load= "
+                    "or num_gamers= (the proposed operating point)"
+                )
+        else:
+            if self.rtt_budget_ms is not None:
+                raise ParameterError('rtt_budget_ms= requires kind="admit"')
+            if (self.downlink_load is None) == (self.num_gamers is None):
+                raise ParameterError(
+                    "a Request needs exactly one of downlink_load= or num_gamers="
+                )
         if not isinstance(self.exact, bool):
             raise ParameterError("exact must be a boolean")
         if self.downlink_load is not None and not 0.0 < float(self.downlink_load) < 1.0:
@@ -159,8 +195,9 @@ class Request:
         """Build a request from a JSONL record.
 
         ``load``/``gamers`` are accepted as short spellings of
-        ``downlink_load``/``num_gamers``; unknown keys raise so typos in
-        request files do not pass silently.
+        ``downlink_load``/``num_gamers`` (and ``budget_ms`` of
+        ``rtt_budget_ms``); unknown keys raise so typos in request
+        files do not pass silently.
         """
         unknown = sorted(set(data) - set(_REQUEST_KEYS))
         if unknown:
@@ -177,9 +214,14 @@ class Request:
                     f"request field {key!r} conflicts with another spelling of {name!r}"
                 )
             kwargs[name] = value
-        for name in ("downlink_load", "num_gamers", "probability"):
+        for name in ("downlink_load", "num_gamers", "probability", "rtt_budget_ms"):
             if kwargs.get(name) is not None:
-                kwargs[name] = float(kwargs[name])
+                try:
+                    kwargs[name] = float(kwargs[name])
+                except (TypeError, ValueError) as exc:
+                    raise ParameterError(
+                        f"request field {name!r} must be a number: {exc}"
+                    ) from exc
         return cls(**kwargs)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -188,7 +230,16 @@ class Request:
         if isinstance(scenario, (Scenario, MixScenario)):
             scenario = scenario.to_dict()
         out: Dict[str, Any] = {"scenario": scenario}
-        for name in ("downlink_load", "num_gamers", "probability", "method", "tag"):
+        if self.kind != "rtt":
+            out["kind"] = self.kind
+        for name in (
+            "downlink_load",
+            "num_gamers",
+            "probability",
+            "method",
+            "tag",
+            "rtt_budget_ms",
+        ):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
@@ -228,6 +279,53 @@ class Answer:
             "rtt_quantile_ms": self.rtt_quantile_ms,
             "cached": self.cached,
         }
+        if self.tag is not None:
+            out["tag"] = self.tag
+        return out
+
+
+@dataclass(frozen=True)
+class AdmissionAnswer:
+    """The served result of one ``kind="admit"`` :class:`Request`.
+
+    Wraps the :class:`~repro.core.dimensioning.AdmissionResult` verdict
+    with the serving context (scenario key, method, echoed ``tag``) so
+    it slots into the same JSONL answer streams as :class:`Answer`.
+    """
+
+    scenario_key: str
+    method: str
+    result: AdmissionResult
+    tag: Optional[str] = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.result.admitted
+
+    @property
+    def max_load(self) -> float:
+        return self.result.max_load
+
+    @property
+    def max_gamers(self) -> int:
+        return self.result.max_gamers
+
+    @property
+    def source(self) -> str:
+        return self.result.source
+
+    @property
+    def probability(self) -> float:
+        return self.result.probability
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-ready dictionary view."""
+        out: Dict[str, Any] = {
+            "kind": "admit",
+            "scenario_key": self.scenario_key,
+            "method": self.method,
+        }
+        out.update(self.result.to_dict())
         if self.tag is not None:
             out["tag"] = self.tag
         return out
@@ -298,6 +396,13 @@ class FleetStats:
     #: measured grounding for cost-model plan chunking: exec_s / models
     #: is the observed per-model cost of that signature.
     plan_costs: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Admission-control requests served, split by which tier inverted
+    #: the load→quantile relation: ``admit_surface`` through a certified
+    #: surface's O(1) lookup (zero evaluation plans executed),
+    #: ``admit_exact`` through the exact stacked path.
+    admits: int = 0
+    admit_surface: int = 0
+    admit_exact: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -325,6 +430,9 @@ class FleetStats:
                 signature: dict(entry)
                 for signature, entry in self.plan_costs.items()
             },
+            "admits": self.admits,
+            "admit_surface": self.admit_surface,
+            "admit_exact": self.admit_exact,
         }
 
     @property
@@ -397,6 +505,17 @@ class _BatchPlan:
     plan_keys: List[List[_CacheKey]]
 
 
+@dataclass(frozen=True)
+class _ResolvedAdmit:
+    """An admit request resolved against its scenario and fleet defaults."""
+
+    request: Request
+    scenario: Scenario
+    scenario_key: str
+    probability: float
+    method: str
+
+
 class Fleet:
     """Multiplexes RTT-quantile requests over engines and a shared cache.
 
@@ -413,6 +532,15 @@ class Fleet:
         returns bit-identical floats.
     probability / method:
         Defaults applied to requests that do not carry their own.
+    cost_model:
+        The :class:`~repro.core.rtt.CostModel` sizing compiled plans
+        (default: a fresh one seeded with static priors).  Every
+        executed plan's measured ``exec_s`` is folded back by the
+        assembly phase, so heterogeneous batches converge on
+        equal-cost chunks; the model is shared with the fleet's
+        engines and lent to executors exposing a ``cost_model``
+        attribute (LPT dispatch).  Purely a scheduling knob: any cost
+        model yields bit-identical floats.
     """
 
     def __init__(
@@ -422,6 +550,7 @@ class Fleet:
         max_engines: int = 64,
         probability: float = DEFAULT_QUANTILE,
         method: str = "inversion",
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if int(max_cache_entries) < 1:
             raise ParameterError("max_cache_entries must be at least 1")
@@ -437,6 +566,7 @@ class Fleet:
         self.max_engines = int(max_engines)
         self.probability = float(probability)
         self.method = method
+        self.cost_model = CostModel() if cost_model is None else cost_model
         self.stats = FleetStats()
         self._cache: "OrderedDict[_CacheKey, float]" = OrderedDict()
         self._engines: "OrderedDict[str, Engine]" = OrderedDict()
@@ -538,7 +668,12 @@ class Fleet:
     def _engine_for(self, scenario: Scenario, key: str) -> Engine:
         engine = self._engines.get(key)
         if engine is None:
-            engine = Engine(scenario, probability=self.probability, method=self.method)
+            engine = Engine(
+                scenario,
+                probability=self.probability,
+                method=self.method,
+                cost_model=self.cost_model,
+            )
             self._engines[key] = engine
             self._scenarios[key] = scenario
             self.stats.engines_built += 1
@@ -669,10 +804,34 @@ class Fleet:
         without any evaluation.  The floats are bit-identical for every
         executor and worker count (and to per-point
         :meth:`Engine.rtt_quantile` answers).
+
+        ``kind="admit"`` requests ride the same stream: they are
+        partitioned out before planning, answered through
+        :meth:`admit` (an :class:`AdmissionAnswer` each, from a
+        certified surface where one brackets the budget, the exact path
+        otherwise) and merged back in request order.
         """
-        batch_plan = self._plan_batch(requests)
+        materialized = [
+            request if isinstance(request, Request) else Request.from_dict(request)
+            for request in requests
+        ]
+        admits = [r for r in materialized if r.kind == "admit"]
+        if not admits:
+            batch_plan = self._plan_batch(materialized)
+            results = self._execute_plans(batch_plan.eval_plans, executor)
+            return self._assemble(batch_plan, results)
+        # Validate the admits before any serving state mutates, matching
+        # _plan_batch's all-or-nothing contract for the rtt partition.
+        admit_resolved = [self._resolve_admit(request) for request in admits]
+        rtt_requests = [r for r in materialized if r.kind != "admit"]
+        batch_plan = self._plan_batch(rtt_requests)
         results = self._execute_plans(batch_plan.eval_plans, executor)
-        return self._assemble(batch_plan, results)
+        rtt_answers = iter(self._assemble(batch_plan, results))
+        admit_answers = iter(self._answer_admit(item) for item in admit_resolved)
+        return [
+            next(admit_answers) if request.kind == "admit" else next(rtt_answers)
+            for request in materialized
+        ]
 
     def _plan_batch(
         self, requests: Iterable[Union[Request, Mapping[str, Any]]]
@@ -750,7 +909,9 @@ class Fleet:
                 {**misses[key][0].model_kwargs(), "num_gamers": misses[key][1]}
                 for key in keys
             ]
-            for plan in compile_eval_plans(params, probability, method=method):
+            for plan in compile_eval_plans(
+                params, probability, method=method, cost_model=self.cost_model
+            ):
                 eval_plans.append(plan)
                 plan_keys.append([keys[i] for i in plan.indices])
         return _BatchPlan(
@@ -761,11 +922,29 @@ class Fleet:
             plan_keys=plan_keys,
         )
 
-    @staticmethod
-    def _execute_plans(plans: Sequence[EvalPlan], executor=None) -> List[PlanResult]:
+    def _share_cost_model(self, executor) -> None:
+        """Lend this fleet's cost model to an executor without one.
+
+        Executors exposing a ``cost_model`` attribute (the local
+        process pool's LPT dispatch) get the fleet's measured model, so
+        their predicted-cost ordering sees every observation the
+        assembly phase folds back.  Purely scheduling: results remain
+        plan-ordered and bit-identical.
+        """
+        if (
+            executor is not None
+            and hasattr(executor, "cost_model")
+            and executor.cost_model is None
+        ):
+            executor.cost_model = self.cost_model
+
+    def _execute_plans(
+        self, plans: Sequence[EvalPlan], executor=None
+    ) -> List[PlanResult]:
         """Phase 2: run the compiled plans (in-process without an executor)."""
         if executor is None:
             return [execute_plan(plan) for plan in plans]
+        self._share_cost_model(executor)
         return executor.run(plans)
 
     def _assemble(
@@ -787,12 +966,14 @@ class Fleet:
                 entry["plans"] += 1
                 entry["redispatches"] += result.redispatches
                 entry["wire_s"] += result.wire_s
+            signature = plan_signature(plan)
             cost = self.stats.plan_costs.setdefault(
-                plan_signature(plan), {"plans": 0, "models": 0, "exec_s": 0.0}
+                signature, {"plans": 0, "models": 0, "exec_s": 0.0}
             )
             cost["plans"] += 1
             cost["models"] += len(plan.indices)
             cost["exec_s"] += result.exec_s
+            self.cost_model.observe(signature, len(plan.indices), result.exec_s)
             self.stats.evaluations += result.evaluations
             self.stats.stacked_mgf_calls += result.stacked_mgf_calls
             for key, value in zip(keys, result.values):
@@ -829,6 +1010,95 @@ class Fleet:
                 )
             ]
         )[0]
+
+    # ------------------------------------------------------------------
+    # Admission control (Section 4 served online)
+    # ------------------------------------------------------------------
+    def _resolve_admit(
+        self, request: Union[Request, Mapping[str, Any]]
+    ) -> "_ResolvedAdmit":
+        """Resolve and validate an admit request without mutating state."""
+        if not isinstance(request, Request):
+            request = Request.from_dict(request)
+        if request.kind != "admit":
+            raise ParameterError(
+                f'expected a kind="admit" request; got kind={request.kind!r}'
+            )
+        try:
+            scenario = self.resolve_scenario(request.scenario)
+        except KeyError as exc:
+            raise ParameterError(f"unknown scenario: {exc.args[0]}") from exc
+        probability = (
+            self.probability
+            if request.probability is None
+            else float(request.probability)
+        )
+        method = self.method if request.method is None else request.method
+        return _ResolvedAdmit(
+            request=request,
+            scenario=scenario,
+            scenario_key=scenario.cache_key(),
+            probability=probability,
+            method=method,
+        )
+
+    def _answer_admit(self, item: "_ResolvedAdmit") -> AdmissionAnswer:
+        """Answer one resolved admit request through the scenario engine.
+
+        A certified surface attached to this fleet for the (scenario,
+        method) — and not capped out by ``max_bound`` — is handed to
+        the engine, whose :meth:`Engine.admit` inverts the budget on
+        the surface's O(1) lookup when it certifies the root in-region
+        (zero evaluation plans executed) and falls back to the exact
+        stacked path otherwise; ``exact=True`` requests skip the
+        surface outright.
+        """
+        request = item.request
+        self.stats.requests += 1
+        self.stats.admits += 1
+        engine = self._engine_for(item.scenario, item.scenario_key)
+        if self._surfaces is not None and not request.exact:
+            surface = self._surfaces.get(item.scenario_key, item.method)
+            if surface is not None and (
+                self._surface_max_bound is None
+                or surface.certified_rel_bound <= self._surface_max_bound
+            ):
+                engine.attach_surface(surface)
+        result = engine.admit(
+            float(request.rtt_budget_ms) / 1e3,
+            item.probability,
+            item.method,
+            load=(
+                None
+                if request.downlink_load is None
+                else float(request.downlink_load)
+            ),
+            num_gamers=(
+                None if request.num_gamers is None else float(request.num_gamers)
+            ),
+            exact=request.exact,
+        )
+        if result.source == "surface":
+            self.stats.admit_surface += 1
+        else:
+            self.stats.admit_exact += 1
+        return AdmissionAnswer(
+            scenario_key=item.scenario_key,
+            method=item.method,
+            result=result,
+            tag=request.tag,
+        )
+
+    def admit(self, request: Union[Request, Mapping[str, Any]]) -> AdmissionAnswer:
+        """Serve one admission-control request.
+
+        "Can this scenario take (more) gamers and keep the
+        ``probability`` RTT quantile under ``rtt_budget_ms``?" — see
+        :meth:`Engine.admit` for the semantics (an unmeetable budget is
+        ``admitted=False``, never an error) and :meth:`serve` for
+        mixing admits into a request stream.
+        """
+        return self._answer_admit(self._resolve_admit(request))
 
     # ------------------------------------------------------------------
     # Cache persistence
@@ -1050,19 +1320,47 @@ class AsyncFleet:
         *,
         executor=None,
     ) -> List[Answer]:
-        """Asynchronous :meth:`Fleet.serve`: plan inline, await execute."""
+        """Asynchronous :meth:`Fleet.serve`: plan inline, await execute.
+
+        ``kind="admit"`` requests are partitioned out before planning
+        and answered on the loop's default thread pool (the exact
+        fallback path runs evaluation plans), then merged back in
+        request order — matching :meth:`Fleet.serve`.
+        """
         executor = self.executor if executor is None else executor
-        batch_plan = self.fleet._plan_batch(requests)
+        fleet = self.fleet
+        materialized = [
+            request if isinstance(request, Request) else Request.from_dict(request)
+            for request in requests
+        ]
+        admits = [r for r in materialized if r.kind == "admit"]
+        admit_resolved = [fleet._resolve_admit(request) for request in admits]
+        rtt_requests = [r for r in materialized if r.kind != "admit"]
+        batch_plan = fleet._plan_batch(rtt_requests)
+        loop = asyncio.get_running_loop()
         if not batch_plan.eval_plans:
             results: List[PlanResult] = []
         elif executor is None:
-            loop = asyncio.get_running_loop()
             results = await loop.run_in_executor(
-                None, Fleet._execute_plans, batch_plan.eval_plans
+                None, fleet._execute_plans, batch_plan.eval_plans
             )
         else:
+            fleet._share_cost_model(executor)
             results = await executor.run_async(batch_plan.eval_plans)
-        return self.fleet._assemble(batch_plan, results)
+        answers = fleet._assemble(batch_plan, results)
+        if not admits:
+            return answers
+        admit_answers = iter(
+            [
+                await loop.run_in_executor(None, fleet._answer_admit, item)
+                for item in admit_resolved
+            ]
+        )
+        rtt_answers = iter(answers)
+        return [
+            next(admit_answers) if request.kind == "admit" else next(rtt_answers)
+            for request in materialized
+        ]
 
     async def request_async(
         self,

@@ -25,6 +25,11 @@ exactly that:
   The ``exact`` flag is part of the flight key because an ``exact=True``
   request must never ride an in-flight value that a certified surface
   may have answered (within its bound, but not bit-identical);
+* admission-control requests (``Request(kind="admit", ...)``) are
+  single-flighted the same way, keyed on the full admit tuple
+  ``(scenario, method, probability, budget, proposed point, exact)``:
+  concurrent identical admits share one capacity inversion, and the
+  duplicates count into ``deduped_inflight`` exactly like rtt dedups;
 * a window that dies with :class:`~repro.errors.ExecutorBrokenError`
   (a worker-pool process was killed underneath it) is retried once on
   the freshly respawned pool, so transient worker faults cost latency,
@@ -50,7 +55,15 @@ import sys
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..errors import ExecutorBrokenError, ReproError
-from ..fleet import Answer, AsyncFleet, Fleet, FleetStats, Request, ResolvedRequest
+from ..fleet import (
+    AdmissionAnswer,
+    Answer,
+    AsyncFleet,
+    Fleet,
+    FleetStats,
+    Request,
+    ResolvedRequest,
+)
 
 __all__ = ["RequestCoalescer"]
 
@@ -61,9 +74,27 @@ _Waiter = Tuple[ResolvedRequest, "asyncio.Future[Answer]"]
 #: exact request must not attach to a possibly-surface-served value).
 _FlightKey = Tuple[str, float, float, str, bool]
 
+#: The admit single-flight key: the full admit tuple, so only requests
+#: asking the *same* capacity question share one inversion.
+_AdmitKey = Tuple[
+    str, str, float, float, Optional[float], Optional[float], bool
+]
+
 
 def _flight_key(resolved: ResolvedRequest) -> _FlightKey:
     return (*resolved.key, resolved.exact)
+
+
+def _admit_key(request: Request, scenario_key: str, probability: float, method: str) -> _AdmitKey:
+    return (
+        scenario_key,
+        method,
+        probability,
+        float(request.rtt_budget_ms),
+        request.downlink_load,
+        request.num_gamers,
+        request.exact,
+    )
 
 
 def _mark_retrieved(future: "asyncio.Future[Any]") -> None:
@@ -126,6 +157,9 @@ class RequestCoalescer:
         #: flight key -> future resolving to the point's rtt_quantile_s;
         #: present exactly while a window evaluating that key is in flight.
         self._inflight: Dict[_FlightKey, "asyncio.Future[float]"] = {}
+        #: admit tuple -> future resolving to its AdmissionAnswer;
+        #: present exactly while that capacity inversion is in flight.
+        self._admit_inflight: Dict[_AdmitKey, "asyncio.Future[AdmissionAnswer]"] = {}
         self._windows: "set[asyncio.Task]" = set()
         self._closed = False
 
@@ -156,17 +190,24 @@ class RequestCoalescer:
     # ------------------------------------------------------------------
     async def submit(
         self, request: Union[Request, Mapping[str, Any]]
-    ) -> Answer:
+    ) -> Union[Answer, AdmissionAnswer]:
         """Queue one request and await its answer.
 
         Resolution and validation happen immediately — a malformed
         request raises here, in the caller, and never poisons the window
         the other callers are riding in.  The answer future resolves
         when the request's window (or the in-flight evaluation it was
-        attached to) completes.
+        attached to) completes.  ``kind="admit"`` requests skip the
+        batching window — an admission check is one inversion, not a
+        stackable quantile — but identical concurrent admits are
+        single-flighted and return one shared :class:`AdmissionAnswer`.
         """
         if self._closed:
             raise ReproError("the request coalescer is closed")
+        if isinstance(request, Mapping):
+            request = Request.from_dict(request)
+        if request.kind == "admit":
+            return await self._submit_admit(request)
         resolved = self.fleet.resolve_request(request)
         inflight = self._inflight.get(_flight_key(resolved))
         if inflight is not None:
@@ -185,9 +226,44 @@ class RequestCoalescer:
             self._timer = loop.call_later(self.max_delay_s, self._flush)
         return await future
 
+    async def _submit_admit(self, request: Request) -> AdmissionAnswer:
+        """Answer one admit request, single-flighting identical ones.
+
+        The request is resolved (and validated) synchronously so a bad
+        admit raises in its own caller; the inversion itself runs on the
+        loop's default thread pool — it is either an O(1) surface lookup
+        plus ``brentq`` or a short exact bisection, never a stacked
+        batch, so it does not ride the coalescing window.
+        """
+        item = self.fleet._resolve_admit(request)
+        key = _admit_key(request, item.scenario_key, item.probability, item.method)
+        inflight = self._admit_inflight.get(key)
+        if inflight is not None:
+            self.stats.deduped_inflight += 1
+            return await asyncio.shield(inflight)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[AdmissionAnswer]" = loop.create_future()
+        future.add_done_callback(_mark_retrieved)
+        self._admit_inflight[key] = future
+        try:
+            answer = await loop.run_in_executor(
+                None, self.fleet._answer_admit, item
+            )
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            raise
+        else:
+            if not future.done():
+                future.set_result(answer)
+            return answer
+        finally:
+            if self._admit_inflight.get(key) is future:
+                del self._admit_inflight[key]
+
     async def submit_many(
         self, requests: Iterable[Union[Request, Mapping[str, Any]]]
-    ) -> List[Answer]:
+    ) -> List[Union[Answer, AdmissionAnswer]]:
         """Submit several requests at once; answers come in input order.
 
         The requests land in the same pending window (flushing it every

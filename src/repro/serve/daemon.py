@@ -13,6 +13,17 @@ framework) and exposes:
     connections arriving within the coalescing window are served as one
     stacked batch and identical in-flight misses are evaluated once.
 
+``POST /v1/admit``
+    Admission control: one JSON record with an ``rtt_budget_ms`` (plus
+    the scenario fields, optionally a proposed ``load`` / ``gamers``
+    operating point) in, one :class:`~repro.fleet.AdmissionAnswer`
+    object out — the largest load / gamer count whose ping-time
+    quantile still meets the budget, and whether the proposed point is
+    admitted.  ``kind`` defaults to ``"admit"`` on this endpoint.  With
+    certified surfaces attached, in-region admits are answered by an
+    O(1) inversion with **zero plans executed**; identical concurrent
+    admits are single-flighted by the coalescer.
+
 ``POST /v1/batch``
     A JSONL body (``Content-Length`` or chunked) streamed through the
     bounded-window pipeline of :mod:`repro.serve.streams`: at most a
@@ -223,6 +234,7 @@ class ServingDaemon:
         self.http_requests = 0
         self.http_errors = 0
         self.plans_served = 0
+        self.admits_served = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Dict[asyncio.Task, _Connection] = {}
         self._draining = False
@@ -581,6 +593,7 @@ class ServingDaemon:
             "/healthz": ("GET", self._handle_healthz),
             "/stats": ("GET", self._handle_stats),
             "/v1/rtt": ("POST", self._handle_rtt),
+            "/v1/admit": ("POST", self._handle_admit),
             "/v1/batch": ("POST", self._handle_batch),
         }
         if self.worker_mode:
@@ -659,6 +672,7 @@ class ServingDaemon:
                 "surfaces_loaded": self.surfaces_loaded,
                 "worker_mode": self.worker_mode,
                 "plans_served": self.plans_served,
+                "admits_served": self.admits_served,
             },
         }
         # A RemoteExecutor in front of this fleet knows per-host health
@@ -727,6 +741,21 @@ class ServingDaemon:
         if not isinstance(record, dict):
             raise ReproError("the request body must be a JSON object")
         answer = await self.coalescer.submit(Request.from_dict(record))
+        self._write_json(writer, 200, answer.to_dict(), keep_alive=keep_alive)
+        return keep_alive
+
+    async def _handle_admit(self, headers, reader, writer, keep_alive) -> bool:
+        """Answer one admission-control request (``kind`` defaults to admit)."""
+        body = await self._read_body(reader, headers)
+        try:
+            record = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ReproError("the request body must be a JSON object")
+        record.setdefault("kind", "admit")
+        answer = await self.coalescer.submit(Request.from_dict(record))
+        self.admits_served += 1
         self._write_json(writer, 200, answer.to_dict(), keep_alive=keep_alive)
         return keep_alive
 

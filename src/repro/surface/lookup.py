@@ -168,6 +168,61 @@ class QuantileSurface:
         t_level = _chebyshev_t(y, self.coef.shape[1])
         return float(math.exp(t_load @ self.coef @ t_level))
 
+    def invert_load(
+        self,
+        rtt_budget_s: float,
+        probability: float,
+        *,
+        load_cap: Optional[float] = None,
+        xtol: float = 1e-6,
+    ) -> Optional[float]:
+        """Largest load whose surface RTT stays within ``rtt_budget_s``.
+
+        Inverts the monotone load→quantile relation at a fixed quantile
+        level by Brent's method on the O(1) :meth:`lookup` — the
+        admission-control fast path: certified, and zero evaluation
+        plans executed.  ``load_cap`` (typically the scenario's stable
+        load ceiling) truncates the search above.
+
+        Returns ``None`` whenever the surface cannot *certify* the
+        answer — the level is outside the certified region, or the
+        capacity bound lies at or beyond a region edge where the true
+        root may escape the region — in which case the caller must fall
+        back to the exact path.  The one edge the surface may still
+        answer is saturation at the cap: when the cap itself lies
+        in-region and its RTT meets the budget, the capacity *is* the
+        cap.
+        """
+        if not (
+            math.isfinite(rtt_budget_s) and rtt_budget_s > 0.0
+        ):
+            raise ParameterError("rtt_budget_s must be positive and finite")
+        if not self.probability_lo <= probability <= self.probability_hi:
+            return None
+        hi = self.load_hi if load_cap is None else min(self.load_hi, float(load_cap))
+        lo = self.load_lo
+        if not lo < hi:
+            return None
+        excess_lo = self.lookup(lo, probability) - rtt_budget_s
+        excess_hi = self.lookup(hi, probability) - rtt_budget_s
+        if excess_lo >= 0.0:
+            # Over budget already at the region's low edge: the true
+            # capacity (if any) lies below load_lo, out of region.
+            return None
+        if excess_hi <= 0.0:
+            # Within budget all the way up to ``hi``.  Certify only the
+            # saturated case where ``hi`` is the caller's cap (not the
+            # region edge, beyond which the true capacity may escape).
+            if load_cap is not None and float(load_cap) <= self.load_hi:
+                return hi
+            return None
+        from scipy import optimize  # deferred: keep module import light
+
+        def excess(load: float) -> float:
+            return self.lookup(float(load), probability) - rtt_budget_s
+
+        return float(optimize.brentq(excess, lo, hi, xtol=xtol))
+
     # ------------------------------------------------------------------
     # Serialization (consumed by repro.surface.store)
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ import os
 
 import pytest
 
-from repro.core.rtt import QUANTILE_METHODS
+from repro.core.rtt import CostModel, QUANTILE_METHODS
 from repro.executors import ParallelExecutor
 from repro.fleet import Fleet, FleetStats, Request
 from repro.scenarios import available_scenarios
@@ -37,15 +37,27 @@ _FOLDED_FIELDS = (
 )
 
 
-def _serve(requests, workers=None):
+def _serve(requests, workers=None, cost_model=None):
     """Serve a fresh fleet serially (workers=None) or on a pool."""
-    fleet = Fleet()
+    fleet = Fleet() if cost_model is None else Fleet(cost_model=cost_model)
     if workers is None:
         answers = fleet.serve(requests)
     else:
         with ParallelExecutor(workers=workers) as executor:
             answers = fleet.serve(requests, executor=executor)
     return fleet, answers
+
+
+def _aggressive_cost_model():
+    """A non-default policy: tiny target, pre-trained on one signature.
+
+    Produces chunk sizes far from the legacy 32-model split (near-singleton
+    plans for trained signatures, priors elsewhere) and triggers the
+    parallel executor's LPT dispatch path.
+    """
+    model = CostModel(target_plan_cost_s=5e-4)
+    model.observe("inversion/K9", models=4, exec_s=4 * 2e-3)
+    return model
 
 
 def _assert_folded_stats_match(serial: FleetStats, other: FleetStats) -> None:
@@ -115,6 +127,21 @@ class TestFullDeterminism:
             )
             _assert_folded_stats_match(serial_fleet.stats, fleet.stats)
             assert fleet.stats.remote_plans > 0
+
+    @pytest.mark.parametrize("method", QUANTILE_METHODS)
+    def test_all_presets_bit_identical_under_a_nondefault_cost_policy(self, method):
+        # Same sweep, chunked by an aggressive measured cost policy and
+        # dispatched LPT: still bit-identical to the default serial run.
+        requests = self._requests(method)
+        _, serial = _serve(requests)
+        reference = [a.rtt_quantile_s for a in serial]
+        for workers in (None, 3):
+            fleet, answers = _serve(
+                requests, workers=workers, cost_model=_aggressive_cost_model()
+            )
+            assert [a.rtt_quantile_s for a in answers] == reference, (
+                f"method={method}, workers={workers}"
+            )
 
     def test_mixed_method_stream_is_deterministic(self):
         requests = [
